@@ -1,0 +1,129 @@
+// Clusterbench regenerates the paper's evaluation: every figure and
+// table of Section 6, as ΔII histograms of the clustered machines
+// against their equally wide unified baselines.
+//
+// Usage:
+//
+//	clusterbench                 # run every experiment on the full suite
+//	clusterbench -exp fig14      # one experiment
+//	clusterbench -count 200      # smaller suite for a quick look
+//	clusterbench -scheduler sms  # use the swing modulo scheduler
+//	clusterbench -table1         # print the loop-suite statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clustersched/internal/experiments"
+	livermorepkg "clustersched/internal/livermore"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/pipeline"
+	"clustersched/internal/report"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment ID to run (fig12..fig19, table3, grid); empty = all")
+		seed      = flag.Int64("seed", 1, "loop suite seed")
+		count     = flag.Int("count", loopgen.DefaultCount, "number of loops in the suite")
+		scheduler = flag.String("scheduler", "ims", "phase-two scheduler: ims or sms")
+		table1    = flag.Bool("table1", false, "print Table 1 loop statistics and exit")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		ext       = flag.Bool("ext", false, "run the extension experiments (ablations, ring topology) instead of the paper set")
+		registers = flag.Bool("registers", false, "run the register-pressure study and exit")
+		csv       = flag.Bool("csv", false, "emit results as CSV instead of tables")
+		livermore = flag.Bool("livermore", false, "run the real Livermore-kernel study and exit")
+		markdown  = flag.Bool("markdown", false, "emit a full Markdown reproduction report (-ext adds the extension sections)")
+	)
+	flag.Parse()
+
+	loops := loopgen.Suite(loopgen.Options{Seed: *seed, Count: *count})
+	if *table1 {
+		fmt.Print(loopgen.Stats(loops).Table())
+		return
+	}
+
+	opts := experiments.Options{Parallelism: *workers}
+	switch strings.ToLower(*scheduler) {
+	case "ims":
+		opts.Scheduler = pipeline.IMS
+	case "sms":
+		opts.Scheduler = pipeline.SMS
+	default:
+		fmt.Fprintf(os.Stderr, "clusterbench: unknown scheduler %q (want ims or sms)\n", *scheduler)
+		os.Exit(2)
+	}
+
+	if *markdown {
+		if err := report.Markdown(os.Stdout, loops, report.Options{Run: opts, Extensions: *ext}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *livermore {
+		kernels, err := livermorepkg.Kernels()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := experiments.LivermoreStudy(kernels, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Report())
+		return
+	}
+
+	if *registers {
+		study := experiments.RegisterStudy(loops, opts)
+		if *csv {
+			fmt.Print(study.CSV())
+		} else {
+			fmt.Print(study.Report())
+		}
+		return
+	}
+
+	if *exp == "baseline" {
+		res := experiments.BaselineComparison(loops, opts)
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Report())
+		}
+		return
+	}
+	configs := experiments.All()
+	if *ext {
+		configs = experiments.Extensions()
+	}
+	if *exp != "" {
+		cfg, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "clusterbench: unknown experiment %q (or 'baseline')\n", *exp)
+			os.Exit(2)
+		}
+		configs = []experiments.Config{cfg}
+	}
+	for _, cfg := range configs {
+		var res experiments.Result
+		if cfg.ID == "abl-order" {
+			// The ordering ablation needs ID-shuffled loops; see the
+			// RunOrderingAblation documentation.
+			res = experiments.RunOrderingAblation(loops, opts)
+		} else {
+			res = experiments.Run(cfg, loops, opts)
+		}
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Println(res.Report())
+		}
+	}
+}

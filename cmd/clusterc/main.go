@@ -1,0 +1,98 @@
+// Clusterc is the end-to-end loop compiler: it reads loops in the
+// small loop language, compiles them to dependence graphs, software-
+// pipelines them onto a clustered machine, and prints the kernels.
+//
+// Usage:
+//
+//	clusterc kernels.loop
+//	clusterc -machine fs:4:4:2 -pipeline kernels.loop
+//	echo 'loop dot { s = s + a[i]*b[i] }' | clusterc -
+//
+// The language: one index variable i, array accesses a[i+k] (loads and
+// stores), scalars carrying values across statements (and across
+// iterations when read before their definition — reductions), loop
+// invariants free in registers, constants folded, sqrt() as the only
+// intrinsic. See internal/frontend for the full semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"clustersched"
+	"clustersched/internal/cli"
+)
+
+func main() {
+	var (
+		machineSpec = flag.String("machine", "gp:2:2:1", "machine: gp:C:B:P, fs:C:B:P, grid:P, ring:C:P, or unified:W")
+		pipelined   = flag.Bool("pipeline", false, "print prologue and epilogue, not just the kernel")
+		stages      = flag.Bool("stages", false, "run stage scheduling before printing")
+		verbose     = flag.Bool("v", false, "also print placement and register details")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clusterc [flags] <file.loop | ->")
+		os.Exit(2)
+	}
+
+	var (
+		src []byte
+		err error
+	)
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := cli.ParseMachine(*machineSpec)
+	if err != nil {
+		fatal(err)
+	}
+	loops, err := clustersched.CompileSource(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, l := range loops {
+		fmt.Printf("=== %s (%d ops) on %s ===\n", l.Name, l.Graph.NumNodes(), m)
+		res, err := clustersched.Schedule(l.Graph, m)
+		if err != nil {
+			fmt.Printf("  no schedule: %v\n\n", err)
+			continue
+		}
+		if *stages {
+			res.OptimizeStages()
+		}
+		if err := res.Validate(); err != nil {
+			fatal(fmt.Errorf("internal error: invalid schedule: %w", err))
+		}
+		fmt.Printf("II=%d (MII=%d), %d copies, %d stages\n", res.II, res.MII, res.Copies, res.Stages())
+		if *verbose {
+			for n := 0; n < res.Annotated.NumNodes(); n++ {
+				node := res.Annotated.Nodes[n]
+				fmt.Printf("  n%-3d %-7s cluster %d  cycle %3d  %s\n",
+					n, node.Kind, res.ClusterOf[n], res.CycleOf[n], node.Name)
+			}
+			alloc := res.Registers()
+			fmt.Printf("registers per cluster %v (MVE factor %d)\n", alloc.RegsPerCluster, alloc.Factor)
+		}
+		if *pipelined {
+			fmt.Println(res.Pipelined())
+		} else {
+			fmt.Println(res.Kernel())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Explore sweeps the clustered-VLIW design space: for each design it
+// measures throughput against the equally wide unified machine over
+// the loop suite and scores the register files with the paper's
+// Section 1.1 cost models (area quadratic in ports, delay logarithmic
+// in registers times read ports).
+//
+// Usage:
+//
+//	explore                 # unified vs clustered at widths 8 and 16
+//	explore -count 300      # quicker, smaller suite
+//	explore -clusters 6 -buses 6 -ports 3   # add a custom GP design
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"clustersched/internal/explore"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "loop suite seed")
+		count    = flag.Int("count", 400, "number of loops to evaluate")
+		clusters = flag.Int("clusters", 0, "additional GP design: cluster count (0 = none)")
+		buses    = flag.Int("buses", 0, "additional design: bus count")
+		ports    = flag.Int("ports", 0, "additional design: ports per cluster")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	loops := loopgen.Suite(loopgen.Options{Seed: *seed, Count: *count})
+	designs := explore.DefaultDesigns()
+	if *clusters > 0 {
+		designs = append(designs, machine.NewBusedGP(*clusters, *buses, *ports))
+	}
+	points := explore.Sweep(designs, loops, *workers)
+	fmt.Print(explore.Report(points))
+	fmt.Println("\narea ~ sum(regs x ports^2) per file; delay ~ log2(regs x read ports)")
+	fmt.Println("of the largest file (paper Section 1.1). Clustering holds match%")
+	fmt.Println("while the widest unified register files blow up quadratically.")
+}

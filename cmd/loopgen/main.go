@@ -1,0 +1,40 @@
+// Loopgen generates the synthetic loop suite and either prints its
+// Table 1 statistics or dumps the loops in the ddg text format.
+//
+// Usage:
+//
+//	loopgen                    # print Table 1 statistics
+//	loopgen -dump > suite.ddg  # write the whole suite as text
+//	loopgen -seed 7 -count 50 -dump
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersched/internal/ddgio"
+	"clustersched/internal/loopgen"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "suite seed")
+		count = flag.Int("count", loopgen.DefaultCount, "number of loops")
+		dump  = flag.Bool("dump", false, "write the loops in ddg text format to stdout")
+	)
+	flag.Parse()
+
+	loops := loopgen.Suite(loopgen.Options{Seed: *seed, Count: *count})
+	if !*dump {
+		fmt.Print(loopgen.Stats(loops).Table())
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := ddgio.WriteAll(w, loops); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

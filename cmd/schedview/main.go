@@ -1,0 +1,148 @@
+// Schedview schedules a single loop end to end and shows its cluster
+// assignment, modulo reservation table, kernel, and software pipeline.
+//
+// Usage:
+//
+//	schedview -machine gp:2:2:1 loops.ddg      # schedule loops from a file
+//	schedview -machine grid:2 -pipeline        # built-in demo loop, full pipeline
+//	schedview -machine fs:4:4:2 -variant simple loops.ddg
+//
+// The machine spec is gp:<clusters>:<buses>:<ports>,
+// fs:<clusters>:<buses>:<ports>, grid:<ports>, ring:<clusters>:<ports>,
+// or unified:<width>. Loop files use the ddg text format:
+//
+//	loop dotproduct
+//	node 0 load a[i]
+//	node 1 load b[i]
+//	node 2 fmul
+//	node 3 fadd s
+//	edge 0 2 0
+//	edge 1 2 0
+//	edge 2 3 0
+//	edge 3 3 1
+//	end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersched"
+	"clustersched/internal/cli"
+	"clustersched/internal/ddgio"
+)
+
+func main() {
+	var (
+		machineSpec = flag.String("machine", "gp:2:2:1", "machine: gp:C:B:P, fs:C:B:P, grid:P, ring:C:P, or unified:W")
+		variant     = flag.String("variant", "heuristic-iterative", "assignment: simple, simple-iterative, heuristic, heuristic-iterative")
+		scheduler   = flag.String("scheduler", "ims", "phase-two scheduler: ims or sms")
+		pipelined   = flag.Bool("pipeline", false, "print prologue and epilogue, not just the kernel")
+		dotOut      = flag.Bool("dot", false, "print the scheduled loop as Graphviz DOT instead of text")
+		stages      = flag.Bool("stages", false, "run stage scheduling before printing (reduces register pressure)")
+		registers   = flag.Bool("registers", false, "print the MVE register allocation")
+		unroll      = flag.Int("unroll", 1, "unroll the loop body by this factor before scheduling")
+		gantt       = flag.Bool("gantt", false, "print the per-cluster occupancy timeline")
+	)
+	flag.Parse()
+
+	m, err := cli.ParseMachine(*machineSpec)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := cli.ParseVariant(*variant)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := cli.ParseScheduler(*scheduler)
+	if err != nil {
+		fatal(err)
+	}
+
+	var loops []ddgio.NamedGraph
+	if flag.NArg() == 0 {
+		loops = []ddgio.NamedGraph{{Name: "demo-dotproduct", Graph: demoLoop()}}
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		loops, err = clustersched.ReadLoops(f)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, l := range loops {
+		fmt.Printf("=== %s on %s ===\n", l.Name, m)
+		if *unroll > 1 {
+			l.Graph = l.Graph.Unroll(*unroll)
+			fmt.Printf("unrolled x%d: %d operations\n", *unroll, l.Graph.NumNodes())
+		}
+		res, err := clustersched.Schedule(l.Graph, m,
+			clustersched.WithVariant(v), clustersched.WithScheduler(s))
+		if err != nil {
+			fmt.Printf("  no schedule: %v\n\n", err)
+			continue
+		}
+		if err := res.Validate(); err != nil {
+			fatal(fmt.Errorf("internal error: schedule failed validation: %w", err))
+		}
+		if *stages {
+			moved := res.OptimizeStages()
+			fmt.Printf("stage scheduling moved %d operation(s)\n", moved)
+			if err := res.Validate(); err != nil {
+				fatal(fmt.Errorf("internal error: invalid after stage scheduling: %w", err))
+			}
+		}
+		if *dotOut {
+			fmt.Print(res.DOT())
+			continue
+		}
+		fmt.Printf("II=%d (MII=%d), %d copies, %d stages\n", res.II, res.MII, res.Copies, res.Stages())
+		for n := 0; n < res.Annotated.NumNodes(); n++ {
+			node := res.Annotated.Nodes[n]
+			fmt.Printf("  n%-3d %-7s cluster %d  cycle %3d  %s\n",
+				n, node.Kind, res.ClusterOf[n], res.CycleOf[n], node.Name)
+		}
+		live, perCluster := res.MaxLive()
+		fmt.Printf("register pressure (MaxLive): %d total, per cluster %v\n", live, perCluster)
+		if *registers {
+			alloc := res.Registers()
+			fmt.Printf("MVE factor %d, registers per cluster %v (total %d)\n",
+				alloc.Factor, alloc.RegsPerCluster, alloc.TotalRegisters())
+		}
+		if *pipelined {
+			fmt.Println(res.Pipelined())
+		} else {
+			fmt.Println(res.Kernel())
+		}
+		if *gantt {
+			fmt.Println(res.Gantt())
+		}
+		fmt.Println()
+	}
+}
+
+// demoLoop is the dot-product kernel used when no file is given.
+func demoLoop() *clustersched.Graph {
+	g := clustersched.NewGraph()
+	a := g.AddNode(clustersched.OpLoad, "a[i]")
+	b := g.AddNode(clustersched.OpLoad, "b[i]")
+	mul := g.AddNode(clustersched.OpFMul, "")
+	acc := g.AddNode(clustersched.OpFAdd, "s")
+	br := g.AddNode(clustersched.OpBranch, "loop")
+	g.AddEdge(a, mul, 0)
+	g.AddEdge(b, mul, 0)
+	g.AddEdge(mul, acc, 0)
+	g.AddEdge(acc, acc, 1)
+	_ = br
+	return g
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

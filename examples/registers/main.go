@@ -1,0 +1,87 @@
+// Registers demonstrates the register-file story that motivates
+// clustering: schedule a register-hungry loop on a unified 16-wide
+// machine and on a 4-cluster machine of the same width, then run stage
+// scheduling and modulo-variable-expansion register allocation, and
+// compare the size of the register file each design needs.
+//
+// Run with: go run ./examples/registers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersched"
+)
+
+// filterLoop is a 9-tap FIR-like body: many long-lived values (the tap
+// products all feed one reduction tree), the classic register-pressure
+// stress.
+func filterLoop() *clustersched.Graph {
+	g := clustersched.NewGraph()
+	var products []int
+	for tap := 0; tap < 9; tap++ {
+		x := g.AddNode(clustersched.OpLoad, fmt.Sprintf("x[i+%d]", tap))
+		p := g.AddNode(clustersched.OpFMul, fmt.Sprintf("c%d*x", tap))
+		g.AddEdge(x, p, 0)
+		products = append(products, p)
+	}
+	// Reduction tree.
+	for len(products) > 1 {
+		var next []int
+		for i := 0; i+1 < len(products); i += 2 {
+			s := g.AddNode(clustersched.OpFAdd, "")
+			g.AddEdge(products[i], s, 0)
+			g.AddEdge(products[i+1], s, 0)
+			next = append(next, s)
+		}
+		if len(products)%2 == 1 {
+			next = append(next, products[len(products)-1])
+		}
+		products = next
+	}
+	st := g.AddNode(clustersched.OpStore, "y[i]")
+	g.AddEdge(products[0], st, 0)
+	g.AddNode(clustersched.OpBranch, "loop")
+	return g
+}
+
+func main() {
+	g := filterLoop()
+	fmt.Printf("9-tap filter loop: %d operations\n\n", g.NumNodes())
+	fmt.Printf("%-26s %4s %8s %9s %9s %13s %5s\n",
+		"machine", "II", "MaxLive", "regs", "regs+SS", "largest file", "MVE")
+
+	machines := []*clustersched.Machine{
+		clustersched.BusedGP(4, 4, 2).Unified(),
+		clustersched.BusedGP(4, 4, 2),
+	}
+	for _, m := range machines {
+		res, err := clustersched.Schedule(g, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		live, _ := res.MaxLive()
+		before := res.Registers()
+
+		moved := res.OptimizeStages()
+		if err := res.Validate(); err != nil {
+			log.Fatalf("invalid after stage scheduling: %v", err)
+		}
+		after := res.Registers()
+		largest := 0
+		for _, r := range after.RegsPerCluster {
+			if r > largest {
+				largest = r
+			}
+		}
+		fmt.Printf("%-26s %4d %8d %9d %9d %13d %5d   (stage scheduler moved %d ops)\n",
+			m.Name, res.II, live, before.TotalRegisters(), after.TotalRegisters(),
+			largest, res.MVEFactor(), moved)
+	}
+
+	fmt.Println("\nThe clustered machine pays a few extra registers for copy")
+	fmt.Println("lifetimes, but its largest single register file is less than half")
+	fmt.Println("the unified machine's — and a register file's area grows")
+	fmt.Println("quadratically with its port count, which is the paper's point.")
+}

@@ -1,0 +1,72 @@
+// Scaling walks the paper's motivation end to end: take one wide loop
+// and schedule it on machines of growing width — unified machines that
+// would need ever more register-file ports, and clustered machines of
+// the same width that would not — and show that cluster assignment
+// keeps the clustered initiation intervals at the unified level
+// (Table 3's story).
+//
+// Run with: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersched"
+)
+
+// wideLoop is an unrolled-by-4 independent vector update,
+// a[i] = a[i]*b[i] + c, the kind of loop that actually fills a
+// 16-wide machine.
+func wideLoop() *clustersched.Graph {
+	g := clustersched.NewGraph()
+	for u := 0; u < 4; u++ {
+		a := g.AddNode(clustersched.OpLoad, fmt.Sprintf("a[i+%d]", u))
+		b := g.AddNode(clustersched.OpLoad, fmt.Sprintf("b[i+%d]", u))
+		mul := g.AddNode(clustersched.OpFMul, "")
+		add := g.AddNode(clustersched.OpFAdd, "")
+		st := g.AddNode(clustersched.OpStore, fmt.Sprintf("a[i+%d]", u))
+		g.AddEdge(a, mul, 0)
+		g.AddEdge(b, mul, 0)
+		g.AddEdge(mul, add, 0)
+		g.AddEdge(add, st, 0)
+	}
+	g.AddNode(clustersched.OpBranch, "loop")
+	return g
+}
+
+func main() {
+	g := wideLoop()
+	fmt.Printf("loop: %d operations\n\n", g.NumNodes())
+	fmt.Printf("%-26s %10s %12s %8s %10s\n", "machine", "width", "unified II", "II", "copies")
+
+	rows := []struct {
+		clusters, buses, ports int
+	}{
+		{2, 2, 1},
+		{4, 4, 2},
+		{6, 6, 3},
+		{8, 7, 3},
+	}
+	for _, r := range rows {
+		m := clustersched.BusedGP(r.clusters, r.buses, r.ports)
+		u, err := clustersched.Schedule(g, m.Unified())
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := clustersched.Schedule(g, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			log.Fatalf("schedule failed validation: %v", err)
+		}
+		fmt.Printf("%-26s %10d %12d %8d %10d\n",
+			m.Name, m.TotalWidth(), u.II, c.II, c.Copies)
+	}
+
+	fmt.Println("\nA unified register file at width 16+ needs dozens of ports;")
+	fmt.Println("each cluster above needs only its own 8-10. The initiation")
+	fmt.Println("intervals stay at the unified machine's level because the")
+	fmt.Println("assignment pass hides the copy latency off the critical paths.")
+}

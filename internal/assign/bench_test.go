@@ -1,0 +1,60 @@
+package assign
+
+import (
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+	"clustersched/internal/mii"
+)
+
+// benchAssign measures one full assignment run per iteration over a
+// representative loop mix.
+func benchAssign(b *testing.B, m *machine.Config, v Variant) {
+	b.Helper()
+	loops := loopgen.Suite(loopgen.Options{Seed: 1, Count: 64})
+	iis := make([]int, len(loops))
+	for i, g := range loops {
+		iis[i] = mii.MII(g, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := loops[i%len(loops)]
+		Run(g, m, iis[i%len(loops)], Options{Variant: v})
+	}
+}
+
+func BenchmarkAssign2ClusterHeuristicIterative(b *testing.B) {
+	benchAssign(b, machine.NewBusedGP(2, 2, 1), HeuristicIterative)
+}
+
+func BenchmarkAssign4ClusterHeuristicIterative(b *testing.B) {
+	benchAssign(b, machine.NewBusedGP(4, 4, 2), HeuristicIterative)
+}
+
+func BenchmarkAssign2ClusterSimple(b *testing.B) {
+	benchAssign(b, machine.NewBusedGP(2, 2, 1), Simple)
+}
+
+func BenchmarkAssignGrid(b *testing.B) {
+	benchAssign(b, machine.NewGrid4(2), HeuristicIterative)
+}
+
+// BenchmarkAssignLargeLoop isolates the cost on the suite's biggest
+// graphs (around 160 operations).
+func BenchmarkAssignLargeLoop(b *testing.B) {
+	var g *ddg.Graph
+	for _, cand := range loopgen.Suite(loopgen.Options{Seed: 1, Count: 400}) {
+		if g == nil || cand.NumNodes() > g.NumNodes() {
+			g = cand
+		}
+	}
+	m := machine.NewBusedGP(4, 4, 2)
+	ii := mii.MII(g, m)
+	b.ReportMetric(float64(g.NumNodes()), "nodes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, m, ii, Options{Variant: HeuristicIterative})
+	}
+}

@@ -1,0 +1,94 @@
+// Package assign implements the paper's contribution: the pre-modulo-
+// scheduling cluster assignment pass. Given a loop's data-dependence
+// graph, a clustered machine description, and a candidate initiation
+// interval, it maps every operation to a cluster, inserts the explicit
+// copy operations that move values between clusters, and returns an
+// annotated graph that any traditional modulo scheduler can schedule
+// with no knowledge of clustering (paper Sections 2.2 and 4).
+package assign
+
+// Variant selects which of the four algorithms from the paper's
+// Figures 12/13 comparison runs.
+type Variant int
+
+// The four assignment variants evaluated in the paper.
+const (
+	// Simple: first feasible cluster, no backtracking (Figure 10
+	// without lines 3-8, non-iterative).
+	Simple Variant = iota
+	// SimpleIterative: first feasible cluster, with node removal and
+	// forced placement on failure.
+	SimpleIterative
+	// Heuristic: the full selection chain (SCC affinity, PCR/MRC copy
+	// prediction, copy minimization, free space), no backtracking.
+	Heuristic
+	// HeuristicIterative: the paper's complete algorithm.
+	HeuristicIterative
+)
+
+// String names the variant as in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case Simple:
+		return "Simple"
+	case SimpleIterative:
+		return "Simple Iterative"
+	case Heuristic:
+		return "Heuristic"
+	case HeuristicIterative:
+		return "Heuristic Iterative"
+	default:
+		return "Variant(?)"
+	}
+}
+
+// fullSelection reports whether the variant uses the complete cluster
+// selection heuristic of Figure 10.
+func (v Variant) fullSelection() bool { return v == Heuristic || v == HeuristicIterative }
+
+// iterative reports whether the variant may remove already assigned
+// nodes to make forward progress (Section 4.3).
+func (v Variant) iterative() bool { return v == SimpleIterative || v == HeuristicIterative }
+
+// Options tunes an assignment run.
+type Options struct {
+	// Variant selects the algorithm; the zero value is Simple, so most
+	// callers set it explicitly to HeuristicIterative.
+	Variant Variant
+	// BudgetPerNode bounds backtracking: at most BudgetPerNode * |V|
+	// node removals before the run gives up and the caller must retry
+	// at a larger II. Zero selects the default.
+	BudgetPerNode int
+	// DisableIncomingPrediction turns off the write-port mirror of the
+	// paper's PCR/MRC check (see state.go: pic). The paper's Figure 10
+	// line 6 predicts only source-side copy pressure; the incoming
+	// mirror is this implementation's extension and is on by default
+	// because reproducing the published match rates requires it. This
+	// switch exists for the ablation benchmark.
+	DisableIncomingPrediction bool
+	// EvictOldest flips the victim policy of forced placement
+	// (Section 4.3.1) from "most recently assigned" to "oldest
+	// assignment first". Exists for the ablation benchmark.
+	EvictOldest bool
+	// NaiveOrdering replaces the Section 4.1 node order (critical SCCs
+	// first, swing ordering inside each set) with plain node-ID order,
+	// quantifying how much the ordering itself contributes. Exists for
+	// the ablation benchmark.
+	NaiveOrdering bool
+}
+
+// DefaultBudgetPerNode is the eviction budget multiplier used when
+// Options.BudgetPerNode is zero.
+const DefaultBudgetPerNode = 8
+
+func (o Options) budget(numNodes int) int {
+	per := o.BudgetPerNode
+	if per <= 0 {
+		per = DefaultBudgetPerNode
+	}
+	b := per * numNodes
+	if b < 16 {
+		b = 16
+	}
+	return b
+}

@@ -1,0 +1,350 @@
+package assign
+
+import (
+	"sort"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mrt"
+)
+
+// assigner carries the mutable state of one assignment run at a fixed
+// II. The single source of truth is the cluster[] vector; resource use
+// and copy structure are derived from it, which makes node removal
+// (Section 4.3) trivially consistent: unassign and re-derive.
+type assigner struct {
+	g    *ddg.Graph
+	m    *machine.Config
+	ii   int
+	opts Options
+
+	cluster   []int // per node: assigned cluster or -1
+	assignSeq []int // per node: monotonic stamp of the last assignment
+	seq       int
+	prevMask  []uint64 // per node: clusters previously tried (selection A)
+	sccOf     []int    // per node: non-trivial SCC index or -1
+	budget    int
+}
+
+// violationKind labels which resource class ran out during a derive.
+type violationKind int
+
+const (
+	violNone violationKind = iota
+	violFU
+	violReadPort
+	violWritePort
+	violBus
+	violLink
+)
+
+// violation identifies the first over-subscribed resource found while
+// deriving, with the nodes whose removal could relieve it.
+type violation struct {
+	kind       violationKind
+	cluster    int // for FU and port violations
+	candidates []int
+}
+
+// copyRecord describes one reserved copy operation: producer value p,
+// moved from cluster src to the target clusters (one target and a link
+// index on point-to-point machines).
+type copyRecord struct {
+	producer int
+	src      int
+	targets  []int
+	link     int // -1 on broadcast machines
+}
+
+// derived is the resource view implied by the current cluster vector.
+type derived struct {
+	ok      bool
+	viol    violation
+	cap     *mrt.Capacity
+	rc      []int // per node: copy operations generated for its value
+	copies  int   // total copy operations
+	records []copyRecord
+}
+
+// remoteConsumers returns the distinct target clusters that need node
+// p's value, plus the assigned consumer IDs, given the cluster vector.
+func (a *assigner) remoteConsumers(p int) (clusters []int, consumers []int) {
+	home := a.cluster[p]
+	seen := map[int]bool{}
+	for _, s := range a.g.Successors(p) {
+		c := a.cluster[s]
+		if c < 0 || c == home {
+			continue
+		}
+		consumers = append(consumers, s)
+		if !seen[c] {
+			seen[c] = true
+			clusters = append(clusters, c)
+		}
+	}
+	sort.Ints(clusters)
+	return clusters, consumers
+}
+
+// derive recomputes resource usage and copy structure from scratch.
+// Operations are placed in node-ID order and producers visited in ID
+// order with target clusters ascending, the same deterministic order
+// used when materializing the annotated graph, so the capacity
+// accounting and the final graph always agree.
+func (a *assigner) derive() *derived {
+	d := &derived{
+		cap: mrt.NewCapacity(a.m, a.ii),
+		rc:  make([]int, a.g.NumNodes()),
+	}
+	// Victims for a function-unit violation share the charge class of
+	// the failing operation (on GP clusters every kind shares one pool).
+	type fuKey struct {
+		cl  int
+		cls machine.FUClass
+	}
+	fuOwners := map[fuKey][]int{}
+	for n := 0; n < a.g.NumNodes(); n++ {
+		cl := a.cluster[n]
+		if cl < 0 {
+			continue
+		}
+		k := a.g.Nodes[n].Kind
+		key := fuKey{cl: cl, cls: d.cap.ChargeClass(cl, k)}
+		if !d.cap.PlaceOp(cl, k) {
+			d.viol = violation{kind: violFU, cluster: cl, candidates: fuOwners[key]}
+			return d
+		}
+		fuOwners[key] = append(fuOwners[key], n)
+	}
+
+	for p := 0; p < a.g.NumNodes(); p++ {
+		if a.cluster[p] < 0 {
+			continue
+		}
+		targets, consumers := a.remoteConsumers(p)
+		if len(targets) == 0 {
+			continue
+		}
+		var ok bool
+		if a.m.Network == machine.Broadcast {
+			ok = a.placeBroadcast(d, p, targets, consumers)
+		} else {
+			ok = a.placeChained(d, p, targets, consumers)
+		}
+		if !ok {
+			return d
+		}
+	}
+	d.ok = true
+	return d
+}
+
+// placeBroadcast reserves a single broadcast copy of p's value to all
+// target clusters. On failure it fills in the violation with victim
+// candidates and reports false.
+func (a *assigner) placeBroadcast(d *derived, p int, targets, consumers []int) bool {
+	src := a.cluster[p]
+	if d.cap.PlaceBroadcastCopy(src, targets) {
+		d.rc[p] = 1
+		d.copies++
+		d.records = append(d.records, copyRecord{producer: p, src: src, targets: targets, link: -1})
+		return true
+	}
+	// Attribute the failure to a specific resource for victim selection.
+	switch {
+	case d.cap.FreeReadPortSlots(src) <= 0:
+		d.viol = violation{kind: violReadPort, cluster: src,
+			candidates: a.copyVictims(d, p, consumers, func(r copyRecord) bool { return r.src == src })}
+	case d.cap.FreeBusSlots() <= 0:
+		d.viol = violation{kind: violBus,
+			candidates: a.copyVictims(d, p, consumers, func(r copyRecord) bool { return true })}
+	default:
+		for _, t := range targets {
+			if d.cap.FreeWritePortSlots(t) <= 0 {
+				d.viol = violation{kind: violWritePort, cluster: t,
+					candidates: a.copyVictims(d, p, consumers, func(r copyRecord) bool { return hasTarget(r, t) })}
+				break
+			}
+		}
+	}
+	return false
+}
+
+// placeChained reserves point-to-point copies that make p's value
+// available on every target cluster, forwarding through intermediate
+// clusters along shortest link paths when the target is not adjacent
+// (the grid machine of Section 2.1).
+func (a *assigner) placeChained(d *derived, p int, targets, consumers []int) bool {
+	home := a.cluster[p]
+	avail := map[int]bool{home: true}
+	for _, t := range targets {
+		if avail[t] {
+			continue
+		}
+		path := a.m.Path(home, t)
+		if path == nil {
+			d.viol = violation{kind: violLink, candidates: nil}
+			return false
+		}
+		for i := 0; i+1 < len(path); i++ {
+			u, v := path[i], path[i+1]
+			if avail[v] {
+				continue
+			}
+			li := a.m.LinkBetween(u, v)
+			if !d.cap.PlaceLinkCopy(u, v, li) {
+				d.viol = a.linkViolation(d, p, consumers, u, v, li)
+				return false
+			}
+			avail[v] = true
+			d.rc[p]++
+			d.copies++
+			d.records = append(d.records, copyRecord{producer: p, src: u, targets: []int{v}, link: li})
+		}
+	}
+	return true
+}
+
+// linkViolation attributes a failed point-to-point copy to its scarce
+// resource and gathers victim candidates.
+func (a *assigner) linkViolation(d *derived, p int, consumers []int, u, v, li int) violation {
+	switch {
+	case d.cap.FreeReadPortSlots(u) <= 0:
+		return violation{kind: violReadPort, cluster: u,
+			candidates: a.copyVictims(d, p, consumers, func(r copyRecord) bool { return r.src == u })}
+	case d.cap.FreeWritePortSlots(v) <= 0:
+		return violation{kind: violWritePort, cluster: v,
+			candidates: a.copyVictims(d, p, consumers, func(r copyRecord) bool { return hasTarget(r, v) })}
+	default:
+		return violation{kind: violLink,
+			candidates: a.copyVictims(d, p, consumers, func(r copyRecord) bool { return r.link == li })}
+	}
+}
+
+func hasTarget(r copyRecord, t int) bool {
+	for _, x := range r.targets {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// copyVictims gathers nodes whose removal could relieve a copy-resource
+// violation: the producers of every reserved copy that touches the
+// resource (selected by match), their assigned remote consumers, plus
+// the failing producer p and its consumers.
+func (a *assigner) copyVictims(d *derived, p int, consumers []int, match func(copyRecord) bool) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(n int) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, r := range d.records {
+		if !match(r) {
+			continue
+		}
+		add(r.producer)
+		_, cs := a.remoteConsumers(r.producer)
+		for _, c := range cs {
+			add(c)
+		}
+	}
+	add(p)
+	for _, c := range consumers {
+		add(c)
+	}
+	return out
+}
+
+// pcr computes the paper's Predicted Copy Requests for cluster cl:
+// the sum over operations already assigned there of
+// min(UpperBound(N), UnassignedSuccessors(N)).
+func (a *assigner) pcr(d *derived, cl int) int {
+	total := 0
+	for n := 0; n < a.g.NumNodes(); n++ {
+		if a.cluster[n] != cl {
+			continue
+		}
+		unassigned := 0
+		for _, s := range a.g.Successors(n) {
+			if a.cluster[s] < 0 {
+				unassigned++
+			}
+		}
+		if unassigned == 0 {
+			continue
+		}
+		ub := a.upperBound(d.rc[n])
+		if unassigned < ub {
+			ub = unassigned
+		}
+		total += ub
+	}
+	return total
+}
+
+// pic is the incoming mirror of pcr: predicted copies arriving at
+// cluster cl, one per distinct unassigned predecessor of each node
+// already assigned there (worst case: the predecessor lands on another
+// cluster and its value must be written into cl). The paper's Figure 10
+// line 6 predicts only source-side (read-port) pressure; with single
+// write ports the target side binds just as often, so the full
+// heuristic checks both directions against their reservable room.
+func (a *assigner) pic(cl int) int {
+	producers := map[int]bool{}
+	for n := 0; n < a.g.NumNodes(); n++ {
+		if a.cluster[n] != cl {
+			continue
+		}
+		for _, p := range a.g.Predecessors(n) {
+			if a.cluster[p] < 0 {
+				producers[p] = true
+			}
+		}
+	}
+	return len(producers)
+}
+
+// maxReservableIncoming is the headroom for copies arriving at cluster
+// cl: write-port slot-cycles there, and — like MaxReservableCopies on
+// the source side — the free slot-cycles of the shared fabric each
+// arriving copy also consumes.
+func (a *assigner) maxReservableIncoming(d *derived, cl int) int {
+	free := d.cap.FreeWritePortSlots(cl)
+	var fabric int
+	if a.m.Network == machine.Broadcast {
+		fabric = d.cap.FreeBusSlots()
+	} else {
+		for _, li := range a.m.LinksAt(cl) {
+			fabric += d.cap.FreeLinkSlots(li)
+		}
+	}
+	if fabric < free {
+		free = fabric
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// upperBound is the paper's UpperBound(): the worst-case number of
+// additional copies an operation could still require. On a broadcast
+// machine a value is communicated at most once; otherwise at most once
+// per other cluster.
+func (a *assigner) upperBound(rc int) int {
+	var ub int
+	if a.m.Network == machine.Broadcast {
+		ub = 1 - rc
+	} else {
+		ub = a.m.NumClusters() - rc - 1
+	}
+	if ub < 0 {
+		ub = 0
+	}
+	return ub
+}

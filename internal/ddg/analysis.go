@@ -1,0 +1,136 @@
+package ddg
+
+// LatencyFunc maps an operation kind to its latency in cycles. Latency
+// is a machine property; package machine supplies the Table 2 values.
+type LatencyFunc func(OpKind) int
+
+// EarliestStart computes, for a candidate initiation interval II, the
+// earliest modulo-schedule slot of every node: the longest-path distance
+// from any source using edge weight latency(from) - II*distance, clamped
+// at zero. The result is the ASAP time used by the swing ordering and by
+// schedulers as a lower bound.
+//
+// The relaxation converges only when the graph has no positive cycle at
+// this II (i.e. II >= RecMII); ok reports whether it converged.
+func (g *Graph) EarliestStart(lat LatencyFunc, ii int) (estart []int, ok bool) {
+	n := len(g.Nodes)
+	estart = make([]int, n)
+	// Bellman-Ford over all edges. At most n rounds are needed when no
+	// positive cycle exists; one extra round detects non-convergence.
+	for round := 0; round <= n; round++ {
+		changed := false
+		for _, e := range g.Edges {
+			w := lat(g.Nodes[e.From].Kind) - ii*e.Distance
+			if t := estart[e.From] + w; t > estart[e.To] {
+				estart[e.To] = t
+				changed = true
+			}
+		}
+		if !changed {
+			return estart, true
+		}
+	}
+	return estart, false
+}
+
+// LatestStart computes the latest start times against the schedule-length
+// horizon implied by the earliest starts: LStart(v) = horizon - longest
+// path from v to any sink, mirrored from EarliestStart. ok is false when
+// the relaxation fails to converge (positive cycle at this II).
+func (g *Graph) LatestStart(lat LatencyFunc, ii int) (lstart []int, ok bool) {
+	estart, ok := g.EarliestStart(lat, ii)
+	if !ok {
+		return nil, false
+	}
+	horizon := 0
+	for i, t := range estart {
+		if end := t + lat(g.Nodes[i].Kind); end > horizon {
+			horizon = end
+		}
+	}
+	n := len(g.Nodes)
+	lstart = make([]int, n)
+	for i := range lstart {
+		lstart[i] = horizon - lat(g.Nodes[i].Kind)
+	}
+	for round := 0; round <= n; round++ {
+		changed := false
+		for _, e := range g.Edges {
+			w := lat(g.Nodes[e.From].Kind) - ii*e.Distance
+			if t := lstart[e.To] - w; t < lstart[e.From] {
+				lstart[e.From] = t
+				changed = true
+			}
+		}
+		if !changed {
+			return lstart, true
+		}
+	}
+	return nil, false
+}
+
+// Height returns, per node, the longest-latency path from the node to
+// any sink of the graph ignoring loop-carried edges (distance >= 1).
+// This is the classic list-scheduling priority used by the iterative
+// modulo scheduler.
+func (g *Graph) Height(lat LatencyFunc) []int {
+	n := len(g.Nodes)
+	height := make([]int, n)
+	order := g.reverseTopoAcyclic()
+	for _, v := range order {
+		h := 0
+		for _, ei := range g.succ[v] {
+			e := g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			if t := height[e.To] + lat(g.Nodes[v].Kind); t > h {
+				h = t
+			}
+		}
+		if h == 0 {
+			h = lat(g.Nodes[v].Kind)
+		}
+		height[v] = h
+	}
+	return height
+}
+
+// reverseTopoAcyclic returns the node IDs in reverse topological order
+// of the subgraph of distance-0 edges (acyclic whenever Validate holds).
+func (g *Graph) reverseTopoAcyclic() []int {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	for _, e := range g.Edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	topo := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		topo = append(topo, v)
+		for _, ei := range g.succ[v] {
+			e := g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(topo)-1; i < j; i, j = i+1, j-1 {
+		topo[i], topo[j] = topo[j], topo[i]
+	}
+	return topo
+}

@@ -1,0 +1,303 @@
+// Package ddg implements the data-dependence graph (DDG) that drives
+// cluster assignment and modulo scheduling.
+//
+// A DDG node is one loop operation; a DDG edge (From, To, Distance)
+// states that the value produced by From in iteration i is consumed by
+// To in iteration i+Distance. Distance 0 is an intra-iteration flow
+// dependence; Distance >= 1 is a loop-carried dependence (a recurrence
+// when it closes a cycle).
+package ddg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind classifies an operation. The latency of each kind is a machine
+// property (see package machine); the kind also selects which function
+// unit class may execute the operation on a fully specialized machine.
+type OpKind int
+
+// Operation kinds, following Table 2 of the paper.
+const (
+	OpALU OpKind = iota
+	OpShift
+	OpBranch
+	OpLoad
+	OpStore
+	OpFAdd
+	OpFMul
+	OpFDiv
+	OpFSqrt
+	OpCopy // explicit inter-cluster move, inserted by cluster assignment
+	numOpKinds
+)
+
+// NumOpKinds is the number of distinct operation kinds.
+const NumOpKinds = int(numOpKinds)
+
+var opKindNames = [...]string{
+	OpALU:    "alu",
+	OpShift:  "shift",
+	OpBranch: "branch",
+	OpLoad:   "load",
+	OpStore:  "store",
+	OpFAdd:   "fadd",
+	OpFMul:   "fmul",
+	OpFDiv:   "fdiv",
+	OpFSqrt:  "fsqrt",
+	OpCopy:   "copy",
+}
+
+// String returns the lower-case mnemonic of the kind.
+func (k OpKind) String() string {
+	if k < 0 || int(k) >= len(opKindNames) {
+		return fmt.Sprintf("opkind(%d)", int(k))
+	}
+	return opKindNames[k]
+}
+
+// ParseOpKind converts a mnemonic produced by OpKind.String back into an
+// OpKind. It reports false for unknown mnemonics.
+func ParseOpKind(s string) (OpKind, bool) {
+	for k, name := range opKindNames {
+		if name == s {
+			return OpKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Node is one operation of the loop body.
+type Node struct {
+	ID   int    // dense index into Graph.Nodes
+	Kind OpKind // operation class
+	Name string // optional human-readable label
+}
+
+// Edge is a data dependence between two operations.
+type Edge struct {
+	From     int // producing node ID
+	To       int // consuming node ID
+	Distance int // iteration distance (>= 0)
+}
+
+// Graph is a data-dependence graph. The zero value is an empty graph
+// ready for use; add operations with AddNode and AddEdge.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+
+	succ [][]int // indices into Edges, keyed by From
+	pred [][]int // indices into Edges, keyed by To
+}
+
+// NewGraph returns an empty graph with capacity hints.
+func NewGraph(nodeHint, edgeHint int) *Graph {
+	return &Graph{
+		Nodes: make([]*Node, 0, nodeHint),
+		Edges: make([]Edge, 0, edgeHint),
+		succ:  make([][]int, 0, nodeHint),
+		pred:  make([][]int, 0, nodeHint),
+	}
+}
+
+// AddNode appends an operation of the given kind and returns its ID.
+func (g *Graph) AddNode(kind OpKind, name string) int {
+	id := len(g.Nodes)
+	g.Nodes = append(g.Nodes, &Node{ID: id, Kind: kind, Name: name})
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddEdge records a dependence from -> to with the given iteration
+// distance. It panics on out-of-range IDs or negative distance, which
+// are programming errors, not runtime conditions.
+func (g *Graph) AddEdge(from, to, distance int) {
+	if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
+		panic(fmt.Sprintf("ddg: edge (%d,%d) references missing node (have %d nodes)", from, to, len(g.Nodes)))
+	}
+	if distance < 0 {
+		panic(fmt.Sprintf("ddg: edge (%d,%d) has negative distance %d", from, to, distance))
+	}
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Distance: distance})
+	g.succ[from] = append(g.succ[from], idx)
+	g.pred[to] = append(g.pred[to], idx)
+}
+
+// NumNodes returns the number of operations.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the number of dependences.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// OutEdges returns the dependences produced by node id.
+// The returned slice is owned by the graph; callers must not modify it.
+func (g *Graph) OutEdges(id int) []Edge {
+	out := make([]Edge, len(g.succ[id]))
+	for i, e := range g.succ[id] {
+		out[i] = g.Edges[e]
+	}
+	return out
+}
+
+// InEdges returns the dependences consumed by node id.
+func (g *Graph) InEdges(id int) []Edge {
+	in := make([]Edge, len(g.pred[id]))
+	for i, e := range g.pred[id] {
+		in[i] = g.Edges[e]
+	}
+	return in
+}
+
+// Successors returns the distinct successor node IDs of id, sorted.
+func (g *Graph) Successors(id int) []int {
+	return g.distinctNeighbors(g.succ[id], false)
+}
+
+// Predecessors returns the distinct predecessor node IDs of id, sorted.
+func (g *Graph) Predecessors(id int) []int {
+	return g.distinctNeighbors(g.pred[id], true)
+}
+
+func (g *Graph) distinctNeighbors(edgeIdx []int, usePred bool) []int {
+	seen := make(map[int]bool, len(edgeIdx))
+	out := make([]int, 0, len(edgeIdx))
+	for _, e := range edgeIdx {
+		var n int
+		if usePred {
+			n = g.Edges[e].From
+		} else {
+			n = g.Edges[e].To
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of the graph. Annotated passes (cluster
+// assignment) clone the input so callers keep an unmodified original.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		c.AddNode(n.Kind, n.Name)
+	}
+	for _, e := range g.Edges {
+		c.AddEdge(e.From, e.To, e.Distance)
+	}
+	return c
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// for the first violation found.
+func (g *Graph) Validate() error {
+	for i, n := range g.Nodes {
+		if n == nil {
+			return fmt.Errorf("ddg: node %d is nil", i)
+		}
+		if n.ID != i {
+			return fmt.Errorf("ddg: node %d has mismatched ID %d", i, n.ID)
+		}
+		if n.Kind < 0 || int(n.Kind) >= NumOpKinds {
+			return fmt.Errorf("ddg: node %d has invalid kind %d", i, int(n.Kind))
+		}
+	}
+	for i, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) {
+			return fmt.Errorf("ddg: edge %d has invalid source %d", i, e.From)
+		}
+		if e.To < 0 || e.To >= len(g.Nodes) {
+			return fmt.Errorf("ddg: edge %d has invalid sink %d", i, e.To)
+		}
+		if e.Distance < 0 {
+			return fmt.Errorf("ddg: edge %d has negative distance %d", i, e.Distance)
+		}
+	}
+	// A zero-distance cycle is not schedulable at any II: every op in the
+	// cycle would have to precede itself within one iteration.
+	if cyc := g.zeroDistanceCycle(); cyc != nil {
+		return fmt.Errorf("ddg: zero-distance dependence cycle through nodes %v", cyc)
+	}
+	return nil
+}
+
+// zeroDistanceCycle returns the node IDs of some cycle consisting only
+// of distance-0 edges, or nil if none exists.
+func (g *Graph) zeroDistanceCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Nodes))
+	parent := make([]int, len(g.Nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, ei := range g.succ[u] {
+			e := g.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			v := e.To
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u -> v along distance-0 edges.
+				cycle = []int{v}
+				for w := u; w != v && w != -1; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range g.Nodes {
+		if color[i] == white && dfs(i) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// KindCounts returns how many nodes of each kind the graph contains.
+func (g *Graph) KindCounts() [NumOpKinds]int {
+	var counts [NumOpKinds]int
+	for _, n := range g.Nodes {
+		counts[n.Kind]++
+	}
+	return counts
+}
+
+// String renders a compact multi-line description, useful in tests and
+// the schedview tool.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("ddg: %d nodes, %d edges\n", len(g.Nodes), len(g.Edges))
+	for _, n := range g.Nodes {
+		s += fmt.Sprintf("  n%d %s", n.ID, n.Kind)
+		if n.Name != "" {
+			s += " (" + n.Name + ")"
+		}
+		s += "\n"
+	}
+	for _, e := range g.Edges {
+		s += fmt.Sprintf("  n%d -> n%d dist=%d\n", e.From, e.To, e.Distance)
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package ddg
+
+import "sort"
+
+// SCC is a strongly connected component of the dependence graph.
+// A component is "non-trivial" when it represents a recurrence: it has
+// more than one node, or a single node with a self edge.
+type SCC struct {
+	Nodes []int // member node IDs, sorted ascending
+	Self  bool  // single node with a self-dependence
+}
+
+// NonTrivial reports whether the component forms a recurrence cycle.
+func (s *SCC) NonTrivial() bool { return len(s.Nodes) > 1 || s.Self }
+
+// StronglyConnectedComponents computes all SCCs using Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the goroutine
+// stack). Components are returned in reverse topological order of the
+// condensation, which callers typically re-rank by criticality anyway.
+func (g *Graph) StronglyConnectedComponents() []*SCC {
+	n := len(g.Nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack   []int
+		counter int
+		out     []*SCC
+	)
+
+	type frame struct {
+		v  int
+		ei int // next out-edge index to examine
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		work := []frame{{v: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei < len(g.succ[v]) {
+				e := g.Edges[g.succ[v][f.ei]]
+				f.ei++
+				w := e.To
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				scc := &SCC{Nodes: comp}
+				if len(comp) == 1 {
+					for _, ei := range g.succ[comp[0]] {
+						if g.Edges[ei].To == comp[0] {
+							scc.Self = true
+							break
+						}
+					}
+				}
+				out = append(out, scc)
+			}
+		}
+	}
+	return out
+}
+
+// NonTrivialSCCs filters StronglyConnectedComponents down to the
+// recurrences, which is what cluster assignment cares about.
+func (g *Graph) NonTrivialSCCs() []*SCC {
+	var out []*SCC
+	for _, s := range g.StronglyConnectedComponents() {
+		if s.NonTrivial() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SCCIndex returns, for every node, the position of its component in
+// the comps slice, or -1 when the node belongs to none of them.
+func SCCIndex(numNodes int, comps []*SCC) []int {
+	idx := make([]int, numNodes)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for ci, c := range comps {
+		for _, n := range c.Nodes {
+			idx[n] = ci
+		}
+	}
+	return idx
+}

@@ -1,0 +1,188 @@
+package ddg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// chain returns a linear graph of n ALU nodes.
+func chain(n int) *Graph {
+	g := NewGraph(n, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(OpALU, "")
+		if i > 0 {
+			g.AddEdge(i-1, i, 0)
+		}
+	}
+	return g
+}
+
+func TestSCCChainHasOnlyTrivialComponents(t *testing.T) {
+	g := chain(5)
+	comps := g.StronglyConnectedComponents()
+	if len(comps) != 5 {
+		t.Fatalf("got %d components, want 5", len(comps))
+	}
+	for _, c := range comps {
+		if c.NonTrivial() {
+			t.Errorf("component %v should be trivial", c.Nodes)
+		}
+	}
+	if nt := g.NonTrivialSCCs(); len(nt) != 0 {
+		t.Errorf("NonTrivialSCCs = %v, want none", nt)
+	}
+}
+
+func TestSCCSingleCycle(t *testing.T) {
+	g := chain(4)
+	g.AddEdge(3, 1, 1) // cycle {1,2,3}
+	nt := g.NonTrivialSCCs()
+	if len(nt) != 1 {
+		t.Fatalf("got %d non-trivial SCCs, want 1", len(nt))
+	}
+	if want := []int{1, 2, 3}; !equalInts(nt[0].Nodes, want) {
+		t.Errorf("SCC nodes = %v, want %v", nt[0].Nodes, want)
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := NewGraph(2, 2)
+	a := g.AddNode(OpFAdd, "")
+	g.AddNode(OpALU, "")
+	g.AddEdge(a, a, 1)
+	nt := g.NonTrivialSCCs()
+	if len(nt) != 1 || len(nt[0].Nodes) != 1 || !nt[0].Self {
+		t.Fatalf("self-loop not detected: %+v", nt)
+	}
+}
+
+func TestSCCTwoSeparateCycles(t *testing.T) {
+	g := NewGraph(6, 8)
+	for i := 0; i < 6; i++ {
+		g.AddNode(OpALU, "")
+	}
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 0, 1)
+	g.AddEdge(3, 4, 0)
+	g.AddEdge(4, 5, 0)
+	g.AddEdge(5, 3, 2)
+	g.AddEdge(1, 3, 0) // connection between the cycles, one direction only
+	nt := g.NonTrivialSCCs()
+	if len(nt) != 2 {
+		t.Fatalf("got %d non-trivial SCCs, want 2", len(nt))
+	}
+	sizes := []int{len(nt[0].Nodes), len(nt[1].Nodes)}
+	sort.Ints(sizes)
+	if sizes[0] != 2 || sizes[1] != 3 {
+		t.Errorf("SCC sizes = %v, want [2 3]", sizes)
+	}
+}
+
+func TestSCCIndex(t *testing.T) {
+	g := chain(4)
+	g.AddEdge(3, 2, 1)
+	comps := g.NonTrivialSCCs()
+	idx := SCCIndex(g.NumNodes(), comps)
+	if idx[0] != -1 || idx[1] != -1 {
+		t.Errorf("nodes 0,1 should be outside SCCs: %v", idx)
+	}
+	if idx[2] != 0 || idx[3] != 0 {
+		t.Errorf("nodes 2,3 should be in SCC 0: %v", idx)
+	}
+}
+
+// reachable computes the transitive closure by DFS, the brute-force
+// oracle for the SCC property test.
+func reachable(g *Graph, from int) map[int]bool {
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Successors(v) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// TestSCCMatchesBruteForce is a property test: for random graphs,
+// Tarjan's components must equal the equivalence classes of mutual
+// reachability.
+func TestSCCMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := NewGraph(n, n*2)
+		for i := 0; i < n; i++ {
+			g.AddNode(OpALU, "")
+		}
+		for e := 0; e < n+rng.Intn(n*2); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Intn(2))
+		}
+
+		comps := g.StronglyConnectedComponents()
+		// Every node appears exactly once.
+		seen := make([]int, n)
+		for _, c := range comps {
+			for _, v := range c.Nodes {
+				seen[v]++
+			}
+		}
+		for v, cnt := range seen {
+			if cnt != 1 {
+				t.Logf("node %d appears %d times", v, cnt)
+				return false
+			}
+		}
+		// Same component iff mutually reachable.
+		idx := SCCIndex(n, comps)
+		reach := make([]map[int]bool, n)
+		for v := 0; v < n; v++ {
+			reach[v] = reachable(g, v)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				mutual := reach[a][b] && reach[b][a]
+				same := idx[a] == idx[b]
+				if mutual != same {
+					t.Logf("nodes %d,%d: mutual=%v same=%v", a, b, mutual, same)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSCCDeepGraph guards the iterative implementation against stack
+// exhaustion on pathological depth.
+func TestSCCDeepGraph(t *testing.T) {
+	const n = 200000
+	g := chain(n)
+	g.AddEdge(n-1, 0, 1)
+	nt := g.NonTrivialSCCs()
+	if len(nt) != 1 || len(nt[0].Nodes) != n {
+		t.Fatalf("deep cycle not found as one SCC")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

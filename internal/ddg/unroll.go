@@ -1,0 +1,34 @@
+package ddg
+
+import "fmt"
+
+// Unroll returns the dependence graph of `factor` consecutive original
+// iterations fused into one new loop body. Copy i of original node v
+// gets ID i*N + v. An edge (u -> v, distance d) becomes, from each
+// copy i, an edge to copy (i+d) mod factor with the new iteration
+// distance (i+d) / factor — the standard unrolling transformation that
+// acyclic-scheduling approaches (BUG, Desoli) apply before cluster
+// partitioning, and that modulo variable expansion applies to kernels.
+func (g *Graph) Unroll(factor int) *Graph {
+	if factor < 1 {
+		panic(fmt.Sprintf("ddg: unroll factor %d < 1", factor))
+	}
+	n := g.NumNodes()
+	out := NewGraph(n*factor, g.NumEdges()*factor)
+	for i := 0; i < factor; i++ {
+		for _, node := range g.Nodes {
+			name := node.Name
+			if name != "" && factor > 1 {
+				name = fmt.Sprintf("%s.%d", name, i)
+			}
+			out.AddNode(node.Kind, name)
+		}
+	}
+	for i := 0; i < factor; i++ {
+		for _, e := range g.Edges {
+			tgt := i + e.Distance
+			out.AddEdge(i*n+e.From, (tgt%factor)*n+e.To, tgt/factor)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package ddg
+
+import (
+	"testing"
+)
+
+func TestUnrollFactorOneIsIdentity(t *testing.T) {
+	g := NewGraph(3, 3)
+	a := g.AddNode(OpALU, "a")
+	b := g.AddNode(OpALU, "b")
+	g.AddNode(OpStore, "")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 1)
+	u := g.Unroll(1)
+	if u.String() != g.String() {
+		t.Errorf("Unroll(1) changed the graph:\n%s\nvs\n%s", u.String(), g.String())
+	}
+}
+
+func TestUnrollCounts(t *testing.T) {
+	g := NewGraph(4, 4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(OpALU, "")
+		if i > 0 {
+			g.AddEdge(i-1, i, 0)
+		}
+	}
+	g.AddEdge(3, 0, 1)
+	u := g.Unroll(3)
+	if u.NumNodes() != 12 || u.NumEdges() != 12 {
+		t.Fatalf("unrolled size %d/%d, want 12/12", u.NumNodes(), u.NumEdges())
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("unrolled graph invalid: %v", err)
+	}
+}
+
+func TestUnrollRedirectsLoopCarriedEdges(t *testing.T) {
+	// Self recurrence a -> a distance 1, unrolled by 3: copy 0 feeds
+	// copy 1 (distance 0), copy 1 feeds copy 2 (distance 0), copy 2
+	// feeds copy 0 of the NEXT unrolled iteration (distance 1).
+	g := NewGraph(1, 1)
+	a := g.AddNode(OpFAdd, "s")
+	g.AddEdge(a, a, 1)
+	u := g.Unroll(3)
+	type want struct{ from, to, dist int }
+	wants := []want{{0, 1, 0}, {1, 2, 0}, {2, 0, 1}}
+	for _, w := range wants {
+		found := false
+		for _, e := range u.Edges {
+			if e.From == w.from && e.To == w.to && e.Distance == w.dist {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing edge %d->%d dist %d in %v", w.from, w.to, w.dist, u.Edges)
+		}
+	}
+}
+
+func TestUnrollDistanceTwo(t *testing.T) {
+	// Distance-2 self edge unrolled by 2: copy i feeds copy i one full
+	// new iteration later (the two interleaved chains stay separate).
+	g := NewGraph(1, 1)
+	a := g.AddNode(OpALU, "")
+	g.AddEdge(a, a, 2)
+	u := g.Unroll(2)
+	for _, e := range u.Edges {
+		if e.From != e.To || e.Distance != 1 {
+			t.Errorf("unexpected edge %+v, want self edges at distance 1", e)
+		}
+	}
+	if len(u.Edges) != 2 {
+		t.Errorf("got %d edges, want 2", len(u.Edges))
+	}
+}
+
+func TestUnrollPreservesRecurrenceLatencyPerIteration(t *testing.T) {
+	// The unrolled recurrence executes `factor` original iterations, so
+	// its cycle latency scales by the factor while the distance stays
+	// one new iteration: ceil comparisons must scale accordingly.
+	g := NewGraph(2, 2)
+	a := g.AddNode(OpALU, "")
+	b := g.AddNode(OpLoad, "") // latency 2 in the default model
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 1)
+	u := g.Unroll(4)
+	comps := u.NonTrivialSCCs()
+	if len(comps) != 1 || len(comps[0].Nodes) != 8 {
+		t.Fatalf("unrolled recurrence should be one SCC of 8 nodes, got %+v", comps)
+	}
+}
+
+func TestUnrollPanicsOnBadFactor(t *testing.T) {
+	g := NewGraph(1, 0)
+	g.AddNode(OpALU, "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Unroll(0)
+}

@@ -1,0 +1,43 @@
+package ddgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the loop parser: no panics, and
+// anything accepted must round-trip through Write and Read unchanged.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		sampleText,
+		"loop x\nnode 0 alu\nend\n",
+		"loop y\nnode 0 load a\nnode 1 store\nedge 0 1 0\nend\n",
+		"loop z\nnode 0 fadd\nedge 0 0 1\nend\n",
+		"garbage\n",
+		"loop q\nnode 0 bogus\nend\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		loops, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, l := range loops {
+			var buf bytes.Buffer
+			if err := Write(&buf, l.Name, l.Graph); err != nil {
+				t.Fatalf("Write failed on accepted loop: %v", err)
+			}
+			back, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+			}
+			if len(back) != 1 || back[0].Graph.String() != l.Graph.String() {
+				t.Fatalf("round trip changed loop %q", l.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package emit renders finished modulo schedules as textual VLIW code:
+// the steady-state kernel (II instruction rows, each naming the
+// operations every cluster issues, with stage annotations), and the
+// software-pipeline prologue and epilogue that ramp the overlapped
+// iterations in and out.
+package emit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/sched"
+)
+
+// opLabel names a node for code output.
+func opLabel(g *ddg.Graph, n int) string {
+	node := g.Nodes[n]
+	if node.Name != "" {
+		return fmt.Sprintf("%s:%s", node.Kind, node.Name)
+	}
+	return fmt.Sprintf("%s:n%d", node.Kind, n)
+}
+
+func clusterOf(in sched.Input, n int) int {
+	if in.ClusterOf == nil {
+		return 0
+	}
+	return in.ClusterOf[n]
+}
+
+// Kernel renders the steady-state kernel: one row per modulo slot,
+// one column per cluster, each operation tagged with its stage (the
+// iteration offset it executes for).
+func Kernel(in sched.Input, s *sched.Schedule) string {
+	g := in.Graph
+	rows := make([][][]string, s.II) // [slot][cluster][]labels
+	for i := range rows {
+		rows[i] = make([][]string, in.Machine.NumClusters())
+	}
+	order := make([]int, g.NumNodes())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.CycleOf[order[a]] < s.CycleOf[order[b]] })
+	for _, n := range order {
+		slot := ((s.CycleOf[n] % s.II) + s.II) % s.II
+		stage := s.CycleOf[n] / s.II
+		cl := clusterOf(in, n)
+		label := fmt.Sprintf("%s[s%d]", opLabel(g, n), stage)
+		if g.Nodes[n].Kind == ddg.OpCopy && in.CopyTargets != nil {
+			label += fmt.Sprintf("->%v", in.CopyTargets[n])
+		}
+		rows[slot][cl] = append(rows[slot][cl], label)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel: II=%d, stages=%d\n", s.II, s.StageCount())
+	for slot := 0; slot < s.II; slot++ {
+		fmt.Fprintf(&b, "  %2d:", slot)
+		for cl, ops := range rows[slot] {
+			if len(ops) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  c%d{%s}", cl, strings.Join(ops, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pipelined renders prologue, kernel, and epilogue. The prologue rows
+// are the absolute cycles before the kernel reaches steady state; the
+// epilogue drains the final iterations. Rows are labelled with the
+// iteration each operation belongs to.
+func Pipelined(in sched.Input, s *sched.Schedule) string {
+	g := in.Graph
+	stages := s.StageCount()
+	var b strings.Builder
+
+	rowOf := func(iter, absCycle int) []string {
+		var ops []string
+		for n := 0; n < g.NumNodes(); n++ {
+			if s.CycleOf[n]+iter*s.II == absCycle {
+				ops = append(ops, fmt.Sprintf("c%d:%s(i%d)", clusterOf(in, n), opLabel(g, n), iter))
+			}
+		}
+		return ops
+	}
+
+	fmt.Fprintf(&b, "software pipeline: II=%d, stages=%d\n", s.II, stages)
+	b.WriteString("prologue:\n")
+	for t := 0; t < (stages-1)*s.II; t++ {
+		var ops []string
+		for iter := 0; iter*s.II <= t; iter++ {
+			ops = append(ops, rowOf(iter, t)...)
+		}
+		fmt.Fprintf(&b, "  %3d: %s\n", t, strings.Join(ops, " "))
+	}
+	b.WriteString(Kernel(in, s))
+	b.WriteString("epilogue:\n")
+	// The last stages-1 iterations finish after the kernel exits. Let
+	// iteration 0 be the first of the final in-flight group; iteration
+	// k (1..stages-1) entered the kernel k*II cycles later.
+	base := (stages - 1) * s.II
+	for t := base; t < base+(stages-1)*s.II; t++ {
+		var ops []string
+		for iter := 1; iter < stages; iter++ {
+			for n := 0; n < g.NumNodes(); n++ {
+				if s.CycleOf[n]+iter*s.II == t+s.II {
+					ops = append(ops, fmt.Sprintf("c%d:%s(i+%d)", clusterOf(in, n), opLabel(g, n), iter))
+				}
+			}
+		}
+		fmt.Fprintf(&b, "  %3d: %s\n", t-base, strings.Join(ops, " "))
+	}
+	return b.String()
+}
+
+// Gantt renders an occupancy timeline of the kernel: one row per
+// cluster, one column per modulo slot, each cell showing how many of
+// the cluster's function units issue in that slot (and '+' when copies
+// move values that cycle), with per-cluster utilization percentages —
+// a quick visual answer to "how full did the machine get".
+func Gantt(in sched.Input, s *sched.Schedule) string {
+	g := in.Graph
+	numClusters := in.Machine.NumClusters()
+	ops := make([][]int, numClusters)    // [cluster][slot] issue count
+	copies := make([][]int, numClusters) // [cluster][slot] copies sourced
+	for i := range ops {
+		ops[i] = make([]int, s.II)
+		copies[i] = make([]int, s.II)
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		slot := ((s.CycleOf[n] % s.II) + s.II) % s.II
+		cl := clusterOf(in, n)
+		if g.Nodes[n].Kind == ddg.OpCopy {
+			copies[cl][slot]++
+		} else {
+			ops[cl][slot]++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel occupancy (II=%d):\n", s.II)
+	for cl := 0; cl < numClusters; cl++ {
+		width := in.Machine.Clusters[cl].Width()
+		used := 0
+		fmt.Fprintf(&b, "  c%-2d |", cl)
+		for slot := 0; slot < s.II; slot++ {
+			used += ops[cl][slot]
+			cell := ' '
+			switch {
+			case ops[cl][slot] == 0:
+				cell = '.'
+			case ops[cl][slot] >= width:
+				cell = '#'
+			default:
+				cell = rune('0' + ops[cl][slot])
+			}
+			b.WriteRune(cell)
+			if copies[cl][slot] > 0 {
+				b.WriteRune('+')
+			} else {
+				b.WriteRune(' ')
+			}
+		}
+		util := 0.0
+		if width > 0 && s.II > 0 {
+			util = 100 * float64(used) / float64(width*s.II)
+		}
+		fmt.Fprintf(&b, "| %3.0f%% of %d units\n", util, width)
+	}
+	b.WriteString("  (digit = ops issued that slot, # = full row, + = copy sourced)\n")
+	return b.String()
+}

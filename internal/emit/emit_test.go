@@ -1,0 +1,181 @@
+package emit
+
+import (
+	"strings"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/sched"
+)
+
+// fixture builds a small clustered schedule with at least one copy.
+func fixture(t *testing.T) (sched.Input, *sched.Schedule) {
+	t.Helper()
+	g := ddg.NewGraph(4, 3)
+	a := g.AddNode(ddg.OpLoad, "a")
+	b := g.AddNode(ddg.OpFMul, "b")
+	c := g.AddNode(ddg.OpFAdd, "c")
+	d := g.AddNode(ddg.OpStore, "d")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	g.AddEdge(c, d, 0)
+
+	// Two single-unit clusters force a split and a copy at II=2.
+	m := &machine.Config{
+		Name:    "2x2",
+		Network: machine.Broadcast,
+		Buses:   2,
+		Clusters: []machine.Cluster{
+			machine.GPCluster(2, 1, 1),
+			machine.GPCluster(2, 1, 1),
+		},
+		Latencies: machine.DefaultLatencies(),
+	}
+	for ii := 1; ii <= 8; ii++ {
+		res, ok := assign.Run(g, m, ii, assign.Options{Variant: assign.HeuristicIterative})
+		if !ok {
+			continue
+		}
+		in := sched.Input{
+			Graph:       res.Graph,
+			Machine:     m,
+			ClusterOf:   res.ClusterOf,
+			CopyTargets: res.CopyTargets,
+			II:          ii,
+		}
+		if s, ok := sched.IMS(in, 0); ok {
+			return in, s
+		}
+	}
+	t.Fatal("fixture unschedulable")
+	return sched.Input{}, nil
+}
+
+func TestKernelMentionsEveryOperation(t *testing.T) {
+	in, s := fixture(t)
+	out := Kernel(in, s)
+	for _, name := range []string{"load:a", "fmul:b", "fadd:c", "store:d"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("kernel missing %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "kernel: II=") {
+		t.Errorf("kernel missing header:\n%s", out)
+	}
+}
+
+func TestKernelHasIIRows(t *testing.T) {
+	in, s := fixture(t)
+	out := Kernel(in, s)
+	rows := strings.Count(out, "\n") - 1 // minus header
+	if rows != s.II {
+		t.Errorf("kernel has %d rows, want II=%d:\n%s", rows, s.II, out)
+	}
+}
+
+func TestKernelShowsStages(t *testing.T) {
+	in, s := fixture(t)
+	out := Kernel(in, s)
+	if !strings.Contains(out, "[s0]") {
+		t.Errorf("kernel missing stage tags:\n%s", out)
+	}
+}
+
+func TestPipelinedStructure(t *testing.T) {
+	in, s := fixture(t)
+	out := Pipelined(in, s)
+	for _, section := range []string{"prologue:", "kernel:", "epilogue:"} {
+		if !strings.Contains(out, section) {
+			t.Errorf("pipelined output missing %s:\n%s", section, out)
+		}
+	}
+	// Prologue + epilogue each span (stages-1)*II rows.
+	wantRows := (s.StageCount() - 1) * s.II
+	pro := strings.SplitN(out, "kernel:", 2)[0]
+	proRows := strings.Count(pro, "\n") - 2 // header lines
+	if proRows != wantRows {
+		t.Errorf("prologue rows = %d, want %d:\n%s", proRows, wantRows, pro)
+	}
+}
+
+func TestPipelinedMentionsIterations(t *testing.T) {
+	in, s := fixture(t)
+	out := Pipelined(in, s)
+	if s.StageCount() > 1 && !strings.Contains(out, "(i0)") {
+		t.Errorf("prologue missing iteration tags:\n%s", out)
+	}
+}
+
+func TestKernelUnifiedMachineSingleColumn(t *testing.T) {
+	g := ddg.NewGraph(2, 1)
+	a := g.AddNode(ddg.OpALU, "x")
+	b := g.AddNode(ddg.OpALU, "y")
+	g.AddEdge(a, b, 0)
+	m := machine.NewUnifiedGP(4)
+	in := sched.Input{Graph: g, Machine: m, II: 1}
+	s, ok := sched.IMS(in, 0)
+	if !ok {
+		t.Fatal("unschedulable")
+	}
+	out := Kernel(in, s)
+	if strings.Contains(out, "c1{") {
+		t.Errorf("unified machine shows a second cluster:\n%s", out)
+	}
+}
+
+func TestCopyLabelsShowTargets(t *testing.T) {
+	in, s := fixture(t)
+	hasCopy := false
+	for n := 0; n < in.Graph.NumNodes(); n++ {
+		if in.Graph.Nodes[n].Kind == ddg.OpCopy {
+			hasCopy = true
+		}
+	}
+	if !hasCopy {
+		t.Skip("fixture produced no copies this time")
+	}
+	out := Kernel(in, s)
+	if !strings.Contains(out, "copy:") || !strings.Contains(out, "->[") {
+		t.Errorf("copy targets not rendered:\n%s", out)
+	}
+}
+
+func TestGanttShowsUtilization(t *testing.T) {
+	in, s := fixture(t)
+	out := Gantt(in, s)
+	for _, want := range []string{"kernel occupancy", "c0", "c1", "% of", "(digit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Row length: every cluster line spans the II slots.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestGanttFullRowMarker(t *testing.T) {
+	// A single-unit cluster issuing every slot shows '#'.
+	g := ddg.NewGraph(2, 1)
+	a := g.AddNode(ddg.OpALU, "")
+	b := g.AddNode(ddg.OpALU, "")
+	g.AddEdge(a, b, 0)
+	m := &machine.Config{
+		Name:      "1x1",
+		Network:   machine.Broadcast,
+		Clusters:  []machine.Cluster{machine.GPCluster(1, 0, 0)},
+		Latencies: machine.DefaultLatencies(),
+	}
+	in := sched.Input{Graph: g, Machine: m, II: 2}
+	s, ok := sched.IMS(in, 0)
+	if !ok {
+		t.Fatal("unschedulable")
+	}
+	out := Gantt(in, s)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "100%") {
+		t.Errorf("full utilization not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,170 @@
+// Package exact computes provably optimal clustered initiation
+// intervals for small loops by exhaustive search: every cluster
+// assignment, every modulo-slot placement (pruned through the
+// cycle-exact reservation table), with timing feasibility decided as a
+// difference-constraint system. It exists to measure the heuristic
+// pipeline's optimality gap — exponential in loop size, it is only
+// meant for loops of roughly a dozen operations on small machines.
+package exact
+
+import (
+	"fmt"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mrt"
+)
+
+// MaxNodes bounds the input size; beyond it the search space is
+// hopeless and Optimal returns an error rather than spinning.
+const MaxNodes = 12
+
+// Optimal returns the smallest II at which some cluster assignment and
+// modulo schedule exists for g on broadcast machine m, searching II
+// from 1 to maxII. It returns maxII+1 when no II in range works.
+func Optimal(g *ddg.Graph, m *machine.Config, maxII int) (int, error) {
+	if g.NumNodes() > MaxNodes {
+		return 0, fmt.Errorf("exact: %d nodes exceed the %d-node search bound", g.NumNodes(), MaxNodes)
+	}
+	if m.Network != machine.Broadcast {
+		return 0, fmt.Errorf("exact: only broadcast machines are supported")
+	}
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	n := g.NumNodes()
+	k := m.NumClusters()
+	for ii := 1; ii <= maxII; ii++ {
+		clusterOf := make([]int, n)
+		var enum func(v int) bool
+		enum = func(v int) bool {
+			if v == n {
+				ann, full, targets := annotate(g, clusterOf)
+				return schedulableAt(ann, m, full, targets, ii)
+			}
+			for c := 0; c < k; c++ {
+				clusterOf[v] = c
+				if enum(v + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		if enum(0) {
+			return ii, nil
+		}
+	}
+	return maxII + 1, nil
+}
+
+// annotate builds the annotated graph for one cluster vector on a
+// broadcast machine: one copy per producer with remote consumers (a
+// value is broadcast at most once), consumer edges rerouted — the same
+// model the assignment pass materializes.
+func annotate(g *ddg.Graph, clusterOf []int) (*ddg.Graph, []int, [][]int) {
+	n := g.NumNodes()
+	out := g.Clone()
+	fullCluster := append([]int(nil), clusterOf...)
+	targetsOf := make([][]int, n)
+	copyOf := make([]int, n)
+	for i := range copyOf {
+		copyOf[i] = -1
+	}
+	for p := 0; p < n; p++ {
+		seen := map[int]bool{}
+		for _, s := range g.Successors(p) {
+			if clusterOf[s] != clusterOf[p] && !seen[clusterOf[s]] {
+				seen[clusterOf[s]] = true
+				targetsOf[p] = append(targetsOf[p], clusterOf[s])
+			}
+		}
+		if len(targetsOf[p]) > 0 {
+			kn := out.AddNode(ddg.OpCopy, "")
+			copyOf[p] = kn
+			fullCluster = append(fullCluster, clusterOf[p])
+			out.AddEdge(p, kn, 0)
+		}
+	}
+	copyTargets := make([][]int, out.NumNodes())
+	for p, kn := range copyOf {
+		if kn >= 0 {
+			copyTargets[kn] = targetsOf[p]
+		}
+	}
+	rerouted := ddg.NewGraph(out.NumNodes(), out.NumEdges())
+	for _, node := range out.Nodes {
+		rerouted.AddNode(node.Kind, node.Name)
+	}
+	for _, e := range out.Edges {
+		if e.From < n && fullCluster[e.From] != fullCluster[e.To] && out.Nodes[e.To].Kind != ddg.OpCopy {
+			rerouted.AddEdge(copyOf[e.From], e.To, e.Distance)
+			continue
+		}
+		rerouted.AddEdge(e.From, e.To, e.Distance)
+	}
+	return rerouted, fullCluster, copyTargets
+}
+
+// schedulableAt exhaustively searches modulo-slot placements with
+// resource pruning; a complete slot vector is feasible when the
+// residual difference-constraint system has a solution.
+func schedulableAt(g *ddg.Graph, m *machine.Config, clusterOf []int, copyTargets [][]int, ii int) bool {
+	n := g.NumNodes()
+	table := mrt.NewCycle(m, ii)
+	slots := make([]int, n)
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		if v == n {
+			return slotsFeasible(g, m, ii, slots)
+		}
+		for s := 0; s < ii; s++ {
+			var placed bool
+			if g.Nodes[v].Kind == ddg.OpCopy {
+				placed = table.PlaceCopy(v, clusterOf[v], copyTargets[v], s)
+			} else {
+				placed = table.PlaceOp(v, clusterOf[v], g.Nodes[v].Kind, s)
+			}
+			if !placed {
+				continue
+			}
+			slots[v] = s
+			if dfs(v + 1) {
+				return true
+			}
+			table.Unplace(v)
+		}
+		return false
+	}
+	return dfs(0)
+}
+
+// slotsFeasible substitutes x_v = slot_v + ii*y_v: every dependence
+// becomes a pure difference constraint on y, solvable iff Bellman-Ford
+// converges (no positive cycle).
+func slotsFeasible(g *ddg.Graph, m *machine.Config, ii int, slots []int) bool {
+	n := g.NumNodes()
+	y := make([]int, n)
+	for round := 0; round <= n; round++ {
+		changed := false
+		for _, e := range g.Edges {
+			c := m.Latency(g.Nodes[e.From].Kind) - ii*e.Distance - slots[e.To] + slots[e.From]
+			need := y[e.From] + ceilDiv(c, ii)
+			if need > y[e.To] {
+				y[e.To] = need
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,158 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mii"
+	"clustersched/internal/pipeline"
+)
+
+func tiny2x1() *machine.Config {
+	return &machine.Config{
+		Name:    "tiny-2x1",
+		Network: machine.Broadcast,
+		Buses:   1,
+		Clusters: []machine.Cluster{
+			machine.GPCluster(1, 1, 1),
+			machine.GPCluster(1, 1, 1),
+		},
+		Latencies: machine.DefaultLatencies(),
+	}
+}
+
+func TestOptimalMatchesMIIWhenUnconstrained(t *testing.T) {
+	// Two independent ops on two clusters: II = 1.
+	g := ddg.NewGraph(2, 0)
+	g.AddNode(ddg.OpALU, "")
+	g.AddNode(ddg.OpALU, "")
+	got, err := Optimal(g, tiny2x1(), 8)
+	if err != nil || got != 1 {
+		t.Fatalf("Optimal = %d, %v; want 1", got, err)
+	}
+}
+
+func TestOptimalSeesCopyCost(t *testing.T) {
+	// Three chained ops on two 1-wide clusters: capacity forces a split
+	// at II=2 and one copy; the copy fits, so the optimum is 2.
+	g := ddg.NewGraph(3, 2)
+	for i := 0; i < 3; i++ {
+		g.AddNode(ddg.OpALU, "")
+		if i > 0 {
+			g.AddEdge(i-1, i, 0)
+		}
+	}
+	got, err := Optimal(g, tiny2x1(), 8)
+	if err != nil || got != 2 {
+		t.Fatalf("Optimal = %d, %v; want 2", got, err)
+	}
+}
+
+func TestOptimalRecurrenceBound(t *testing.T) {
+	// A 4-latency recurrence: nothing can beat RecMII = 4.
+	g := ddg.NewGraph(2, 2)
+	a := g.AddNode(ddg.OpFMul, "")
+	b := g.AddNode(ddg.OpFAdd, "")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 1)
+	got, err := Optimal(g, tiny2x1(), 8)
+	if err != nil || got != 4 {
+		t.Fatalf("Optimal = %d, %v; want 4", got, err)
+	}
+}
+
+func TestOptimalRejectsBigLoops(t *testing.T) {
+	g := ddg.NewGraph(MaxNodes+1, 0)
+	for i := 0; i <= MaxNodes; i++ {
+		g.AddNode(ddg.OpALU, "")
+	}
+	if _, err := Optimal(g, tiny2x1(), 4); err == nil {
+		t.Error("oversized loop accepted")
+	}
+}
+
+func TestOptimalRejectsPointToPoint(t *testing.T) {
+	g := ddg.NewGraph(1, 0)
+	g.AddNode(ddg.OpALU, "")
+	if _, err := Optimal(g, machine.NewGrid4(1), 4); err == nil {
+		t.Error("point-to-point machine accepted")
+	}
+}
+
+// TestOptimalNeverBelowMII: the exact optimum respects the analytic
+// lower bound on random tiny loops.
+func TestOptimalNeverBelowMII(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := tiny2x1()
+	for trial := 0; trial < 40; trial++ {
+		g := tinyLoop(rng)
+		bound := mii.MII(g, m)
+		got, err := Optimal(g, m, bound+6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < bound && got <= bound+6 {
+			t.Fatalf("exact II %d below MII %d:\n%s", got, bound, g)
+		}
+	}
+}
+
+// TestHeuristicGap quantifies the pipeline's optimality gap on random
+// tiny loops: never below the optimum (soundness), within one cycle
+// almost always.
+func TestHeuristicGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	m := tiny2x1()
+	within, total := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		g := tinyLoop(rng)
+		opt, err := Optimal(g, m, 14)
+		if err != nil || opt > 14 {
+			continue
+		}
+		out, err := pipeline.Run(g, m, pipeline.Options{
+			Assign: assign.Options{Variant: assign.HeuristicIterative},
+		})
+		if err != nil {
+			t.Errorf("trial %d: pipeline failed though optimum %d exists", trial, opt)
+			continue
+		}
+		total++
+		if out.II < opt {
+			t.Errorf("trial %d: heuristic II %d below exact optimum %d", trial, out.II, opt)
+		}
+		if out.II <= opt+1 {
+			within++
+		}
+	}
+	if total < 40 {
+		t.Fatalf("only %d usable trials", total)
+	}
+	if pct := 100 * float64(within) / float64(total); pct < 90 {
+		t.Errorf("only %.0f%% within one cycle of optimal", pct)
+	}
+}
+
+func tinyLoop(rng *rand.Rand) *ddg.Graph {
+	n := 2 + rng.Intn(4)
+	g := ddg.NewGraph(n, n*2)
+	kinds := []ddg.OpKind{ddg.OpALU, ddg.OpLoad, ddg.OpFAdd, ddg.OpStore}
+	for i := 0; i < n; i++ {
+		g.AddNode(kinds[rng.Intn(len(kinds))], "")
+	}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.8 {
+			g.AddEdge(rng.Intn(i), i, 0)
+		}
+	}
+	if rng.Float64() < 0.4 && n >= 2 {
+		a := rng.Intn(n - 1)
+		b := a + 1 + rng.Intn(n-a-1)
+		g.AddEdge(a, b, 0)
+		g.AddEdge(b, a, 1)
+	}
+	return g
+}

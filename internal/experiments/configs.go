@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/machine"
+)
+
+// Variant sets compared in Figures 12 and 13.
+var heuristicVariants = []assign.Variant{
+	assign.Simple,
+	assign.SimpleIterative,
+	assign.Heuristic,
+	assign.HeuristicIterative,
+}
+
+// Fig12 compares the four assignment variants on the two-cluster bused
+// GP machine (2 buses, 1 port). Paper numbers are read off Figure 12:
+// the full iterative heuristic nearly matches the unified machine;
+// dropping iteration costs 2-11% and dropping the selection heuristic
+// 1-9%.
+func Fig12() Config {
+	paper := map[assign.Variant]float64{
+		assign.Simple:             88,
+		assign.SimpleIterative:    94,
+		assign.Heuristic:          97,
+		assign.HeuristicIterative: 99,
+	}
+	cfg := Config{ID: "fig12", Title: "Heuristic comparison, 2 clusters x 4 GP, 2 buses, 1 port"}
+	for _, v := range heuristicVariants {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      v.String(),
+			Machine:    machine.NewBusedGP(2, 2, 1),
+			Variant:    v,
+			PaperMatch: paper[v],
+		})
+	}
+	return cfg
+}
+
+// Fig13 compares the four variants on the four-cluster bused GP
+// machine (4 buses, 2 ports).
+func Fig13() Config {
+	paper := map[assign.Variant]float64{
+		assign.Simple:             84,
+		assign.SimpleIterative:    90,
+		assign.Heuristic:          94,
+		assign.HeuristicIterative: 97.5,
+	}
+	cfg := Config{ID: "fig13", Title: "Heuristic comparison, 4 clusters x 4 GP, 4 buses, 2 ports"}
+	for _, v := range heuristicVariants {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      v.String(),
+			Machine:    machine.NewBusedGP(4, 4, 2),
+			Variant:    v,
+			PaperMatch: paper[v],
+		})
+	}
+	return cfg
+}
+
+// Fig14 varies the bus count on the two-cluster GP machine. The paper:
+// one bus impacts 4% of the loops; four buses add nothing over two.
+func Fig14() Config {
+	paper := map[int]float64{1: 95.7, 2: 99.7, 4: 99.7}
+	cfg := Config{ID: "fig14", Title: "Bus sweep, 2 clusters x 4 GP, 1 port"}
+	for _, b := range []int{1, 2, 4} {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d bus(es)", b),
+			Machine:    machine.NewBusedGP(2, b, 1),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: paper[b],
+		})
+	}
+	return cfg
+}
+
+// Fig15 varies the port count on the two-cluster GP machine. The
+// paper: a second port improves only 0.1% of the loops.
+func Fig15() Config {
+	paper := map[int]float64{1: 99.7, 2: 99.8}
+	cfg := Config{ID: "fig15", Title: "Port sweep, 2 clusters x 4 GP, 2 buses"}
+	for _, p := range []int{1, 2} {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d port(s)", p),
+			Machine:    machine.NewBusedGP(2, 2, p),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: paper[p],
+		})
+	}
+	return cfg
+}
+
+// Fig16 varies the bus count on the four-cluster GP machine. The
+// paper: two buses hurt over 10% of the loops; eight add ~3% over four.
+func Fig16() Config {
+	paper := map[int]float64{2: 87, 4: 97.5, 8: 99.5}
+	cfg := Config{ID: "fig16", Title: "Bus sweep, 4 clusters x 4 GP, 2 ports"}
+	for _, b := range []int{2, 4, 8} {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d buses", b),
+			Machine:    machine.NewBusedGP(4, b, 2),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: paper[b],
+		})
+	}
+	return cfg
+}
+
+// Fig17 varies the port count on the four-cluster GP machine. The
+// paper: one port degrades 12% of the loops; four ports are of
+// marginal value over two.
+func Fig17() Config {
+	paper := map[int]float64{1: 85.5, 2: 97.5, 4: 98}
+	cfg := Config{ID: "fig17", Title: "Port sweep, 4 clusters x 4 GP, 4 buses"}
+	for _, p := range []int{1, 2, 4} {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d port(s)", p),
+			Machine:    machine.NewBusedGP(4, 4, p),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: paper[p],
+		})
+	}
+	return cfg
+}
+
+// Fig18 varies the bus count on the two-cluster fully specialized
+// machine. The paper: ~95% of loops match given 2 buses and 1 port.
+func Fig18() Config {
+	paper := map[int]float64{1: 92, 2: 95, 4: 95.5}
+	cfg := Config{ID: "fig18", Title: "Bus sweep, 2 clusters x 4 FS, 1 port"}
+	for _, b := range []int{1, 2, 4} {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d bus(es)", b),
+			Machine:    machine.NewBusedFS(2, b, 1),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: paper[b],
+		})
+	}
+	return cfg
+}
+
+// Fig19 varies the bus count on the four-cluster fully specialized
+// machine. The paper: ~94% match given 4 buses and 2 ports.
+func Fig19() Config {
+	paper := map[int]float64{2: 84, 4: 94, 8: 95}
+	cfg := Config{ID: "fig19", Title: "Bus sweep, 4 clusters x 4 FS, 2 ports"}
+	for _, b := range []int{2, 4, 8} {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d buses", b),
+			Machine:    machine.NewBusedFS(4, b, 2),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: paper[b],
+		})
+	}
+	return cfg
+}
+
+// Table3 measures the bus/port sweet spots as the cluster count scales
+// from two to eight (paper Table 3).
+func Table3() Config {
+	cfg := Config{ID: "table3", Title: "Bus/port resource comparison (Table 3)"}
+	rows := []struct {
+		clusters, buses, ports int
+		paper                  float64
+	}{
+		{2, 2, 1, 99.7},
+		{4, 4, 2, 97.5},
+		{6, 6, 3, 96.5},
+		{8, 7, 3, 99.5},
+	}
+	for _, r := range rows {
+		cfg.Rows = append(cfg.Rows, Row{
+			Label:      fmt.Sprintf("%d clusters, %d buses, %d ports", r.clusters, r.buses, r.ports),
+			Machine:    machine.NewBusedGP(r.clusters, r.buses, r.ports),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: r.paper,
+		})
+	}
+	return cfg
+}
+
+// Grid evaluates the four-cluster point-to-point grid machine of
+// Section 2.1. The paper: 92% of loops match the unified machine and
+// 98% deviate by at most one cycle.
+func Grid() Config {
+	return Config{
+		ID:    "grid",
+		Title: "4-cluster grid, 3 FS units per cluster, point-to-point links",
+		Rows: []Row{{
+			Label:      "grid, 2 ports",
+			Machine:    machine.NewGrid4(2),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: 92,
+		}},
+	}
+}
+
+// All returns every experiment in presentation order.
+func All() []Config {
+	return []Config{
+		Fig12(), Fig13(), Fig14(), Fig15(), Fig16(), Fig17(), Fig18(), Fig19(),
+		Table3(), Grid(),
+	}
+}
+
+// ByID returns the experiment with the given ID, searching the paper
+// set first and then the extension experiments.
+func ByID(id string) (Config, bool) {
+	for _, c := range append(All(), Extensions()...) {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersched/internal/stats"
+)
+
+// CSV renders a result as comma-separated rows (one header plus one
+// row per experiment row), for plotting the figures outside Go.
+func (r Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,row,paper_match_pct,match_pct")
+	for d := 0; d <= stats.MaxDelta; d++ {
+		fmt.Fprintf(&b, ",delta%d_pct", d)
+	}
+	b.WriteString(",avg_ii,avg_copies,loops,failed\n")
+	for _, row := range r.Rows {
+		paper := ""
+		if row.PaperMatch >= 0 {
+			paper = fmt.Sprintf("%.1f", row.PaperMatch)
+		}
+		fmt.Fprintf(&b, "%s,%q,%s,%.2f", r.ID, row.Label, paper, row.Hist.MatchPercent())
+		for d := 0; d <= stats.MaxDelta; d++ {
+			fmt.Fprintf(&b, ",%.2f", row.Hist.Percent(d))
+		}
+		fmt.Fprintf(&b, ",%.2f,%.2f,%d,%d\n", row.AvgII, row.AvgCopies, row.Hist.Total(), row.Hist.Failed)
+	}
+	return b.String()
+}
+
+// CSV renders the register study as comma-separated rows.
+func (r RegisterReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("machine,avg_maxlive,avg_regs,avg_regs_staged,avg_regs_rotating,avg_largest_file,avg_mve_factor,scheduled_loops\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%q,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d\n",
+			row.Label, row.AvgMaxLive, row.AvgRegs, row.AvgRegsStaged, row.AvgRegsRotating,
+			row.AvgMaxCluster, row.AvgMVEFactor, row.ScheduledLoops)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Package experiments defines and runs the paper's evaluation: one
+// experiment per figure and table of Section 6, each comparing modulo
+// schedules on a clustered machine against the equally wide unified
+// machine over the loop suite, reported as ΔII histograms. The paper's
+// published numbers (read off its figures and text) are carried along
+// so reports can show paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/pipeline"
+	"clustersched/internal/stats"
+)
+
+// Row is one line of an experiment: a machine and an assignment
+// variant evaluated over the whole suite.
+type Row struct {
+	Label   string
+	Machine *machine.Config
+	Variant assign.Variant
+	// PaperMatch is the paper's x=0 percentage for this row, as read
+	// off the corresponding figure or table; negative when the paper
+	// gives no number.
+	PaperMatch float64
+	// Assign, when non-nil, fully overrides the assignment options
+	// (Variant is then ignored) — used by the ablation experiments.
+	Assign *assign.Options
+	// Scheduler, when non-nil, overrides Options.Scheduler for this
+	// row — used by the scheduler-comparison ablation.
+	Scheduler *pipeline.Scheduler
+}
+
+// assignOptions resolves the row's effective assignment options.
+func (r Row) assignOptions() assign.Options {
+	if r.Assign != nil {
+		return *r.Assign
+	}
+	return assign.Options{Variant: r.Variant}
+}
+
+// Config is one experiment (one figure or table).
+type Config struct {
+	ID    string
+	Title string
+	Rows  []Row
+}
+
+// RowResult is a measured row.
+type RowResult struct {
+	Label      string
+	PaperMatch float64
+	Hist       stats.DeltaHist
+	AvgCopies  float64
+	AvgII      float64
+	Elapsed    time.Duration
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID    string
+	Title string
+	Loops int
+	Rows  []RowResult
+}
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scheduler for phase two (default IMS, the most robust engine;
+	// SMS reproduces the paper's choice).
+	Scheduler pipeline.Scheduler
+	// Parallelism bounds worker goroutines (default: GOMAXPROCS).
+	Parallelism int
+}
+
+// Run executes one experiment over the given loops.
+func Run(cfg Config, loops []*ddg.Graph, opts Options) Result {
+	res := Result{ID: cfg.ID, Title: cfg.Title, Loops: len(loops)}
+	for _, row := range cfg.Rows {
+		res.Rows = append(res.Rows, runRow(row, loops, opts))
+	}
+	return res
+}
+
+func runRow(row Row, loops []*ddg.Graph, opts Options) RowResult {
+	start := time.Now()
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	unified := row.Machine.Unified()
+
+	type outcome struct {
+		delta  int
+		copies int
+		ii     int
+		failed bool
+	}
+	outcomes := make([]outcome, len(loops))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scheduler := opts.Scheduler
+			if row.Scheduler != nil {
+				scheduler = *row.Scheduler
+			}
+			for i := range work {
+				g := loops[i]
+				uo, uerr := pipeline.Run(g, unified, pipeline.Options{Scheduler: scheduler})
+				co, cerr := pipeline.Run(g, row.Machine, pipeline.Options{
+					Assign:    row.assignOptions(),
+					Scheduler: scheduler,
+				})
+				if uerr != nil || cerr != nil {
+					outcomes[i] = outcome{failed: true}
+					continue
+				}
+				outcomes[i] = outcome{
+					delta:  co.II - uo.II,
+					copies: co.Assignment.Copies,
+					ii:     co.II,
+				}
+			}
+		}()
+	}
+	for i := range loops {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	r := RowResult{Label: row.Label, PaperMatch: row.PaperMatch}
+	var copies, iis int
+	for _, o := range outcomes {
+		if o.failed {
+			r.Hist.AddFailure()
+			continue
+		}
+		r.Hist.Add(o.delta)
+		copies += o.copies
+		iis += o.ii
+	}
+	if n := r.Hist.Total() - r.Hist.Failed; n > 0 {
+		r.AvgCopies = float64(copies) / float64(n)
+		r.AvgII = float64(iis) / float64(n)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// Report renders a result as a paper-style table.
+func (r Result) Report() string {
+	s := fmt.Sprintf("%s — %s (%d loops)\n", r.ID, r.Title, r.Loops)
+	s += fmt.Sprintf("  %-34s %8s %8s   %s\n", "row", "paper%", "match%", "ΔII histogram 0/1/2/3/≥4")
+	for _, row := range r.Rows {
+		paper := "   --"
+		if row.PaperMatch >= 0 {
+			paper = fmt.Sprintf("%5.1f", row.PaperMatch)
+		}
+		s += fmt.Sprintf("  %-34s %8s %7.1f%%   %s  (avg II %.2f, avg copies %.2f)\n",
+			row.Label, paper, row.Hist.MatchPercent(), row.Hist.Row(), row.AvgII, row.AvgCopies)
+	}
+	return s
+}

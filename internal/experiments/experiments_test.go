@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+)
+
+func TestAllExperimentsDefined(t *testing.T) {
+	all := All()
+	wantIDs := []string{"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "table3", "grid"}
+	if len(all) != len(wantIDs) {
+		t.Fatalf("got %d experiments, want %d", len(all), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, all[i].ID, id)
+		}
+		if len(all[i].Rows) == 0 {
+			t.Errorf("experiment %q has no rows", id)
+		}
+		for _, row := range all[i].Rows {
+			if err := row.Machine.Validate(); err != nil {
+				t.Errorf("%s row %q: invalid machine: %v", id, row.Label, err)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if cfg, ok := ByID("fig14"); !ok || cfg.ID != "fig14" {
+		t.Error("ByID(fig14) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown ID")
+	}
+}
+
+func TestHeuristicExperimentsCoverAllVariants(t *testing.T) {
+	for _, id := range []string{"fig12", "fig13"} {
+		cfg, _ := ByID(id)
+		seen := map[assign.Variant]bool{}
+		for _, row := range cfg.Rows {
+			seen[row.Variant] = true
+		}
+		for _, v := range []assign.Variant{assign.Simple, assign.SimpleIterative, assign.Heuristic, assign.HeuristicIterative} {
+			if !seen[v] {
+				t.Errorf("%s missing variant %s", id, v)
+			}
+		}
+	}
+}
+
+func TestRunSmallSuite(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 2, Count: 60})
+	cfg := Config{
+		ID:    "smoke",
+		Title: "smoke test",
+		Rows: []Row{{
+			Label:      "2c",
+			Machine:    machine.NewBusedGP(2, 2, 1),
+			Variant:    assign.HeuristicIterative,
+			PaperMatch: 99,
+		}},
+	}
+	res := Run(cfg, loops, Options{})
+	if res.Loops != 60 {
+		t.Errorf("Loops = %d, want 60", res.Loops)
+	}
+	row := res.Rows[0]
+	if row.Hist.Total() != 60 {
+		t.Errorf("histogram total = %d, want 60", row.Hist.Total())
+	}
+	if row.Hist.MatchPercent() < 80 {
+		t.Errorf("match = %.1f%%, implausibly low", row.Hist.MatchPercent())
+	}
+	if row.AvgII <= 0 {
+		t.Errorf("AvgII = %v, want > 0", row.AvgII)
+	}
+
+	report := res.Report()
+	for _, want := range []string{"smoke", "2c", "99.0", "avg II"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunIsDeterministicAcrossParallelism(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 6, Count: 40})
+	cfg := Config{ID: "det", Rows: []Row{{
+		Label:   "x",
+		Machine: machine.NewBusedGP(2, 2, 1),
+		Variant: assign.HeuristicIterative,
+	}}}
+	a := Run(cfg, loops, Options{Parallelism: 1})
+	b := Run(cfg, loops, Options{Parallelism: 8})
+	if a.Rows[0].Hist != b.Rows[0].Hist {
+		t.Errorf("parallelism changed results: %v vs %v", a.Rows[0].Hist, b.Rows[0].Hist)
+	}
+}
+
+func TestGridExperimentUsesPointToPoint(t *testing.T) {
+	cfg, _ := ByID("grid")
+	if cfg.Rows[0].Machine.Network != machine.PointToPoint {
+		t.Error("grid experiment must use a point-to-point machine")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 12, Count: 30})
+	cfg := Config{ID: "csvtest", Rows: []Row{{
+		Label:      "a,b", // embedded comma must be quoted
+		Machine:    machine.NewBusedGP(2, 2, 1),
+		Variant:    assign.HeuristicIterative,
+		PaperMatch: 98.5,
+	}}}
+	out := Run(cfg, loops, Options{}).CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "experiment,row,paper_match_pct,match_pct,delta0_pct") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"a,b"`) || !strings.Contains(lines[1], "98.5") {
+		t.Errorf("bad row: %s", lines[1])
+	}
+	rep := RegisterStudy(loops[:10], Options{})
+	if !strings.HasPrefix(rep.CSV(), "machine,avg_maxlive") {
+		t.Errorf("bad register CSV:\n%s", rep.CSV())
+	}
+}

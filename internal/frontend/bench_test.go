@@ -1,0 +1,18 @@
+package frontend
+
+import "testing"
+
+const benchSrc = `
+loop hydro   { x[i] = q + y[i] * (r * z[i+10] + t * z[i+11]) }
+loop dotprod { s = s + a[i] * b[i] }
+loop smooth  { x[i] = (x[i-1] + x[i] + x[i+1]) / 3.0 }
+loop linrec  { v = v * c + d[i]; out[i] = v }
+`
+
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

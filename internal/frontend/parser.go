@@ -1,0 +1,295 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AST --------------------------------------------------------------------
+
+// exprKind enumerates expression node kinds.
+type exprKind int
+
+const (
+	exprNumber exprKind = iota
+	exprScalar
+	exprArray
+	exprBinary
+	exprCall
+)
+
+// expr is an expression tree node.
+type expr struct {
+	kind exprKind
+	line int
+
+	value  float64 // exprNumber
+	name   string  // exprScalar, exprArray, exprCall
+	offset int     // exprArray: subscript i+offset
+	op     byte    // exprBinary: one of + - * /
+	args   []*expr // exprBinary (2), exprCall (1)
+}
+
+// lvalue is an assignment target.
+type lvalue struct {
+	name   string
+	array  bool
+	offset int
+	line   int
+}
+
+// statement is "target = expr".
+type statement struct {
+	target lvalue
+	rhs    *expr
+	line   int
+}
+
+// loopAST is a parsed loop.
+type loopAST struct {
+	name string
+	body []statement
+	line int
+}
+
+// builtinArity lists the intrinsic functions: sqrt maps to the FSQRT
+// unit; select(c, a, b) is the conditional move IF-conversion produces
+// (an integer-ALU operation consuming all three values).
+var builtinArity = map[string]int{
+	"sqrt":   1,
+	"select": 3,
+}
+
+// Parser -----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token         { return p.toks[p.pos] }
+func (p *parser) next() token         { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("frontend: line %d: expected %v, found %v %q",
+			t.line, k, t.kind, stripTrailing(t.text))
+	}
+	return t, nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.at(tokNewline) {
+		p.next()
+	}
+}
+
+// parseProgram parses "loop name { body }"*.
+func parseProgram(toks []token) ([]loopAST, error) {
+	p := &parser{toks: toks}
+	var loops []loopAST
+	for {
+		p.skipNewlines()
+		if p.at(tokEOF) {
+			return loops, nil
+		}
+		lt, err := p.expect(tokLoop)
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		p.skipNewlines()
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		l := loopAST{name: nameTok.text, line: lt.line}
+		for {
+			p.skipNewlines()
+			if p.at(tokRBrace) {
+				p.next()
+				break
+			}
+			st, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			l.body = append(l.body, st)
+		}
+		if len(l.body) == 0 {
+			return nil, fmt.Errorf("frontend: line %d: loop %q has an empty body", lt.line, l.name)
+		}
+		loops = append(loops, l)
+	}
+}
+
+// parseStatement parses "target = expr".
+func (p *parser) parseStatement() (statement, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return statement{}, err
+	}
+	lv := lvalue{name: nameTok.text, line: nameTok.line}
+	if p.at(tokLBrack) {
+		off, err := p.parseSubscript()
+		if err != nil {
+			return statement{}, err
+		}
+		lv.array = true
+		lv.offset = off
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return statement{}, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return statement{}, err
+	}
+	if !p.at(tokEOF) && !p.at(tokRBrace) {
+		if _, err := p.expect(tokNewline); err != nil {
+			return statement{}, err
+		}
+	}
+	return statement{target: lv, rhs: rhs, line: nameTok.line}, nil
+}
+
+// parseSubscript parses "[i]", "[i+k]", or "[i-k]".
+func (p *parser) parseSubscript() (int, error) {
+	if _, err := p.expect(tokLBrack); err != nil {
+		return 0, err
+	}
+	idx, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, err
+	}
+	if idx.text != "i" {
+		return 0, fmt.Errorf("frontend: line %d: subscripts must use the loop index 'i', found %q", idx.line, idx.text)
+	}
+	offset := 0
+	switch p.peek().kind {
+	case tokPlus, tokMinus:
+		sign := 1
+		if p.next().kind == tokMinus {
+			sign = -1
+		}
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return 0, err
+		}
+		k, err := strconv.Atoi(num.text)
+		if err != nil {
+			return 0, fmt.Errorf("frontend: line %d: subscript offset %q must be an integer", num.line, num.text)
+		}
+		offset = sign * k
+	}
+	if _, err := p.expect(tokRBrack); err != nil {
+		return 0, err
+	}
+	return offset, nil
+}
+
+// parseExpr parses additive expressions.
+func (p *parser) parseExpr() (*expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		opTok := p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr{kind: exprBinary, op: opTok.text[0], args: []*expr{left, right}, line: opTok.line}
+	}
+	return left, nil
+}
+
+// parseTerm parses multiplicative expressions.
+func (p *parser) parseTerm() (*expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) || p.at(tokSlash) {
+		opTok := p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr{kind: exprBinary, op: opTok.text[0], args: []*expr{left, right}, line: opTok.line}
+	}
+	return left, nil
+}
+
+// parseFactor parses numbers, scalars, array reads, calls, negation,
+// and parenthesized expressions.
+func (p *parser) parseFactor() (*expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: line %d: bad number %q", t.line, t.text)
+		}
+		return &expr{kind: exprNumber, value: v, line: t.line}, nil
+	case tokMinus:
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		// Negation folds into a subtract from zero.
+		zero := &expr{kind: exprNumber, value: 0, line: t.line}
+		return &expr{kind: exprBinary, op: '-', args: []*expr{zero, inner}, line: t.line}, nil
+	case tokLParen:
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokIdent:
+		switch {
+		case p.at(tokLBrack):
+			off, err := p.parseSubscript()
+			if err != nil {
+				return nil, err
+			}
+			return &expr{kind: exprArray, name: t.text, offset: off, line: t.line}, nil
+		case p.at(tokLParen):
+			arity, known := builtinArity[t.text]
+			if !known {
+				return nil, fmt.Errorf("frontend: line %d: unknown function %q (want sqrt or select)", t.line, t.text)
+			}
+			p.next() // (
+			var args []*expr
+			for i := 0; i < arity; i++ {
+				if i > 0 {
+					if _, err := p.expect(tokComma); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg)
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return &expr{kind: exprCall, name: t.text, args: args, line: t.line}, nil
+		default:
+			return &expr{kind: exprScalar, name: t.text, line: t.line}, nil
+		}
+	default:
+		return nil, fmt.Errorf("frontend: line %d: expected an expression, found %v %q",
+			t.line, t.kind, stripTrailing(t.text))
+	}
+}

@@ -1,0 +1,9 @@
+package loopgen
+
+import "testing"
+
+func BenchmarkSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Suite(Options{Seed: int64(i) + 1, Count: 100})
+	}
+}

@@ -1,0 +1,310 @@
+// Package loopgen generates the synthetic loop suite that stands in
+// for the paper's 1327 Fortran innermost loops (Perfect Club, SPEC-89,
+// Livermore), which were provided privately by HP Labs and are not
+// available. The generator is seeded and deterministic, and its output
+// is tuned to match every statistic the paper publishes about the
+// suite (Table 1): loop count, fraction of loops containing
+// recurrences, node/edge counts, and SCC count and size distributions.
+//
+// Loops are built the way compiled Fortran bodies look after
+// load-store elimination, back-substitution and IF-conversion: a
+// sequence of mostly independent statements (loads feeding a small
+// computation tree feeding a store), occasional value reuse across
+// statements, reduction statements whose accumulator forms a
+// recurrence cycle, and a closing branch. See DESIGN.md Section 4 for
+// the substitution rationale.
+package loopgen
+
+import (
+	"math"
+	"math/rand"
+
+	"clustersched/internal/ddg"
+)
+
+// Options configures suite generation.
+type Options struct {
+	// Seed makes the suite reproducible; the default suite uses Seed 1.
+	Seed int64
+	// Count is the number of loops (default 1327, as in the paper).
+	Count int
+}
+
+// DefaultCount is the paper's suite size.
+const DefaultCount = 1327
+
+// Suite generates the loop suite. Loops are drawn from one RNG stream,
+// so a given (seed, count) always yields the same suite.
+func Suite(opts Options) []*ddg.Graph {
+	if opts.Count == 0 {
+		opts.Count = DefaultCount
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	loops := make([]*ddg.Graph, opts.Count)
+	for i := range loops {
+		loops[i] = Loop(rng)
+	}
+	return loops
+}
+
+// MaxNodes is the paper's largest loop size.
+const MaxNodes = 161
+
+// Loop generates a single synthetic loop body from the RNG stream.
+func Loop(rng *rand.Rand) *ddg.Graph {
+	target := drawNodeCount(rng)
+	g := ddg.NewGraph(target, target*2)
+	if target <= 3 {
+		// Tiny loops: a bare copy-style body (Table 1's 2-node loops).
+		ld := g.AddNode(ddg.OpLoad, "")
+		st := g.AddNode(ddg.OpStore, "")
+		g.AddEdge(ld, st, 0)
+		if target == 3 {
+			g.AddNode(ddg.OpBranch, "")
+		}
+		return g
+	}
+	b := &builder{rng: rng, g: g, target: target}
+
+	for _, size := range planSCCs(rng, target) {
+		b.reductionStatement(size)
+	}
+	for b.room(2) {
+		b.plainStatement()
+	}
+	// The loop-closing branch; its induction variable was removed by
+	// back-substitution, so it has no producers in the body.
+	g.AddNode(ddg.OpBranch, "")
+	return g
+}
+
+// builder emits statements into a graph under a node budget.
+type builder struct {
+	rng    *rand.Rand
+	g      *ddg.Graph
+	target int
+	values []int // produced values usable as later inputs
+	hubs   []int // designated widely shared values (subscripts etc.)
+}
+
+// room reports whether at least n more operations fit before the
+// branch reserve.
+func (b *builder) room(n int) bool {
+	return b.g.NumNodes()+n <= b.target-1
+}
+
+// input connects a producer to consumer: usually a fresh load,
+// sometimes a recently computed value (in-statement reuse), sometimes
+// one of the loop's hub values (a shared subscript or invariant).
+// Reuse keeps dataflow local — compiled bodies scatter few distinct
+// values across statements — which is what keeps real loops
+// partitionable across clusters. Occasionally the reuse is of the
+// previous iteration's value (distance 1).
+func (b *builder) input(consumer int) {
+	r := b.rng.Float64()
+	reuse := -1
+	switch {
+	case len(b.values) > 0 && (r < 0.18 || !b.room(1)):
+		// Local reuse: one of the last few values.
+		w := len(b.values)
+		if w > 4 {
+			w = 4
+		}
+		reuse = b.values[len(b.values)-1-b.rng.Intn(w)]
+	case len(b.hubs) > 0 && r < 0.30:
+		reuse = b.hubs[b.rng.Intn(len(b.hubs))]
+	}
+	if reuse >= 0 {
+		dist := 0
+		if b.rng.Float64() < 0.12 {
+			dist = 1
+		}
+		b.g.AddEdge(reuse, consumer, dist)
+		return
+	}
+	ld := b.g.AddNode(ddg.OpLoad, "")
+	b.values = append(b.values, ld)
+	b.g.AddEdge(ld, consumer, 0)
+}
+
+// designateHub occasionally promotes the statement's result to a hub
+// value shared by later statements.
+func (b *builder) designateHub() {
+	if len(b.hubs) < 2 && len(b.values) > 0 && b.rng.Float64() < 0.35 {
+		b.hubs = append(b.hubs, b.values[len(b.values)-1])
+	}
+}
+
+// computeKind draws an arithmetic operation kind.
+func (b *builder) computeKind() ddg.OpKind {
+	r := b.rng.Float64()
+	switch {
+	case r < 0.42:
+		return ddg.OpALU
+	case r < 0.50:
+		return ddg.OpShift
+	case r < 0.72:
+		return ddg.OpFAdd
+	case r < 0.94:
+		return ddg.OpFMul
+	case r < 0.985:
+		return ddg.OpFDiv
+	default:
+		return ddg.OpFSqrt
+	}
+}
+
+// plainStatement emits loads -> a small computation chain/tree -> an
+// optional store, the shape of "a(i) = b(i)*c(i) + d".
+func (b *builder) plainStatement() {
+	depth := 1 + b.rng.Intn(4)
+	var cur int = -1
+	for i := 0; i < depth && b.room(2); i++ {
+		op := b.g.AddNode(b.computeKind(), "")
+		if cur >= 0 {
+			b.g.AddEdge(cur, op, 0)
+		} else {
+			b.input(op)
+		}
+		// Binary operations take a second input.
+		if b.rng.Float64() < 0.70 {
+			b.input(op)
+		}
+		cur = op
+		b.values = append(b.values, op)
+	}
+	if cur >= 0 && b.room(1) && b.rng.Float64() < 0.70 {
+		st := b.g.AddNode(ddg.OpStore, "")
+		b.g.AddEdge(cur, st, 0)
+	}
+	b.designateHub()
+}
+
+// reductionStatement emits a recurrence of the given cycle size: a
+// chain of operations whose last result feeds the first in the next
+// iteration (an accumulator such as "s = s + a(i)*b(i)", or a linear
+// recurrence), plus inputs from outside the cycle and an optional
+// store of the accumulator.
+func (b *builder) reductionStatement(size int) {
+	if !b.room(size) {
+		size = b.target - 1 - b.g.NumNodes()
+	}
+	if size < 2 {
+		return
+	}
+	cyc := make([]int, size)
+	for i := range cyc {
+		cyc[i] = b.g.AddNode(b.computeKind(), "")
+		if i > 0 {
+			b.g.AddEdge(cyc[i-1], cyc[i], 0)
+		}
+	}
+	dist := 1
+	if b.rng.Float64() < 0.15 {
+		dist = 2 // an occasional distance-2 recurrence
+	}
+	b.g.AddEdge(cyc[size-1], cyc[0], dist)
+	// A chord inside larger recurrences, for non-simple cycles.
+	if size >= 4 && b.rng.Float64() < 0.4 {
+		a := b.rng.Intn(size - 2)
+		c := a + 2 + b.rng.Intn(size-a-2)
+		b.g.AddEdge(cyc[a], cyc[c], 0)
+	}
+	// External inputs into a couple of cycle members.
+	if b.room(1) {
+		b.input(cyc[0])
+	}
+	if size >= 3 && b.rng.Float64() < 0.5 && b.room(1) {
+		b.input(cyc[b.rng.Intn(size)])
+	}
+	// The accumulator is usable (and often stored) downstream.
+	b.values = append(b.values, cyc[size-1])
+	if b.room(1) && b.rng.Float64() < 0.5 {
+		st := b.g.AddNode(ddg.OpStore, "")
+		b.g.AddEdge(cyc[size-1], st, 0)
+	}
+}
+
+// planSCCs decides how many recurrence cycles a loop of n operations
+// carries and their sizes, calibrated against Table 1: ~301/1327 loops
+// contain recurrences, averaging 0.4 SCCs per loop and 9 recurrence
+// nodes per SCC-bearing loop, at most 6 SCCs and 48 recurrence nodes.
+func planSCCs(rng *rand.Rand, n int) []int {
+	if n < 4 || rng.Float64() >= sccBias(n) {
+		return nil
+	}
+	count := 1
+	for count < 6 && rng.Float64() < 0.45 {
+		count++
+	}
+	budget := n - 1
+	if budget > 48 {
+		budget = 48
+	}
+	var sizes []int
+	for i := 0; i < count && budget >= 2; i++ {
+		size := 2 + int(math.Exp(rng.NormFloat64()*0.9+1.15))
+		if size > 24 {
+			size = 24
+		}
+		if size > budget {
+			size = budget
+		}
+		sizes = append(sizes, size)
+		budget -= size
+	}
+	return sizes
+}
+
+// ShuffleIDs returns an isomorphic copy of g with node IDs permuted
+// uniformly at random. The generator emits nodes in statement order,
+// which makes plain ID order an artificially good assignment order;
+// shuffled copies remove that correlation (used by the node-ordering
+// ablation).
+func ShuffleIDs(g *ddg.Graph, rng *rand.Rand) *ddg.Graph {
+	n := g.NumNodes()
+	perm := rng.Perm(n)
+	out := ddg.NewGraph(n, g.NumEdges())
+	inverse := make([]int, n)
+	for oldID, newID := range perm {
+		inverse[newID] = oldID
+	}
+	for newID := 0; newID < n; newID++ {
+		old := g.Nodes[inverse[newID]]
+		out.AddNode(old.Kind, old.Name)
+	}
+	for _, e := range g.Edges {
+		out.AddEdge(perm[e.From], perm[e.To], e.Distance)
+	}
+	return out
+}
+
+// sccBias is the probability that a loop of n operations contains
+// recurrences, increasing with loop size and calibrated against the
+// paper's 301/1327 overall fraction.
+func sccBias(n int) float64 {
+	p := 0.036 + 0.0125*float64(n)
+	if p > 0.60 {
+		p = 0.60
+	}
+	return p
+}
+
+// drawNodeCount samples the loop size: lognormal, clamped to the
+// paper's [2, 161] range, with parameters tuned so the suite average
+// lands near 17.5 operations.
+func drawNodeCount(rng *rand.Rand) int {
+	const mu, sigma = 2.55, 0.85
+	v := math.Exp(rng.NormFloat64()*sigma + mu)
+	n := int(v)
+	if n < 2 {
+		n = 2
+	}
+	if n > MaxNodes {
+		n = MaxNodes
+	}
+	return n
+}

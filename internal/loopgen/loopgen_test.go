@@ -1,0 +1,203 @@
+package loopgen
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clustersched/internal/ddg"
+)
+
+func TestSuiteDefaults(t *testing.T) {
+	loops := Suite(Options{})
+	if len(loops) != DefaultCount {
+		t.Fatalf("suite size = %d, want %d", len(loops), DefaultCount)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := Suite(Options{Seed: 42, Count: 50})
+	b := Suite(Options{Seed: 42, Count: 50})
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("loop %d differs between identical seeds", i)
+		}
+	}
+	c := Suite(Options{Seed: 43, Count: 50})
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical suites")
+	}
+}
+
+func TestAllLoopsValid(t *testing.T) {
+	for i, g := range Suite(Options{}) {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loop %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestTable1Statistics pins the suite to the paper's published
+// statistics within tolerances: the generator exists precisely to
+// reproduce Table 1.
+func TestTable1Statistics(t *testing.T) {
+	s := Stats(Suite(Options{}))
+
+	if s.Loops != 1327 {
+		t.Errorf("loops = %d, want 1327", s.Loops)
+	}
+	if s.LoopsWithSCC < 270 || s.LoopsWithSCC > 340 {
+		t.Errorf("loops with SCCs = %d, want ~301", s.LoopsWithSCC)
+	}
+	if s.Nodes.Min != 2 {
+		t.Errorf("min nodes = %d, want 2", s.Nodes.Min)
+	}
+	if s.Nodes.Max < 120 || s.Nodes.Max > 161 {
+		t.Errorf("max nodes = %d, want ~161", s.Nodes.Max)
+	}
+	if s.Nodes.Avg < 15.5 || s.Nodes.Avg > 19.5 {
+		t.Errorf("avg nodes = %.1f, want ~17.5", s.Nodes.Avg)
+	}
+	if s.SCCsPerLoop.Avg < 0.3 || s.SCCsPerLoop.Avg > 0.5 {
+		t.Errorf("avg SCCs per loop = %.2f, want ~0.4", s.SCCsPerLoop.Avg)
+	}
+	if s.SCCsPerLoop.Max > 6 {
+		t.Errorf("max SCCs per loop = %d, want <= 6", s.SCCsPerLoop.Max)
+	}
+	if s.NodesInSCC.Avg < 7 || s.NodesInSCC.Avg > 11 {
+		t.Errorf("avg nodes in SCCs = %.1f, want ~9", s.NodesInSCC.Avg)
+	}
+	if s.NodesInSCC.Max > 48 {
+		t.Errorf("max nodes in SCCs = %d, want <= 48", s.NodesInSCC.Max)
+	}
+	if s.NodesInSCC.Min != 2 {
+		t.Errorf("min nodes in SCCs = %d, want 2", s.NodesInSCC.Min)
+	}
+	if s.Edges.Min != 1 {
+		t.Errorf("min edges = %d, want 1", s.Edges.Min)
+	}
+	if s.Edges.Avg < 13 || s.Edges.Avg > 24 {
+		t.Errorf("avg edges = %.1f, want ~15-22", s.Edges.Avg)
+	}
+}
+
+func TestLoopSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Loop(rng)
+		return g.NumNodes() >= 2 && g.NumNodes() <= MaxNodes && g.NumEdges() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSCCsAreRecurrencesWithPositiveDistance(t *testing.T) {
+	// Every generated loop must be modulo-schedulable: no SCC may have
+	// a zero-distance cycle (Validate covers this), and recurrence back
+	// edges carry distance >= 1.
+	loops := Suite(Options{Seed: 9, Count: 200})
+	for i, g := range loops {
+		for _, comp := range g.NonTrivialSCCs() {
+			in := map[int]bool{}
+			for _, n := range comp.Nodes {
+				in[n] = true
+			}
+			hasCarried := false
+			for _, e := range g.Edges {
+				if in[e.From] && in[e.To] && e.Distance > 0 {
+					hasCarried = true
+					break
+				}
+			}
+			if !hasCarried {
+				t.Errorf("loop %d: SCC %v has no loop-carried edge", i, comp.Nodes)
+			}
+		}
+	}
+}
+
+func TestKindMixIsPlausible(t *testing.T) {
+	s := Stats(Suite(Options{}))
+	total := 0
+	for _, c := range s.KindHistogram {
+		total += c
+	}
+	loads := float64(s.KindHistogram[ddg.OpLoad]) / float64(total)
+	stores := float64(s.KindHistogram[ddg.OpStore]) / float64(total)
+	branches := s.KindHistogram[ddg.OpBranch]
+	if loads < 0.15 || loads > 0.50 {
+		t.Errorf("load fraction = %.2f, implausible", loads)
+	}
+	if stores < 0.03 || stores > 0.25 {
+		t.Errorf("store fraction = %.2f, implausible", stores)
+	}
+	if branches < s.Loops/2 {
+		t.Errorf("only %d branches for %d loops", branches, s.Loops)
+	}
+	if s.KindHistogram[ddg.OpCopy] != 0 {
+		t.Error("generator must not emit copies; they belong to assignment")
+	}
+}
+
+func TestStatsOnEmptySuite(t *testing.T) {
+	s := Stats(nil)
+	if s.Loops != 0 || s.Nodes.Avg != 0 {
+		t.Errorf("empty suite stats = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Stats(Suite(Options{Seed: 2, Count: 20})).Table()
+	for _, want := range []string{"Nodes", "SCCs per loop", "Edges", "Loops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShuffleIDsIsIsomorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 30; i++ {
+		g := Loop(rng)
+		s := ShuffleIDs(g, rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shuffled graph invalid: %v", err)
+		}
+		if s.NumNodes() != g.NumNodes() || s.NumEdges() != g.NumEdges() {
+			t.Fatal("shuffle changed graph size")
+		}
+		// Kind multiset preserved.
+		if s.KindCounts() != g.KindCounts() {
+			t.Fatal("shuffle changed operation mix")
+		}
+		// SCC size multiset preserved.
+		a := sccSizes(g)
+		b := sccSizes(s)
+		if len(a) != len(b) {
+			t.Fatalf("SCC count changed: %v vs %v", a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("SCC sizes changed: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func sccSizes(g *ddg.Graph) []int {
+	var sizes []int
+	for _, c := range g.NonTrivialSCCs() {
+		sizes = append(sizes, len(c.Nodes))
+	}
+	sort.Ints(sizes)
+	return sizes
+}

@@ -1,0 +1,96 @@
+package loopgen
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersched/internal/ddg"
+)
+
+// MinAvgMax summarizes a distribution the way Table 1 does.
+type MinAvgMax struct {
+	Min int
+	Avg float64
+	Max int
+}
+
+func (m MinAvgMax) String() string {
+	return fmt.Sprintf("min %d / avg %.1f / max %d", m.Min, m.Avg, m.Max)
+}
+
+// accumulate folds one observation into the summary.
+func (m *MinAvgMax) accumulate(v, count int, sum *int) {
+	if count == 0 || v < m.Min {
+		m.Min = v
+	}
+	if v > m.Max {
+		m.Max = v
+	}
+	*sum += v
+}
+
+// SuiteStats are the Table 1 statistics of a loop suite.
+type SuiteStats struct {
+	Loops         int
+	LoopsWithSCC  int
+	Nodes         MinAvgMax
+	Edges         MinAvgMax
+	SCCsPerLoop   MinAvgMax
+	NodesInSCC    MinAvgMax // per loop containing non-trivial SCCs
+	TotalNodes    int
+	TotalEdges    int
+	KindHistogram [ddg.NumOpKinds]int
+}
+
+// Stats computes the Table 1 statistics of a suite.
+func Stats(loops []*ddg.Graph) SuiteStats {
+	var s SuiteStats
+	s.Loops = len(loops)
+	var sumNodes, sumEdges, sumSCCs, sumSCCNodes int
+	sccLoops := 0
+	for i, g := range loops {
+		s.Nodes.accumulate(g.NumNodes(), i, &sumNodes)
+		s.Edges.accumulate(g.NumEdges(), i, &sumEdges)
+		comps := g.NonTrivialSCCs()
+		s.SCCsPerLoop.accumulate(len(comps), i, &sumSCCs)
+		if len(comps) > 0 {
+			inSCC := 0
+			for _, c := range comps {
+				inSCC += len(c.Nodes)
+			}
+			s.NodesInSCC.accumulate(inSCC, sccLoops, &sumSCCNodes)
+			sccLoops++
+		}
+		for k, c := range g.KindCounts() {
+			s.KindHistogram[k] += c
+		}
+	}
+	s.LoopsWithSCC = sccLoops
+	s.TotalNodes = sumNodes
+	s.TotalEdges = sumEdges
+	if s.Loops > 0 {
+		s.Nodes.Avg = float64(sumNodes) / float64(s.Loops)
+		s.Edges.Avg = float64(sumEdges) / float64(s.Loops)
+		s.SCCsPerLoop.Avg = float64(sumSCCs) / float64(s.Loops)
+	}
+	if sccLoops > 0 {
+		s.NodesInSCC.Avg = float64(sumSCCNodes) / float64(sccLoops)
+	}
+	return s
+}
+
+// Table renders the statistics in the layout of the paper's Table 1.
+func (s SuiteStats) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s %8s %6s\n", "Statistic", "Min", "Avg", "Max")
+	row := func(name string, m MinAvgMax) {
+		fmt.Fprintf(&b, "%-28s %6d %8.1f %6d\n", name, m.Min, m.Avg, m.Max)
+	}
+	row("Nodes", s.Nodes)
+	row("SCCs per loop", s.SCCsPerLoop)
+	row("Nodes in non-trivial SCCs", s.NodesInSCC)
+	row("Edges", s.Edges)
+	fmt.Fprintf(&b, "%-28s %6d\n", "Loops", s.Loops)
+	fmt.Fprintf(&b, "%-28s %6d\n", "Loops containing SCCs", s.LoopsWithSCC)
+	return b.String()
+}

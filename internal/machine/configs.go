@@ -1,0 +1,121 @@
+package machine
+
+import "fmt"
+
+// GPCluster returns a cluster of n general-purpose units with the given
+// bus read/write port counts.
+func GPCluster(n, readPorts, writePorts int) Cluster {
+	fus := make([]FUClass, n)
+	for i := range fus {
+		fus[i] = FUGeneral
+	}
+	return Cluster{FUs: fus, ReadPorts: readPorts, WritePorts: writePorts}
+}
+
+// FSCluster4 returns the paper's fully specialized 4-unit cluster: one
+// memory unit, two integer units, one floating-point unit.
+func FSCluster4(readPorts, writePorts int) Cluster {
+	return Cluster{
+		FUs:        []FUClass{FUMemory, FUInteger, FUInteger, FUFloat},
+		ReadPorts:  readPorts,
+		WritePorts: writePorts,
+	}
+}
+
+// FSCluster3 returns the grid machine's 3-unit cluster: one memory, one
+// integer, one floating-point unit.
+func FSCluster3(readPorts, writePorts int) Cluster {
+	return Cluster{
+		FUs:        []FUClass{FUMemory, FUInteger, FUFloat},
+		ReadPorts:  readPorts,
+		WritePorts: writePorts,
+	}
+}
+
+// NewBusedGP builds an n-cluster broadcast machine of 4-wide GP
+// clusters, the configuration of Figures 12-17 and Table 3.
+func NewBusedGP(clusters, buses, ports int) *Config {
+	m := &Config{
+		Name:      fmt.Sprintf("gp-%dc-%db-%dp", clusters, buses, ports),
+		Network:   Broadcast,
+		Buses:     buses,
+		Latencies: DefaultLatencies(),
+	}
+	for i := 0; i < clusters; i++ {
+		m.Clusters = append(m.Clusters, GPCluster(4, ports, ports))
+	}
+	return m
+}
+
+// NewBusedFS builds an n-cluster broadcast machine of fully specialized
+// 4-unit clusters, the configuration of Figures 18 and 19.
+func NewBusedFS(clusters, buses, ports int) *Config {
+	m := &Config{
+		Name:      fmt.Sprintf("fs-%dc-%db-%dp", clusters, buses, ports),
+		Network:   Broadcast,
+		Buses:     buses,
+		Latencies: DefaultLatencies(),
+	}
+	for i := 0; i < clusters; i++ {
+		m.Clusters = append(m.Clusters, FSCluster4(ports, ports))
+	}
+	return m
+}
+
+// NewGrid4 builds the four-cluster grid machine of Section 2.1 /
+// Figure 4: four 3-unit FS clusters arranged in a square, each cluster
+// connected by a dedicated link to its horizontal and vertical
+// neighbour only (clusters 0-1, 0-2, 1-3, 2-3).
+func NewGrid4(ports int) *Config {
+	m := &Config{
+		Name:    fmt.Sprintf("grid-4c-%dp", ports),
+		Network: PointToPoint,
+		Links: []Link{
+			{A: 0, B: 1},
+			{A: 0, B: 2},
+			{A: 1, B: 3},
+			{A: 2, B: 3},
+		},
+		Latencies: DefaultLatencies(),
+	}
+	for i := 0; i < 4; i++ {
+		m.Clusters = append(m.Clusters, FSCluster3(ports, ports))
+	}
+	return m
+}
+
+// NewRing builds an n-cluster point-to-point ring of 3-unit FS
+// clusters: cluster i links to clusters (i±1) mod n. The ring
+// generalizes the paper's grid (a 4-ring is exactly the grid's
+// topology) to study how chained forwarding scales with hop count.
+func NewRing(clusters, ports int) *Config {
+	m := &Config{
+		Name:      fmt.Sprintf("ring-%dc-%dp", clusters, ports),
+		Network:   PointToPoint,
+		Latencies: DefaultLatencies(),
+	}
+	for i := 0; i < clusters; i++ {
+		m.Clusters = append(m.Clusters, FSCluster3(ports, ports))
+		if clusters > 1 {
+			next := (i + 1) % clusters
+			if i < next || clusters == 2 && i == 0 {
+				m.Links = append(m.Links, Link{A: i, B: next})
+			}
+		}
+	}
+	if clusters > 2 {
+		m.Links = append(m.Links, Link{A: clusters - 1, B: 0})
+	}
+	return m
+}
+
+// NewUnifiedGP builds a width-wide unified GP machine directly.
+func NewUnifiedGP(width int) *Config {
+	m := &Config{
+		Name:      fmt.Sprintf("gp-unified-%dw", width),
+		Network:   Broadcast,
+		Clusters:  []Cluster{GPCluster(width, 0, 0)},
+		Latencies: DefaultLatencies(),
+	}
+	return m
+}

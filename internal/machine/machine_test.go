@@ -1,0 +1,289 @@
+package machine
+
+import (
+	"testing"
+
+	"clustersched/internal/ddg"
+)
+
+func TestCanExecuteMatrix(t *testing.T) {
+	cases := []struct {
+		cls  FUClass
+		kind ddg.OpKind
+		want bool
+	}{
+		{FUGeneral, ddg.OpALU, true},
+		{FUGeneral, ddg.OpLoad, true},
+		{FUGeneral, ddg.OpFSqrt, true},
+		{FUGeneral, ddg.OpCopy, false}, // copies never use a function unit
+		{FUMemory, ddg.OpLoad, true},
+		{FUMemory, ddg.OpStore, true},
+		{FUMemory, ddg.OpALU, false},
+		{FUInteger, ddg.OpALU, true},
+		{FUInteger, ddg.OpShift, true},
+		{FUInteger, ddg.OpBranch, true},
+		{FUInteger, ddg.OpFAdd, false},
+		{FUFloat, ddg.OpFAdd, true},
+		{FUFloat, ddg.OpFMul, true},
+		{FUFloat, ddg.OpFDiv, true},
+		{FUFloat, ddg.OpFSqrt, true},
+		{FUFloat, ddg.OpLoad, false},
+		{FUFloat, ddg.OpCopy, false},
+	}
+	for _, tc := range cases {
+		if got := tc.cls.CanExecute(tc.kind); got != tc.want {
+			t.Errorf("%s.CanExecute(%s) = %v, want %v", tc.cls, tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestRequiredClass(t *testing.T) {
+	cases := map[ddg.OpKind]FUClass{
+		ddg.OpLoad:   FUMemory,
+		ddg.OpStore:  FUMemory,
+		ddg.OpALU:    FUInteger,
+		ddg.OpShift:  FUInteger,
+		ddg.OpBranch: FUInteger,
+		ddg.OpFAdd:   FUFloat,
+		ddg.OpFMul:   FUFloat,
+		ddg.OpFDiv:   FUFloat,
+		ddg.OpFSqrt:  FUFloat,
+	}
+	for k, want := range cases {
+		if got := RequiredClass(k); got != want {
+			t.Errorf("RequiredClass(%s) = %s, want %s", k, got, want)
+		}
+	}
+}
+
+func TestDefaultLatenciesMatchTable2(t *testing.T) {
+	lat := DefaultLatencies()
+	cases := map[ddg.OpKind]int{
+		ddg.OpALU:    1,
+		ddg.OpShift:  1,
+		ddg.OpBranch: 1,
+		ddg.OpStore:  1,
+		ddg.OpFAdd:   1,
+		ddg.OpCopy:   1,
+		ddg.OpLoad:   2,
+		ddg.OpFMul:   3,
+		ddg.OpFDiv:   9,
+		ddg.OpFSqrt:  9,
+	}
+	for k, want := range cases {
+		if lat[k] != want {
+			t.Errorf("latency(%s) = %d, want %d (Table 2)", k, lat[k], want)
+		}
+	}
+}
+
+func TestNewBusedGP(t *testing.T) {
+	m := NewBusedGP(4, 4, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NumClusters() != 4 || m.TotalWidth() != 16 || m.Buses != 4 {
+		t.Errorf("unexpected shape: clusters=%d width=%d buses=%d", m.NumClusters(), m.TotalWidth(), m.Buses)
+	}
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		if c.ReadPorts != 2 || c.WritePorts != 2 {
+			t.Errorf("cluster %d ports = %d/%d, want 2/2", i, c.ReadPorts, c.WritePorts)
+		}
+		if c.FUCountFor(ddg.OpFDiv) != 4 {
+			t.Errorf("GP cluster should run anything on all 4 units")
+		}
+	}
+}
+
+func TestNewBusedFS(t *testing.T) {
+	m := NewBusedFS(2, 2, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	c := &m.Clusters[0]
+	if c.FUCountFor(ddg.OpLoad) != 1 || c.FUCountFor(ddg.OpALU) != 2 || c.FUCountFor(ddg.OpFMul) != 1 {
+		t.Errorf("FS cluster mix wrong: mem=%d int=%d fp=%d",
+			c.FUCountFor(ddg.OpLoad), c.FUCountFor(ddg.OpALU), c.FUCountFor(ddg.OpFMul))
+	}
+	if m.FUCountFor(ddg.OpALU) != 4 {
+		t.Errorf("machine-wide integer units = %d, want 4", m.FUCountFor(ddg.OpALU))
+	}
+}
+
+func TestNewGrid4(t *testing.T) {
+	m := NewGrid4(2)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.Network != PointToPoint || len(m.Links) != 4 {
+		t.Fatalf("grid should have 4 point-to-point links")
+	}
+	// Square: 0-1, 0-2, 1-3, 2-3. Diagonals are not adjacent.
+	if m.LinkBetween(0, 3) != -1 || m.LinkBetween(1, 2) != -1 {
+		t.Error("diagonal clusters must not be adjacent")
+	}
+	if m.LinkBetween(0, 1) < 0 || m.LinkBetween(1, 0) < 0 {
+		t.Error("links must be bidirectional")
+	}
+	if got := len(m.LinksAt(0)); got != 2 {
+		t.Errorf("cluster 0 has %d links, want 2", got)
+	}
+}
+
+func TestGridPathRouting(t *testing.T) {
+	m := NewGrid4(1)
+	p := m.Path(0, 3)
+	if len(p) != 3 || p[0] != 0 || p[2] != 3 {
+		t.Fatalf("Path(0,3) = %v, want a 2-hop route", p)
+	}
+	if mid := p[1]; mid != 1 && mid != 2 {
+		t.Errorf("intermediate cluster %d not adjacent to both ends", mid)
+	}
+	if p := m.Path(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Errorf("Path to self = %v", p)
+	}
+	if p := m.Path(0, 1); len(p) != 2 {
+		t.Errorf("adjacent path = %v, want direct", p)
+	}
+}
+
+func TestBroadcastPathIsDirect(t *testing.T) {
+	m := NewBusedGP(4, 4, 1)
+	if p := m.Path(0, 3); len(p) != 2 {
+		t.Errorf("broadcast path = %v, want [0 3]", p)
+	}
+}
+
+func TestUnified(t *testing.T) {
+	m := NewBusedFS(4, 4, 2)
+	u := m.Unified()
+	if err := u.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if u.Clustered() {
+		t.Error("unified machine must have one cluster")
+	}
+	if u.TotalWidth() != m.TotalWidth() {
+		t.Errorf("unified width %d != clustered width %d", u.TotalWidth(), m.TotalWidth())
+	}
+	if u.FUCountFor(ddg.OpLoad) != m.FUCountFor(ddg.OpLoad) {
+		t.Error("unified machine must keep the FU mix")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	lat := DefaultLatencies()
+	cases := []struct {
+		name string
+		m    Config
+	}{
+		{"no clusters", Config{Name: "x", Latencies: lat}},
+		{"clustered without buses", Config{
+			Name:      "x",
+			Clusters:  []Cluster{GPCluster(2, 1, 1), GPCluster(2, 1, 1)},
+			Network:   Broadcast,
+			Latencies: lat,
+		}},
+		{"empty cluster", Config{
+			Name:      "x",
+			Clusters:  []Cluster{{}},
+			Network:   Broadcast,
+			Latencies: lat,
+		}},
+		{"bad link", Config{
+			Name:      "x",
+			Clusters:  []Cluster{GPCluster(2, 1, 1), GPCluster(2, 1, 1)},
+			Network:   PointToPoint,
+			Links:     []Link{{A: 0, B: 5}},
+			Latencies: lat,
+		}},
+		{"disconnected p2p", Config{
+			Name:      "x",
+			Clusters:  []Cluster{GPCluster(1, 1, 1), GPCluster(1, 1, 1), GPCluster(1, 1, 1)},
+			Network:   PointToPoint,
+			Links:     []Link{{A: 0, B: 1}},
+			Latencies: lat,
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestValidateRejectsZeroLatency(t *testing.T) {
+	m := NewBusedGP(2, 2, 1)
+	m.Latencies[ddg.OpALU] = 0
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted zero latency")
+	}
+}
+
+func TestFSClusterCannotRunEverything(t *testing.T) {
+	// A machine of only memory units must be rejected: no unit can run ALU.
+	m := &Config{
+		Name:      "mem-only",
+		Clusters:  []Cluster{{FUs: []FUClass{FUMemory}, ReadPorts: 1, WritePorts: 1}},
+		Network:   Broadcast,
+		Latencies: DefaultLatencies(),
+	}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted a machine that cannot execute integer ops")
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	if s := NewBusedGP(2, 2, 1).String(); s == "" {
+		t.Error("empty String()")
+	}
+	if s := NewGrid4(1).String(); s == "" {
+		t.Error("empty String()")
+	}
+	if Broadcast.String() != "broadcast" || PointToPoint.String() != "point-to-point" {
+		t.Error("Network.String mismatch")
+	}
+}
+
+func TestNewRing(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		m := NewRing(n, 2)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ring-%d: %v", n, err)
+		}
+		wantLinks := n
+		if n == 2 {
+			wantLinks = 1
+		}
+		if len(m.Links) != wantLinks {
+			t.Errorf("ring-%d has %d links, want %d", n, len(m.Links), wantLinks)
+		}
+		// Every cluster reaches every other; max hop count is n/2.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				p := m.Path(a, b)
+				if p == nil {
+					t.Fatalf("ring-%d: no path %d -> %d", n, a, b)
+				}
+				if hops := len(p) - 1; hops > n/2 {
+					t.Errorf("ring-%d: path %d->%d takes %d hops, want <= %d", n, a, b, hops, n/2)
+				}
+			}
+		}
+	}
+}
+
+func TestRing4MatchesGridTopology(t *testing.T) {
+	ring := NewRing(4, 2)
+	// A 4-ring is the grid's square: each cluster has exactly two
+	// neighbours and the diagonal needs two hops.
+	for c := 0; c < 4; c++ {
+		if got := len(ring.LinksAt(c)); got != 2 {
+			t.Errorf("cluster %d has %d links, want 2", c, got)
+		}
+	}
+	if p := ring.Path(0, 2); len(p) != 3 {
+		t.Errorf("diagonal path = %v, want 2 hops", p)
+	}
+}

@@ -1,0 +1,26 @@
+package mii
+
+import (
+	"testing"
+
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+)
+
+func BenchmarkRecMII(b *testing.B) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 4, Count: 128})
+	m := machine.NewBusedGP(2, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RecMII(loops[i%len(loops)], m.Latency)
+	}
+}
+
+func BenchmarkResMII(b *testing.B) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 4, Count: 128})
+	m := machine.NewBusedFS(4, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResMII(loops[i%len(loops)], m)
+	}
+}

@@ -1,0 +1,315 @@
+// Package mrt implements modulo reservation tables for a clustered
+// machine at two fidelities:
+//
+//   - Capacity: slot-cycle counting per resource class, used by the
+//     cluster-assignment phase, which knows which cluster an operation
+//     lands on but not yet in which cycle (the paper's Figure 7/8
+//     bookkeeping, including room for copies).
+//   - Cycle: exact per-instance, per-cycle occupancy, used by the
+//     modulo schedulers in phase two.
+package mrt
+
+import (
+	"fmt"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+// Capacity tracks, for one candidate II, how many of each resource's
+// II slot-cycles are already spoken for on every cluster. Local
+// resources are function units (per class) and bus read/write ports;
+// global resources are broadcast buses and point-to-point links.
+type Capacity struct {
+	m  *machine.Config
+	ii int
+
+	fuUsed    [][]int // [cluster][fuclass] slot-cycles consumed
+	fuCap     [][]int // [cluster][fuclass] total slot-cycles (= count * II)
+	readUsed  []int   // [cluster]
+	writeUsed []int   // [cluster]
+	busUsed   int
+	linkUsed  []int // [link]
+}
+
+// NewCapacity returns an empty capacity table for machine m at the
+// given II.
+func NewCapacity(m *machine.Config, ii int) *Capacity {
+	if ii <= 0 {
+		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
+	}
+	c := &Capacity{
+		m:         m,
+		ii:        ii,
+		fuUsed:    make([][]int, m.NumClusters()),
+		fuCap:     make([][]int, m.NumClusters()),
+		readUsed:  make([]int, m.NumClusters()),
+		writeUsed: make([]int, m.NumClusters()),
+		linkUsed:  make([]int, len(m.Links)),
+	}
+	for i := range m.Clusters {
+		c.fuUsed[i] = make([]int, machine.NumFUClasses)
+		c.fuCap[i] = make([]int, machine.NumFUClasses)
+		for _, fu := range m.Clusters[i].FUs {
+			c.fuCap[i][fu] += ii
+		}
+	}
+	return c
+}
+
+// II returns the initiation interval the table was sized for.
+func (c *Capacity) II() int { return c.ii }
+
+// Machine returns the machine description backing the table.
+func (c *Capacity) Machine() *machine.Config { return c.m }
+
+// ChargeClass returns the FU class an operation of kind k is counted
+// against on cluster cl: the specialized class when the cluster has
+// such units, otherwise the general-purpose pool; -1 when the cluster
+// cannot execute the kind at all. Callers use it to group operations
+// competing for the same pool.
+func (c *Capacity) ChargeClass(cl int, k ddg.OpKind) machine.FUClass {
+	return c.chargeClass(cl, k)
+}
+
+func (c *Capacity) chargeClass(cl int, k ddg.OpKind) machine.FUClass {
+	want := machine.RequiredClass(k)
+	if c.fuCap[cl][want] > 0 {
+		return want
+	}
+	if c.fuCap[cl][machine.FUGeneral] > 0 && machine.FUGeneral.CanExecute(k) {
+		return machine.FUGeneral
+	}
+	return -1
+}
+
+// CanPlaceOp reports whether cluster cl still has free function-unit
+// slot-cycles for an operation of kind k (one per cycle of the kind's
+// occupancy: non-pipelined units hold their unit for the full latency,
+// and no single operation may outlast the II on one unit).
+func (c *Capacity) CanPlaceOp(cl int, k ddg.OpKind) bool {
+	cls := c.chargeClass(cl, k)
+	occ := c.m.Occupancy(k)
+	return cls >= 0 && occ <= c.ii && c.fuUsed[cl][cls]+occ <= c.fuCap[cl][cls]
+}
+
+// PlaceOp consumes the FU slot-cycles of the proper class on cluster
+// cl. It reports false (and changes nothing) when capacity is short.
+func (c *Capacity) PlaceOp(cl int, k ddg.OpKind) bool {
+	if !c.CanPlaceOp(cl, k) {
+		return false
+	}
+	c.fuUsed[cl][c.chargeClass(cl, k)] += c.m.Occupancy(k)
+	return true
+}
+
+// RemoveOp releases the slot-cycles previously taken by PlaceOp.
+func (c *Capacity) RemoveOp(cl int, k ddg.OpKind) {
+	cls := c.chargeClass(cl, k)
+	occ := c.m.Occupancy(k)
+	if cls < 0 || c.fuUsed[cl][cls] < occ {
+		panic(fmt.Sprintf("mrt: RemoveOp(%d, %s) underflow", cl, k))
+	}
+	c.fuUsed[cl][cls] -= occ
+}
+
+// FreeOpSlots returns the remaining FU slot-cycles usable by kind k on
+// cluster cl.
+func (c *Capacity) FreeOpSlots(cl int, k ddg.OpKind) int {
+	cls := c.chargeClass(cl, k)
+	if cls < 0 {
+		return 0
+	}
+	return c.fuCap[cl][cls] - c.fuUsed[cl][cls]
+}
+
+// FreeSlots returns the total free FU slot-cycles on cluster cl across
+// all classes, the tie-breaker of selection line 8 ("maximize free
+// resources on the cluster").
+func (c *Capacity) FreeSlots(cl int) int {
+	free := 0
+	for cls := 0; cls < machine.NumFUClasses; cls++ {
+		free += c.fuCap[cl][cls] - c.fuUsed[cl][cls]
+	}
+	return free
+}
+
+// Broadcast copy accounting ------------------------------------------------
+
+// CanPlaceBroadcastCopy reports whether a new copy sourced on cluster
+// src with the given additional target clusters fits: a read-port
+// slot-cycle on src, a bus slot-cycle, and a write-port slot-cycle on
+// every target.
+func (c *Capacity) CanPlaceBroadcastCopy(src int, targets []int) bool {
+	if c.readUsed[src] >= c.m.Clusters[src].ReadPorts*c.ii {
+		return false
+	}
+	if c.busUsed >= c.m.Buses*c.ii {
+		return false
+	}
+	return c.canAddTargets(targets)
+}
+
+// canAddTargets checks write-port room on each target cluster.
+func (c *Capacity) canAddTargets(targets []int) bool {
+	for _, t := range targets {
+		if c.writeUsed[t] >= c.m.Clusters[t].WritePorts*c.ii {
+			return false
+		}
+	}
+	return true
+}
+
+// PlaceBroadcastCopy reserves the resources checked by
+// CanPlaceBroadcastCopy. It reports false without changes when they no
+// longer fit.
+func (c *Capacity) PlaceBroadcastCopy(src int, targets []int) bool {
+	if !c.CanPlaceBroadcastCopy(src, targets) {
+		return false
+	}
+	c.readUsed[src]++
+	c.busUsed++
+	for _, t := range targets {
+		c.writeUsed[t]++
+	}
+	return true
+}
+
+// CanAddCopyTarget reports whether an existing broadcast copy can gain
+// one more destination cluster (one extra write-port slot-cycle there).
+func (c *Capacity) CanAddCopyTarget(target int) bool {
+	return c.writeUsed[target] < c.m.Clusters[target].WritePorts*c.ii
+}
+
+// AddCopyTarget reserves a write-port slot-cycle on the target cluster
+// for an already placed broadcast copy.
+func (c *Capacity) AddCopyTarget(target int) bool {
+	if !c.CanAddCopyTarget(target) {
+		return false
+	}
+	c.writeUsed[target]++
+	return true
+}
+
+// RemoveBroadcastCopy releases a broadcast copy and all its targets.
+func (c *Capacity) RemoveBroadcastCopy(src int, targets []int) {
+	if c.readUsed[src] <= 0 || c.busUsed <= 0 {
+		panic("mrt: RemoveBroadcastCopy underflow")
+	}
+	c.readUsed[src]--
+	c.busUsed--
+	for _, t := range targets {
+		if c.writeUsed[t] <= 0 {
+			panic("mrt: RemoveBroadcastCopy target underflow")
+		}
+		c.writeUsed[t]--
+	}
+}
+
+// RemoveCopyTarget releases one destination of a broadcast copy that
+// itself stays in place.
+func (c *Capacity) RemoveCopyTarget(target int) {
+	if c.writeUsed[target] <= 0 {
+		panic("mrt: RemoveCopyTarget underflow")
+	}
+	c.writeUsed[target]--
+}
+
+// Point-to-point copy accounting -------------------------------------------
+
+// CanPlaceLinkCopy reports whether a copy across link li (from cluster
+// src to cluster dst) fits: read port on src, the link itself, and a
+// write port on dst.
+func (c *Capacity) CanPlaceLinkCopy(src, dst, li int) bool {
+	if c.readUsed[src] >= c.m.Clusters[src].ReadPorts*c.ii {
+		return false
+	}
+	if c.linkUsed[li] >= c.ii {
+		return false
+	}
+	return c.writeUsed[dst] < c.m.Clusters[dst].WritePorts*c.ii
+}
+
+// PlaceLinkCopy reserves a point-to-point copy's resources.
+func (c *Capacity) PlaceLinkCopy(src, dst, li int) bool {
+	if !c.CanPlaceLinkCopy(src, dst, li) {
+		return false
+	}
+	c.readUsed[src]++
+	c.linkUsed[li]++
+	c.writeUsed[dst]++
+	return true
+}
+
+// RemoveLinkCopy releases a point-to-point copy's resources.
+func (c *Capacity) RemoveLinkCopy(src, dst, li int) {
+	if c.readUsed[src] <= 0 || c.linkUsed[li] <= 0 || c.writeUsed[dst] <= 0 {
+		panic("mrt: RemoveLinkCopy underflow")
+	}
+	c.readUsed[src]--
+	c.linkUsed[li]--
+	c.writeUsed[dst]--
+}
+
+// Copy headroom -------------------------------------------------------------
+
+// MaxReservableCopies returns MRC_C of the paper: an upper bound on how
+// many more copies sourced from cluster cl still have room, limited by
+// the cluster's free read-port slot-cycles and by the free slot-cycles
+// of the shared fabric (buses, or the links incident to cl).
+func (c *Capacity) MaxReservableCopies(cl int) int {
+	freeRead := c.m.Clusters[cl].ReadPorts*c.ii - c.readUsed[cl]
+	if freeRead < 0 {
+		freeRead = 0
+	}
+	var freeFabric int
+	if c.m.Network == machine.Broadcast {
+		freeFabric = c.m.Buses*c.ii - c.busUsed
+	} else {
+		for _, li := range c.m.LinksAt(cl) {
+			freeFabric += c.ii - c.linkUsed[li]
+		}
+	}
+	if freeFabric < 0 {
+		freeFabric = 0
+	}
+	if freeRead < freeFabric {
+		return freeRead
+	}
+	return freeFabric
+}
+
+// FreeReadPortSlots returns the remaining read-port slot-cycles on cl.
+func (c *Capacity) FreeReadPortSlots(cl int) int {
+	return c.m.Clusters[cl].ReadPorts*c.ii - c.readUsed[cl]
+}
+
+// FreeWritePortSlots returns the remaining write-port slot-cycles on cl.
+func (c *Capacity) FreeWritePortSlots(cl int) int {
+	return c.m.Clusters[cl].WritePorts*c.ii - c.writeUsed[cl]
+}
+
+// FreeBusSlots returns the remaining broadcast-bus slot-cycles.
+func (c *Capacity) FreeBusSlots() int { return c.m.Buses*c.ii - c.busUsed }
+
+// Clone returns an independent deep copy, used for tentative
+// assignments that may be discarded.
+func (c *Capacity) Clone() *Capacity {
+	n := &Capacity{
+		m:         c.m,
+		ii:        c.ii,
+		fuUsed:    make([][]int, len(c.fuUsed)),
+		fuCap:     c.fuCap, // immutable after construction; share
+		readUsed:  append([]int(nil), c.readUsed...),
+		writeUsed: append([]int(nil), c.writeUsed...),
+		busUsed:   c.busUsed,
+		linkUsed:  append([]int(nil), c.linkUsed...),
+	}
+	for i := range c.fuUsed {
+		n.fuUsed[i] = append([]int(nil), c.fuUsed[i]...)
+	}
+	return n
+}
+
+// FreeLinkSlots returns the remaining slot-cycles of link li.
+func (c *Capacity) FreeLinkSlots(li int) int { return c.ii - c.linkUsed[li] }

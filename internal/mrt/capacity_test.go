@@ -1,0 +1,218 @@
+package mrt
+
+import (
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+func TestCapacityFUCounting(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1) // 4 GP per cluster
+	c := NewCapacity(m, 2)           // 8 slot-cycles per cluster
+
+	for i := 0; i < 8; i++ {
+		if !c.PlaceOp(0, ddg.OpALU) {
+			t.Fatalf("placement %d should fit (capacity 8)", i)
+		}
+	}
+	if c.PlaceOp(0, ddg.OpALU) {
+		t.Error("ninth op placed beyond capacity")
+	}
+	if c.CanPlaceOp(0, ddg.OpLoad) {
+		t.Error("full cluster reported free")
+	}
+	if !c.CanPlaceOp(1, ddg.OpLoad) {
+		t.Error("other cluster should be free")
+	}
+	c.RemoveOp(0, ddg.OpALU)
+	if !c.CanPlaceOp(0, ddg.OpFAdd) {
+		t.Error("freed slot not reusable")
+	}
+	if got := c.FreeSlots(1); got != 8 {
+		t.Errorf("FreeSlots(1) = %d, want 8", got)
+	}
+}
+
+func TestCapacityFSChargesSpecializedClass(t *testing.T) {
+	m := machine.NewBusedFS(1, 1, 1) // mem, int, int, fp
+	m.Buses = 0                      // single cluster needs no bus
+	c := NewCapacity(m, 1)
+
+	if !c.PlaceOp(0, ddg.OpLoad) {
+		t.Fatal("load should fit the memory unit")
+	}
+	if c.PlaceOp(0, ddg.OpStore) {
+		t.Error("second memory op placed with one memory unit at II=1")
+	}
+	// Integer pool is independent: two units.
+	if !c.PlaceOp(0, ddg.OpALU) || !c.PlaceOp(0, ddg.OpShift) {
+		t.Error("two integer ops should fit")
+	}
+	if c.PlaceOp(0, ddg.OpBranch) {
+		t.Error("third integer op placed with two integer units at II=1")
+	}
+	if c.ChargeClass(0, ddg.OpFMul) != machine.FUFloat {
+		t.Error("FP op should charge the float class on FS clusters")
+	}
+}
+
+func TestCapacityGPChargesGeneralPool(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	m.Buses = 0
+	c := NewCapacity(m, 1)
+	if c.ChargeClass(0, ddg.OpLoad) != machine.FUGeneral {
+		t.Error("loads on a GP cluster charge the general pool")
+	}
+}
+
+func TestBroadcastCopyAccounting(t *testing.T) {
+	m := machine.NewBusedGP(3, 2, 1)
+	c := NewCapacity(m, 1) // 1 read, 1 write slot per cluster, 2 bus slots
+
+	if !c.PlaceBroadcastCopy(0, []int{1, 2}) {
+		t.Fatal("first copy should fit")
+	}
+	if c.FreeReadPortSlots(0) != 0 || c.FreeWritePortSlots(1) != 0 || c.FreeWritePortSlots(2) != 0 {
+		t.Error("copy did not consume the expected ports")
+	}
+	if c.FreeBusSlots() != 1 {
+		t.Errorf("FreeBusSlots = %d, want 1", c.FreeBusSlots())
+	}
+	// Second copy from cluster 0 fails: read port exhausted.
+	if c.PlaceBroadcastCopy(0, nil) {
+		t.Error("copy placed without read port")
+	}
+	// From cluster 1, targeting cluster 2 fails on 2's write port.
+	if c.PlaceBroadcastCopy(1, []int{2}) {
+		t.Error("copy placed without target write port")
+	}
+	// From cluster 1 with no extra target: fits (bus + read port left).
+	if !c.PlaceBroadcastCopy(1, nil) {
+		t.Error("bus copy without targets should fit")
+	}
+	// Bus pool now empty.
+	if c.PlaceBroadcastCopy(2, nil) {
+		t.Error("copy placed without bus")
+	}
+	c.RemoveBroadcastCopy(0, []int{1, 2})
+	if c.FreeReadPortSlots(0) != 1 || c.FreeBusSlots() != 1 {
+		t.Error("removal did not release resources")
+	}
+}
+
+func TestAddCopyTarget(t *testing.T) {
+	m := machine.NewBusedGP(2, 1, 1)
+	c := NewCapacity(m, 2)
+	if !c.PlaceBroadcastCopy(0, []int{1}) {
+		t.Fatal("copy should fit")
+	}
+	if !c.AddCopyTarget(1) {
+		t.Fatal("second write slot on cluster 1 should exist at II=2")
+	}
+	if c.AddCopyTarget(1) {
+		t.Error("third write beyond capacity")
+	}
+	c.RemoveCopyTarget(1)
+	if !c.CanAddCopyTarget(1) {
+		t.Error("released write slot not reusable")
+	}
+}
+
+func TestLinkCopyAccounting(t *testing.T) {
+	m := machine.NewGrid4(1)
+	c := NewCapacity(m, 1)
+	li := m.LinkBetween(0, 1)
+
+	if !c.PlaceLinkCopy(0, 1, li) {
+		t.Fatal("link copy should fit")
+	}
+	if c.FreeLinkSlots(li) != 0 {
+		t.Error("link slot not consumed")
+	}
+	if c.PlaceLinkCopy(1, 0, li) {
+		t.Error("link reused within the same II slot budget")
+	}
+	// The other link at cluster 0 is free, but 0's read port is gone.
+	li02 := m.LinkBetween(0, 2)
+	if c.PlaceLinkCopy(0, 2, li02) {
+		t.Error("copy placed without read port")
+	}
+	c.RemoveLinkCopy(0, 1, li)
+	if !c.PlaceLinkCopy(0, 2, li02) {
+		t.Error("released resources not reusable")
+	}
+}
+
+func TestMaxReservableCopies(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	c := NewCapacity(m, 3) // read 3/cluster, bus 6
+	if got := c.MaxReservableCopies(0); got != 3 {
+		t.Errorf("MRC = %d, want 3 (read ports bind)", got)
+	}
+	// Consume bus slots from the other cluster until the bus binds.
+	for i := 0; i < 3; i++ {
+		if !c.PlaceBroadcastCopy(1, nil) {
+			t.Fatal("bus copy should fit")
+		}
+	}
+	if got := c.MaxReservableCopies(0); got != 3 {
+		t.Errorf("MRC = %d, want 3 (buses: 6-3=3)", got)
+	}
+	c.PlaceBroadcastCopy(0, nil)
+	if got := c.MaxReservableCopies(0); got != 2 {
+		t.Errorf("MRC = %d, want 2", got)
+	}
+}
+
+func TestMaxReservableCopiesGrid(t *testing.T) {
+	m := machine.NewGrid4(2)
+	c := NewCapacity(m, 2)
+	// Read ports: 2*2=4; incident links: 2 links * 2 slots = 4.
+	if got := c.MaxReservableCopies(0); got != 4 {
+		t.Errorf("MRC = %d, want 4", got)
+	}
+	li := m.LinkBetween(0, 1)
+	c.PlaceLinkCopy(0, 1, li)
+	if got := c.MaxReservableCopies(0); got != 3 {
+		t.Errorf("MRC = %d, want 3", got)
+	}
+}
+
+func TestCapacityCloneIsIndependent(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	c := NewCapacity(m, 2)
+	c.PlaceOp(0, ddg.OpALU)
+	c.PlaceBroadcastCopy(0, []int{1})
+
+	d := c.Clone()
+	d.PlaceOp(0, ddg.OpALU)
+	d.PlaceBroadcastCopy(1, []int{0})
+
+	if c.FreeOpSlots(0, ddg.OpALU) != 7 {
+		t.Error("clone mutated original FU counters")
+	}
+	if c.FreeReadPortSlots(1) != 2 {
+		t.Error("clone mutated original port counters")
+	}
+}
+
+func TestCapacityPanicsOnUnderflow(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	c := NewCapacity(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveOp on empty table should panic")
+		}
+	}()
+	c.RemoveOp(0, ddg.OpALU)
+}
+
+func TestNewCapacityPanicsOnBadII(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on II=0")
+		}
+	}()
+	NewCapacity(machine.NewBusedGP(2, 2, 1), 0)
+}

@@ -1,0 +1,361 @@
+package mrt
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+const empty = -1
+
+// Cycle is the cycle-exact modulo reservation table used by the
+// schedulers in phase two. Every resource instance (a specific function
+// unit, port, bus, or link) has II slots; placing an operation at cycle
+// t occupies slot t mod II of each resource it needs. The table records
+// who occupies what, so operations can be evicted (iterative modulo
+// scheduling) and conflicts can be attributed.
+type Cycle struct {
+	m  *machine.Config
+	ii int
+
+	fu    [][][]int // [cluster][unit][slot] -> occupying node or -1
+	read  [][][]int // [cluster][port][slot]
+	write [][][]int // [cluster][port][slot]
+	bus   [][]int   // [bus][slot]
+	link  [][]int   // [link][slot]
+
+	placed map[int]*Placement
+}
+
+// Placement records exactly which slots a scheduled node occupies, so
+// that Unplace can release them and callers can inspect decisions.
+type Placement struct {
+	Node    int
+	Cycle   int
+	Cluster int // executing cluster (source cluster for copies)
+
+	fuUnit     int // occupied FU index, -1 for copies
+	occupancy  int // consecutive slots held on the unit (1 if pipelined)
+	readPort   int // occupied read port on Cluster, -1 for non-copies
+	busIndex   int // occupied bus, -1 when unused
+	linkIndex  int // occupied link, -1 when unused
+	writeSlots []wSlot
+}
+
+type wSlot struct {
+	cluster int
+	port    int
+}
+
+// NewCycle returns an empty cycle-exact table for machine m at the
+// given II.
+func NewCycle(m *machine.Config, ii int) *Cycle {
+	if ii <= 0 {
+		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
+	}
+	c := &Cycle{m: m, ii: ii, placed: make(map[int]*Placement)}
+	mk := func(n int) [][]int {
+		rows := make([][]int, n)
+		for i := range rows {
+			row := make([]int, ii)
+			for j := range row {
+				row[j] = empty
+			}
+			rows[i] = row
+		}
+		return rows
+	}
+	for i := range m.Clusters {
+		cl := &m.Clusters[i]
+		c.fu = append(c.fu, mk(len(cl.FUs)))
+		c.read = append(c.read, mk(cl.ReadPorts))
+		c.write = append(c.write, mk(cl.WritePorts))
+	}
+	c.bus = mk(m.Buses)
+	c.link = mk(len(m.Links))
+	return c
+}
+
+// II returns the initiation interval of the table.
+func (c *Cycle) II() int { return c.ii }
+
+// slot maps an absolute cycle to its modulo slot.
+func (c *Cycle) slot(cycle int) int {
+	s := cycle % c.ii
+	if s < 0 {
+		s += c.ii
+	}
+	return s
+}
+
+// freeIn returns the first free row index of rows at the given slot,
+// or -1 when all are taken.
+func freeIn(rows [][]int, slot int) int {
+	for i, row := range rows {
+		if row[slot] == empty {
+			return i
+		}
+	}
+	return -1
+}
+
+// CanPlaceOp reports whether a non-copy operation of kind k fits on
+// some compatible function unit of cluster cl at the given cycle
+// (non-pipelined kinds hold the unit for their whole latency).
+func (c *Cycle) CanPlaceOp(cl int, k ddg.OpKind, cycle int) bool {
+	return c.findFU(cl, k, c.slot(cycle)) >= 0
+}
+
+func (c *Cycle) findFU(cl int, k ddg.OpKind, slot int) int {
+	occ := c.m.Occupancy(k)
+	if occ > c.ii {
+		return -1 // the unit would overlap itself across iterations
+	}
+	for i, fu := range c.m.Clusters[cl].FUs {
+		if !fu.CanExecute(k) {
+			continue
+		}
+		free := true
+		for d := 0; d < occ && free; d++ {
+			if c.fu[cl][i][(slot+d)%c.ii] != empty {
+				free = false
+			}
+		}
+		if free {
+			return i
+		}
+	}
+	return -1
+}
+
+// PlaceOp schedules node on a compatible function unit of cluster cl at
+// the given cycle. It reports false without changes when no unit is
+// free there.
+func (c *Cycle) PlaceOp(node, cl int, k ddg.OpKind, cycle int) bool {
+	if _, dup := c.placed[node]; dup {
+		panic(fmt.Sprintf("mrt: node %d placed twice", node))
+	}
+	s := c.slot(cycle)
+	u := c.findFU(cl, k, s)
+	if u < 0 {
+		return false
+	}
+	occ := c.m.Occupancy(k)
+	for d := 0; d < occ; d++ {
+		c.fu[cl][u][(s+d)%c.ii] = node
+	}
+	c.placed[node] = &Placement{
+		Node: node, Cycle: cycle, Cluster: cl,
+		fuUnit: u, occupancy: occ, readPort: -1, busIndex: -1, linkIndex: -1,
+	}
+	return true
+}
+
+// CanPlaceCopy reports whether a copy from cluster src to the target
+// clusters fits at the given cycle: a read port on src, a bus (or, for
+// point-to-point machines, the link src-target), and a write port on
+// each target. Point-to-point copies must have exactly one target,
+// adjacent to src.
+func (c *Cycle) CanPlaceCopy(src int, targets []int, cycle int) bool {
+	s := c.slot(cycle)
+	if freeIn(c.read[src], s) < 0 {
+		return false
+	}
+	switch c.m.Network {
+	case machine.Broadcast:
+		if freeIn(c.bus, s) < 0 {
+			return false
+		}
+	case machine.PointToPoint:
+		if len(targets) != 1 {
+			return false
+		}
+		li := c.m.LinkBetween(src, targets[0])
+		if li < 0 || c.link[li][s] != empty {
+			return false
+		}
+	}
+	// Multiple targets may not collapse onto one write-port pool unless
+	// the pool has room for all of them.
+	need := map[int]int{}
+	for _, t := range targets {
+		need[t]++
+	}
+	for t, n := range need {
+		free := 0
+		for _, row := range c.write[t] {
+			if row[s] == empty {
+				free++
+			}
+		}
+		if free < n {
+			return false
+		}
+	}
+	return true
+}
+
+// PlaceCopy schedules a copy node at the given cycle. It reports false
+// without changes when the resources are not all free.
+func (c *Cycle) PlaceCopy(node, src int, targets []int, cycle int) bool {
+	if _, dup := c.placed[node]; dup {
+		panic(fmt.Sprintf("mrt: node %d placed twice", node))
+	}
+	if !c.CanPlaceCopy(src, targets, cycle) {
+		return false
+	}
+	s := c.slot(cycle)
+	p := &Placement{
+		Node: node, Cycle: cycle, Cluster: src,
+		fuUnit: -1, busIndex: -1, linkIndex: -1,
+	}
+	p.readPort = freeIn(c.read[src], s)
+	c.read[src][p.readPort][s] = node
+	switch c.m.Network {
+	case machine.Broadcast:
+		p.busIndex = freeIn(c.bus, s)
+		c.bus[p.busIndex][s] = node
+	case machine.PointToPoint:
+		p.linkIndex = c.m.LinkBetween(src, targets[0])
+		c.link[p.linkIndex][s] = node
+	}
+	for _, t := range targets {
+		w := freeIn(c.write[t], s)
+		c.write[t][w][s] = node
+		p.writeSlots = append(p.writeSlots, wSlot{cluster: t, port: w})
+	}
+	c.placed[node] = p
+	return true
+}
+
+// Unplace releases every slot held by node. It reports whether the node
+// was placed.
+func (c *Cycle) Unplace(node int) bool {
+	p, ok := c.placed[node]
+	if !ok {
+		return false
+	}
+	s := c.slot(p.Cycle)
+	if p.fuUnit >= 0 {
+		for d := 0; d < p.occupancy; d++ {
+			c.fu[p.Cluster][p.fuUnit][(s+d)%c.ii] = empty
+		}
+	}
+	if p.readPort >= 0 {
+		c.read[p.Cluster][p.readPort][s] = empty
+	}
+	if p.busIndex >= 0 {
+		c.bus[p.busIndex][s] = empty
+	}
+	if p.linkIndex >= 0 {
+		c.link[p.linkIndex][s] = empty
+	}
+	for _, w := range p.writeSlots {
+		c.write[w.cluster][w.port][s] = empty
+	}
+	delete(c.placed, node)
+	return true
+}
+
+// PlacementOf returns the recorded placement of node, or nil.
+func (c *Cycle) PlacementOf(node int) *Placement {
+	return c.placed[node]
+}
+
+// ConflictsAt returns the distinct node IDs occupying resources that an
+// operation of kind k on cluster cl would need at the given cycle
+// (non-copy operations only; used by eviction). An empty result with
+// CanPlaceOp false cannot happen: some occupant always exists.
+func (c *Cycle) ConflictsAt(cl int, k ddg.OpKind, cycle int) []int {
+	s := c.slot(cycle)
+	occ := c.m.Occupancy(k)
+	if occ > c.ii {
+		occ = c.ii
+	}
+	var out []int
+	seen := map[int]bool{}
+	for i, fu := range c.m.Clusters[cl].FUs {
+		if !fu.CanExecute(k) {
+			continue
+		}
+		for d := 0; d < occ; d++ {
+			if n := c.fu[cl][i][(s+d)%c.ii]; n != empty && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// CopyConflictsAt returns the nodes occupying resources a copy from src
+// to targets would need at the given cycle.
+func (c *Cycle) CopyConflictsAt(src int, targets []int, cycle int) []int {
+	s := c.slot(cycle)
+	seen := map[int]bool{}
+	var out []int
+	add := func(rows [][]int) {
+		for _, row := range rows {
+			if n := row[s]; n != empty && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	add(c.read[src])
+	switch c.m.Network {
+	case machine.Broadcast:
+		add(c.bus)
+	case machine.PointToPoint:
+		if len(targets) == 1 {
+			if li := c.m.LinkBetween(src, targets[0]); li >= 0 {
+				if n := c.link[li][s]; n != empty && !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	for _, t := range targets {
+		add(c.write[t])
+	}
+	return out
+}
+
+// String renders the table, one line per resource instance, with "."
+// for free slots, for debugging and the schedview tool.
+func (c *Cycle) String() string {
+	var b strings.Builder
+	row := func(label string, slots []int) {
+		fmt.Fprintf(&b, "%-14s", label)
+		for _, n := range slots {
+			if n == empty {
+				b.WriteString("   .")
+			} else {
+				fmt.Fprintf(&b, "%4d", n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for cl := range c.m.Clusters {
+		for u := range c.fu[cl] {
+			row(fmt.Sprintf("c%d.%s%d", cl, c.m.Clusters[cl].FUs[u], u), c.fu[cl][u])
+		}
+		for p := range c.read[cl] {
+			row(fmt.Sprintf("c%d.rd%d", cl, p), c.read[cl][p])
+		}
+		for p := range c.write[cl] {
+			row(fmt.Sprintf("c%d.wr%d", cl, p), c.write[cl][p])
+		}
+	}
+	for i := range c.bus {
+		row(fmt.Sprintf("bus%d", i), c.bus[i])
+	}
+	for i := range c.link {
+		l := c.m.Links[i]
+		row(fmt.Sprintf("link%d-%d", l.A, l.B), c.link[i])
+	}
+	return b.String()
+}

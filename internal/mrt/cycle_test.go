@@ -1,0 +1,186 @@
+package mrt
+
+import (
+	"strings"
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+func TestCyclePlaceOpModuloWrap(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 3)
+
+	// Cycle 7 occupies slot 1; so do cycles 1, 4, 10...
+	for i := 0; i < 4; i++ {
+		if !c.PlaceOp(i, 0, ddg.OpALU, 7) {
+			t.Fatalf("op %d should fit (4 units)", i)
+		}
+	}
+	if c.CanPlaceOp(0, ddg.OpALU, 1) {
+		t.Error("slot 1 should be full (modulo aliasing of cycle 7)")
+	}
+	if !c.CanPlaceOp(0, ddg.OpALU, 2) {
+		t.Error("slot 2 should be free")
+	}
+	if !c.Unplace(2) {
+		t.Error("Unplace failed")
+	}
+	if !c.CanPlaceOp(0, ddg.OpALU, 10) {
+		t.Error("released slot should accept a new op at an aliasing cycle")
+	}
+	if c.Unplace(2) {
+		t.Error("double Unplace should report false")
+	}
+}
+
+func TestCycleFSUnitSelection(t *testing.T) {
+	m := machine.NewBusedFS(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 1)
+	if !c.PlaceOp(0, 0, ddg.OpALU, 0) || !c.PlaceOp(1, 0, ddg.OpShift, 0) {
+		t.Fatal("two integer units should take two integer ops")
+	}
+	if c.CanPlaceOp(0, ddg.OpBranch, 0) {
+		t.Error("third integer op must not fit")
+	}
+	if !c.CanPlaceOp(0, ddg.OpFMul, 0) {
+		t.Error("float unit should still be free")
+	}
+	if !c.PlaceOp(2, 0, ddg.OpFMul, 1) {
+		t.Error("cycle 1 aliases slot 0 at II=1 and the float unit is free there")
+	}
+}
+
+func TestCyclePlaceOpDuplicatePanics(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 2)
+	c.PlaceOp(0, 0, ddg.OpALU, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("placing the same node twice should panic")
+		}
+	}()
+	c.PlaceOp(0, 0, ddg.OpALU, 1)
+}
+
+func TestCycleBroadcastCopy(t *testing.T) {
+	m := machine.NewBusedGP(3, 1, 1)
+	c := NewCycle(m, 2)
+
+	if !c.PlaceCopy(10, 0, []int{1, 2}, 0) {
+		t.Fatal("copy should fit")
+	}
+	// Bus is single: another copy at the same slot must fail, even from
+	// another cluster.
+	if c.CanPlaceCopy(1, []int{2}, 2) {
+		t.Error("bus slot 0 should be taken (cycle 2 aliases it)")
+	}
+	if !c.CanPlaceCopy(1, []int{2}, 1) {
+		t.Error("bus slot 1 should be free")
+	}
+	// Write port of cluster 1 at slot 0 is taken.
+	if c.CanPlaceCopy(2, []int{1}, 0) {
+		t.Error("write port on cluster 1 at slot 0 should be taken")
+	}
+	c.Unplace(10)
+	if !c.CanPlaceCopy(2, []int{1}, 0) {
+		t.Error("unplace should release bus, read and write ports")
+	}
+}
+
+func TestCycleCopyMultipleTargetsNeedDistinctWritePorts(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	c := NewCycle(m, 1)
+	// Two targets on the same cluster pool need two write ports; only 1.
+	if c.CanPlaceCopy(0, []int{1, 1}, 0) {
+		t.Error("two writes into one single-ported cluster at one cycle")
+	}
+}
+
+func TestCycleLinkCopy(t *testing.T) {
+	m := machine.NewGrid4(1)
+	c := NewCycle(m, 2)
+	if !c.PlaceCopy(5, 0, []int{1}, 0) {
+		t.Fatal("link copy should fit")
+	}
+	if c.CanPlaceCopy(1, []int{0}, 0) {
+		t.Error("link 0-1 at slot 0 should be busy (both directions share it)")
+	}
+	if !c.CanPlaceCopy(1, []int{0}, 1) {
+		t.Error("link 0-1 at slot 1 should be free")
+	}
+	if c.CanPlaceCopy(0, []int{3}, 1) {
+		t.Error("copy to a non-adjacent cluster must be rejected")
+	}
+	if c.CanPlaceCopy(0, []int{1, 2}, 1) {
+		t.Error("point-to-point copies must have exactly one target")
+	}
+}
+
+func TestCycleConflictsAt(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 1)
+	for i := 0; i < 4; i++ {
+		c.PlaceOp(i, 0, ddg.OpALU, 0)
+	}
+	conflicts := c.ConflictsAt(0, ddg.OpFAdd, 3)
+	if len(conflicts) != 4 {
+		t.Errorf("ConflictsAt = %v, want all four occupants", conflicts)
+	}
+}
+
+func TestCycleCopyConflictsAt(t *testing.T) {
+	m := machine.NewBusedGP(2, 1, 1)
+	c := NewCycle(m, 1)
+	c.PlaceCopy(7, 0, []int{1}, 0)
+	conflicts := c.CopyConflictsAt(0, []int{1}, 0)
+	if len(conflicts) != 1 || conflicts[0] != 7 {
+		t.Errorf("CopyConflictsAt = %v, want [7]", conflicts)
+	}
+}
+
+func TestCyclePlacementOf(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 4)
+	c.PlaceOp(3, 0, ddg.OpLoad, 9)
+	p := c.PlacementOf(3)
+	if p == nil || p.Cycle != 9 || p.Cluster != 0 {
+		t.Errorf("PlacementOf = %+v", p)
+	}
+	if c.PlacementOf(99) != nil {
+		t.Error("PlacementOf unknown node should be nil")
+	}
+}
+
+func TestCycleStringShowsOccupancy(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	c := NewCycle(m, 2)
+	c.PlaceOp(42, 0, ddg.OpALU, 1)
+	s := c.String()
+	if !strings.Contains(s, "42") || !strings.Contains(s, "c0.gp") {
+		t.Errorf("String() missing occupant:\n%s", s)
+	}
+}
+
+func TestCycleNegativeCycles(t *testing.T) {
+	m := machine.NewBusedGP(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 3)
+	// Cycle -1 occupies slot 2 (SMS places against successors and may
+	// go negative before normalization).
+	if !c.PlaceOp(0, 0, ddg.OpALU, -1) {
+		t.Fatal("negative cycle placement failed")
+	}
+	for i := 1; i < 4; i++ {
+		c.PlaceOp(i, 0, ddg.OpALU, 2)
+	}
+	if c.CanPlaceOp(0, ddg.OpALU, -4) {
+		t.Error("slot 2 should be full; -4 aliases it")
+	}
+}

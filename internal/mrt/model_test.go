@@ -1,0 +1,242 @@
+package mrt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+// This file model-checks the cycle-exact reservation table against a
+// trivially correct reference implementation: a multiset of
+// (resource instance class, slot) tokens with plain counting. Any
+// divergence between the optimized table and the counting model over a
+// random operation sequence is a bug in the table.
+
+// refModel counts occupancy per (kind of resource, index, slot).
+type refModel struct {
+	m     *machine.Config
+	ii    int
+	fu    map[[2]int]int // (cluster, slot) -> ops issued (capacity: compatible units)
+	read  map[[2]int]int
+	write map[[2]int]int
+	bus   map[int]int
+	link  map[[2]int]int // (link, slot)
+	byOp  map[int]refPlacement
+}
+
+type refPlacement struct {
+	isCopy  bool
+	cluster int
+	slot    int
+	kind    ddg.OpKind
+	targets []int
+}
+
+func newRefModel(m *machine.Config, ii int) *refModel {
+	return &refModel{
+		m: m, ii: ii,
+		fu:    map[[2]int]int{},
+		read:  map[[2]int]int{},
+		write: map[[2]int]int{},
+		bus:   map[int]int{},
+		link:  map[[2]int]int{},
+		byOp:  map[int]refPlacement{},
+	}
+}
+
+// canOp uses plain counting. On homogeneous clusters (all-GP or the
+// FS mix with disjoint classes) counting per compatible-unit pool is
+// exact.
+func (r *refModel) canOp(cl int, k ddg.OpKind, slot int) bool {
+	used := 0
+	for _, p := range r.byOp {
+		if !p.isCopy && p.cluster == cl && p.slot == slot && sameFUPool(r.m, cl, p.kind, k) {
+			used++
+		}
+	}
+	return used < r.m.Clusters[cl].FUCountFor(k)
+}
+
+// sameFUPool reports whether two kinds compete for the same units on
+// the cluster (true for all-GP clusters; class equality for FS).
+func sameFUPool(m *machine.Config, cl int, a, b ddg.OpKind) bool {
+	// Two kinds share a pool when the unit sets capable of each are
+	// identical; with GP/FS clusters the sets are either equal or
+	// disjoint.
+	for _, fu := range m.Clusters[cl].FUs {
+		if fu.CanExecute(a) != fu.CanExecute(b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refModel) canCopy(src int, targets []int, slot int) bool {
+	if r.read[[2]int{src, slot}] >= r.m.Clusters[src].ReadPorts {
+		return false
+	}
+	if r.m.Network == machine.Broadcast {
+		if r.bus[slot] >= r.m.Buses {
+			return false
+		}
+	} else {
+		if len(targets) != 1 {
+			return false
+		}
+		li := r.m.LinkBetween(src, targets[0])
+		if li < 0 || r.link[[2]int{li, slot}] >= 1 {
+			return false
+		}
+	}
+	need := map[int]int{}
+	for _, t := range targets {
+		need[t]++
+	}
+	for t, n := range need {
+		if r.write[[2]int{t, slot}]+n > r.m.Clusters[t].WritePorts {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refModel) place(op int, p refPlacement) {
+	r.byOp[op] = p
+	if p.isCopy {
+		r.read[[2]int{p.cluster, p.slot}]++
+		if r.m.Network == machine.Broadcast {
+			r.bus[p.slot]++
+		} else {
+			li := r.m.LinkBetween(p.cluster, p.targets[0])
+			r.link[[2]int{li, p.slot}]++
+		}
+		for _, t := range p.targets {
+			r.write[[2]int{t, p.slot}]++
+		}
+	}
+}
+
+func (r *refModel) unplace(op int) bool {
+	p, ok := r.byOp[op]
+	if !ok {
+		return false
+	}
+	delete(r.byOp, op)
+	if p.isCopy {
+		r.read[[2]int{p.cluster, p.slot}]--
+		if r.m.Network == machine.Broadcast {
+			r.bus[p.slot]--
+		} else {
+			li := r.m.LinkBetween(p.cluster, p.targets[0])
+			r.link[[2]int{li, p.slot}]--
+		}
+		for _, t := range p.targets {
+			r.write[[2]int{t, p.slot}]--
+		}
+	}
+	return true
+}
+
+// TestCycleMatchesCountingModel drives random operation sequences
+// through both implementations and requires identical accept/reject
+// behaviour throughout.
+func TestCycleMatchesCountingModel(t *testing.T) {
+	machines := []*machine.Config{
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedFS(2, 1, 1),
+		machine.NewBusedGP(3, 2, 2),
+		machine.NewGrid4(1),
+	}
+	kinds := []ddg.OpKind{ddg.OpALU, ddg.OpLoad, ddg.OpFMul, ddg.OpStore, ddg.OpBranch}
+
+	f := func(seed int64, mIdx, iiRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machines[int(mIdx)%len(machines)]
+		ii := 1 + int(iiRaw)%4
+		table := NewCycle(m, ii)
+		ref := newRefModel(m, ii)
+		nextOp := 0
+		var placed []int
+
+		for step := 0; step < 120; step++ {
+			switch {
+			case len(placed) > 0 && rng.Float64() < 0.3:
+				// Unplace a random op.
+				i := rng.Intn(len(placed))
+				op := placed[i]
+				got := table.Unplace(op)
+				want := ref.unplace(op)
+				if got != want {
+					t.Logf("step %d: Unplace(%d) = %v, model %v", step, op, got, want)
+					return false
+				}
+				placed = append(placed[:i], placed[i+1:]...)
+			case rng.Float64() < 0.55:
+				// Place an ordinary op.
+				cl := rng.Intn(m.NumClusters())
+				k := kinds[rng.Intn(len(kinds))]
+				slot := rng.Intn(ii)
+				want := ref.canOp(cl, k, slot)
+				got := table.CanPlaceOp(cl, k, slot)
+				if got != want {
+					t.Logf("step %d: CanPlaceOp(%d,%s,%d) = %v, model %v", step, cl, k, slot, got, want)
+					return false
+				}
+				if got {
+					if !table.PlaceOp(nextOp, cl, k, slot) {
+						t.Logf("step %d: PlaceOp failed after CanPlaceOp", step)
+						return false
+					}
+					ref.place(nextOp, refPlacement{cluster: cl, slot: slot, kind: k})
+					placed = append(placed, nextOp)
+					nextOp++
+				}
+			default:
+				// Place a copy.
+				src := rng.Intn(m.NumClusters())
+				var targets []int
+				if m.Network == machine.Broadcast {
+					for c := 0; c < m.NumClusters(); c++ {
+						if c != src && rng.Float64() < 0.5 {
+							targets = append(targets, c)
+						}
+					}
+					if len(targets) == 0 {
+						targets = []int{(src + 1) % m.NumClusters()}
+					}
+				} else {
+					links := m.LinksAt(src)
+					l := m.Links[links[rng.Intn(len(links))]]
+					dst := l.A
+					if dst == src {
+						dst = l.B
+					}
+					targets = []int{dst}
+				}
+				slot := rng.Intn(ii)
+				want := ref.canCopy(src, targets, slot)
+				got := table.CanPlaceCopy(src, targets, slot)
+				if got != want {
+					t.Logf("step %d: CanPlaceCopy(%d,%v,%d) = %v, model %v", step, src, targets, slot, got, want)
+					return false
+				}
+				if got {
+					if !table.PlaceCopy(nextOp, src, targets, slot) {
+						t.Logf("step %d: PlaceCopy failed after CanPlaceCopy", step)
+						return false
+					}
+					ref.place(nextOp, refPlacement{isCopy: true, cluster: src, slot: slot, targets: targets})
+					placed = append(placed, nextOp)
+					nextOp++
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

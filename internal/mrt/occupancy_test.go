@@ -1,0 +1,105 @@
+package mrt
+
+import (
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+// nonPipelinedMachine marks FP divide and sqrt as holding their unit
+// for the whole 9-cycle latency.
+func nonPipelinedMachine() *machine.Config {
+	m := machine.NewUnifiedGP(4)
+	m.NonPipelined[ddg.OpFDiv] = true
+	m.NonPipelined[ddg.OpFSqrt] = true
+	return m
+}
+
+func TestCapacityNonPipelinedOccupancy(t *testing.T) {
+	m := nonPipelinedMachine()
+	c := NewCapacity(m, 9) // 4 units x 9 slots = 36 slot-cycles
+
+	if !c.PlaceOp(0, ddg.OpFDiv) {
+		t.Fatal("first divide should fit")
+	}
+	if got := c.FreeSlots(0); got != 27 {
+		t.Errorf("FreeSlots = %d, want 27 (divide holds 9 slot-cycles)", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !c.PlaceOp(0, ddg.OpFDiv) {
+			t.Fatalf("divide %d should fit (one per unit)", i+2)
+		}
+	}
+	if c.PlaceOp(0, ddg.OpFDiv) {
+		t.Error("fifth divide placed with four units fully held")
+	}
+	c.RemoveOp(0, ddg.OpFDiv)
+	if !c.CanPlaceOp(0, ddg.OpFDiv) {
+		t.Error("released occupancy not reusable")
+	}
+}
+
+func TestCapacityRejectsOccupancyBeyondII(t *testing.T) {
+	m := nonPipelinedMachine()
+	c := NewCapacity(m, 4) // divide occupancy 9 > II 4
+	if c.CanPlaceOp(0, ddg.OpFDiv) {
+		t.Error("an op cannot hold a unit longer than the II")
+	}
+	if !c.CanPlaceOp(0, ddg.OpFMul) {
+		t.Error("pipelined ops unaffected")
+	}
+}
+
+func TestCycleNonPipelinedBlocksWindow(t *testing.T) {
+	m := nonPipelinedMachine()
+	// Shrink to one unit to make the window visible.
+	m.Clusters[0].FUs = m.Clusters[0].FUs[:1]
+	c := NewCycle(m, 12)
+
+	if !c.PlaceOp(0, 0, ddg.OpFDiv, 2) {
+		t.Fatal("divide should place at cycle 2")
+	}
+	// The unit is busy slots 2..10.
+	for _, cyc := range []int{2, 5, 10} {
+		if c.CanPlaceOp(0, ddg.OpALU, cyc) {
+			t.Errorf("slot %d should be held by the divide", cyc)
+		}
+	}
+	for _, cyc := range []int{0, 1, 11} {
+		if !c.CanPlaceOp(0, ddg.OpALU, cyc) {
+			t.Errorf("slot %d should be free", cyc)
+		}
+	}
+	// Wrap-around: a divide at cycle 8 of II=12 holds slots 8..11,0..4.
+	c.Unplace(0)
+	if !c.PlaceOp(1, 0, ddg.OpFDiv, 8) {
+		t.Fatal("divide should place at cycle 8")
+	}
+	if c.CanPlaceOp(0, ddg.OpALU, 1) {
+		t.Error("wrap-around slot 1 should be held")
+	}
+	if !c.CanPlaceOp(0, ddg.OpALU, 6) {
+		t.Error("slot 6 should be free")
+	}
+	// Unplace releases the whole window.
+	c.Unplace(1)
+	for s := 0; s < 12; s++ {
+		if !c.CanPlaceOp(0, ddg.OpALU, s) {
+			t.Errorf("slot %d not released", s)
+		}
+	}
+}
+
+func TestCycleConflictsAtCoverWindow(t *testing.T) {
+	m := nonPipelinedMachine()
+	m.Clusters[0].FUs = m.Clusters[0].FUs[:1]
+	c := NewCycle(m, 10)
+	c.PlaceOp(7, 0, ddg.OpALU, 3)
+	// A divide at cycle 0 would span slots 0..8, conflicting with the
+	// ALU at slot 3.
+	conflicts := c.ConflictsAt(0, ddg.OpFDiv, 0)
+	if len(conflicts) != 1 || conflicts[0] != 7 {
+		t.Errorf("ConflictsAt = %v, want [7]", conflicts)
+	}
+}

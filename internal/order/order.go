@@ -1,0 +1,232 @@
+// Package order computes the node order used by cluster assignment
+// (paper Section 4.1): nodes of the most constraining strongly
+// connected component first, then successively less critical SCCs,
+// then all remaining nodes; within each set the Swing Modulo Scheduler
+// ordering heuristic lists a node, when possible, only after all of its
+// successors or all of its predecessors, so assignment rarely sees a
+// node whose neighbours have already been scattered across clusters.
+package order
+
+import (
+	"sort"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/mii"
+)
+
+// Sets partitions the nodes into priority sets: one set per non-trivial
+// SCC, sorted by decreasing recurrence criticality (SCC RecMII, ties by
+// larger size then smaller minimum node ID), followed by one final set
+// with every node outside any recurrence.
+func Sets(g *ddg.Graph, lat ddg.LatencyFunc) [][]int {
+	comps := g.NonTrivialSCCs()
+	type ranked struct {
+		nodes []int
+		rec   int
+	}
+	rankedComps := make([]ranked, len(comps))
+	for i, c := range comps {
+		rankedComps[i] = ranked{nodes: c.Nodes, rec: mii.SCCRecMII(g, c, lat)}
+	}
+	sort.SliceStable(rankedComps, func(i, j int) bool {
+		a, b := rankedComps[i], rankedComps[j]
+		if a.rec != b.rec {
+			return a.rec > b.rec
+		}
+		if len(a.nodes) != len(b.nodes) {
+			return len(a.nodes) > len(b.nodes)
+		}
+		return a.nodes[0] < b.nodes[0]
+	})
+	inSCC := make([]bool, g.NumNodes())
+	var sets [][]int
+	for _, rc := range rankedComps {
+		sets = append(sets, rc.nodes)
+		for _, n := range rc.nodes {
+			inSCC[n] = true
+		}
+	}
+	var rest []int
+	for i := 0; i < g.NumNodes(); i++ {
+		if !inSCC[i] {
+			rest = append(rest, i)
+		}
+	}
+	if len(rest) > 0 {
+		sets = append(sets, rest)
+	}
+	return sets
+}
+
+// Compute returns all node IDs in assignment priority order.
+func Compute(g *ddg.Graph, lat ddg.LatencyFunc) []int {
+	if g.NumNodes() == 0 {
+		return nil
+	}
+	ii := mii.RecMII(g, lat)
+	estart, ok := g.EarliestStart(lat, ii)
+	if !ok {
+		// RecMII guarantees convergence; fall back defensively.
+		estart = make([]int, g.NumNodes())
+	}
+	lstart, ok := g.LatestStart(lat, ii)
+	if !ok {
+		lstart = make([]int, g.NumNodes())
+	}
+	maxL := 0
+	for _, t := range lstart {
+		if t > maxL {
+			maxL = t
+		}
+	}
+	depth := estart
+	height := make([]int, len(lstart))
+	for i, t := range lstart {
+		height[i] = maxL - t
+	}
+
+	ordered := make([]int, 0, g.NumNodes())
+	placed := make([]bool, g.NumNodes())
+
+	for _, set := range Sets(g, lat) {
+		inSet := make(map[int]bool, len(set))
+		for _, n := range set {
+			inSet[n] = true
+		}
+		orderSet(g, set, inSet, depth, height, &ordered, placed)
+	}
+	return ordered
+}
+
+// orderSet runs the swing alternating sweep over one priority set.
+func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, ordered *[]int, placed []bool) {
+	const (
+		topDown  = 0
+		bottomUp = 1
+	)
+
+	remaining := 0
+	for _, n := range set {
+		if !placed[n] {
+			remaining++
+		}
+	}
+
+	// candidates gathers the unplaced members of the set adjacent to the
+	// already ordered nodes, in the given direction.
+	candidates := func(dir int) map[int]bool {
+		r := map[int]bool{}
+		for _, o := range *ordered {
+			var neigh []int
+			if dir == topDown {
+				neigh = g.Successors(o)
+			} else {
+				neigh = g.Predecessors(o)
+			}
+			for _, n := range neigh {
+				if inSet[n] && !placed[n] {
+					r[n] = true
+				}
+			}
+		}
+		return r
+	}
+
+	for remaining > 0 {
+		dir := topDown
+		r := candidates(topDown)
+		if len(r) == 0 {
+			r = candidates(bottomUp)
+			if len(r) > 0 {
+				dir = bottomUp
+			}
+		}
+		if len(r) == 0 {
+			// Fresh component: seed with the most critical node (least
+			// slack, i.e. greatest depth+height), descend top-down.
+			best := -1
+			for _, n := range set {
+				if placed[n] {
+					continue
+				}
+				if best == -1 || moreCritical(n, best, depth, height) {
+					best = n
+				}
+			}
+			r = map[int]bool{best: true}
+		}
+
+		for len(r) > 0 {
+			// Drain r in the current direction, expanding within the set.
+			for len(r) > 0 {
+				v := pick(r, dir, depth, height)
+				delete(r, v)
+				if placed[v] {
+					continue
+				}
+				placed[v] = true
+				remaining--
+				*ordered = append(*ordered, v)
+				var neigh []int
+				if dir == topDown {
+					neigh = g.Successors(v)
+				} else {
+					neigh = g.Predecessors(v)
+				}
+				for _, n := range neigh {
+					if inSet[n] && !placed[n] {
+						r[n] = true
+					}
+				}
+			}
+			// Swing: continue from the other side of the ordered nodes.
+			if dir == topDown {
+				dir = bottomUp
+			} else {
+				dir = topDown
+			}
+			r = candidates(dir)
+		}
+	}
+}
+
+// pick selects the next node from r: top-down prefers the deepest node
+// (longest path from a source), bottom-up the highest (longest path to
+// a sink); ties fall to the other metric, then to the smaller ID for
+// determinism.
+func pick(r map[int]bool, dir int, depth, height []int) int {
+	best := -1
+	for n := range r {
+		if best == -1 {
+			best = n
+			continue
+		}
+		var p1, p2, b1, b2 int
+		if dir == 0 {
+			p1, p2 = depth[n], height[n]
+			b1, b2 = depth[best], height[best]
+		} else {
+			p1, p2 = height[n], depth[n]
+			b1, b2 = height[best], depth[best]
+		}
+		switch {
+		case p1 > b1:
+			best = n
+		case p1 == b1 && p2 > b2:
+			best = n
+		case p1 == b1 && p2 == b2 && n < best:
+			best = n
+		}
+	}
+	return best
+}
+
+// moreCritical ranks seed candidates: smaller slack first (depth+height
+// is larger on critical paths), then smaller ID.
+func moreCritical(a, b int, depth, height []int) bool {
+	ca, cb := depth[a]+height[a], depth[b]+height[b]
+	if ca != cb {
+		return ca > cb
+	}
+	return a < b
+}

@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/exact"
+	"clustersched/internal/machine"
+)
+
+// tinyLoop generates a random loop of at most maxN nodes.
+func tinyLoop(rng *rand.Rand, maxN int) *ddg.Graph {
+	n := 2 + rng.Intn(maxN-1)
+	g := ddg.NewGraph(n, n*2)
+	kinds := []ddg.OpKind{ddg.OpALU, ddg.OpLoad, ddg.OpFAdd, ddg.OpStore}
+	for i := 0; i < n; i++ {
+		g.AddNode(kinds[rng.Intn(len(kinds))], "")
+	}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.8 {
+			g.AddEdge(rng.Intn(i), i, 0)
+		}
+	}
+	if rng.Float64() < 0.4 && n >= 2 {
+		// A small recurrence.
+		a := rng.Intn(n - 1)
+		b := a + 1 + rng.Intn(n-a-1)
+		g.AddEdge(a, b, 0)
+		g.AddEdge(b, a, 1)
+	}
+	return g
+}
+
+// TestPipelineNearOptimalOnTinyLoops is the optimality oracle: on
+// random loops of up to 5 operations and a 2-cluster machine of
+// single-GP-unit clusters (tight enough that splits and copies are
+// forced), the heuristic pipeline must never beat the exact optimum
+// (soundness — its schedule would otherwise be invalid) and must stay
+// within one cycle of it (quality).
+func TestPipelineNearOptimalOnTinyLoops(t *testing.T) {
+	m := &machine.Config{
+		Name:    "tiny-2x1",
+		Network: machine.Broadcast,
+		Buses:   1,
+		Clusters: []machine.Cluster{
+			machine.GPCluster(1, 1, 1),
+			machine.GPCluster(1, 1, 1),
+		},
+		Latencies: machine.DefaultLatencies(),
+	}
+	rng := rand.New(rand.NewSource(2026))
+	const maxII = 12
+	within, total := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		g := tinyLoop(rng, 5)
+		if g.Validate() != nil {
+			continue
+		}
+		opt, err := exact.Optimal(g, m, maxII)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt > maxII {
+			continue // not schedulable in range; skip
+		}
+		out, err := Run(g, m, Options{Assign: assign.Options{Variant: assign.HeuristicIterative}})
+		if err != nil {
+			t.Errorf("trial %d: pipeline failed but exact II %d exists:\n%s", trial, opt, g)
+			continue
+		}
+		total++
+		if out.II < opt {
+			t.Errorf("trial %d: pipeline II %d below exact optimum %d — model mismatch:\n%s",
+				trial, out.II, opt, g)
+		}
+		if out.II <= opt+1 {
+			within++
+		}
+		if out.II > opt+2 {
+			t.Errorf("trial %d: pipeline II %d far above exact optimum %d:\n%s",
+				trial, out.II, opt, g)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no trials ran")
+	}
+	if pct := 100 * float64(within) / float64(total); pct < 90 {
+		t.Errorf("only %.0f%% of tiny loops within one cycle of optimal", pct)
+	}
+}

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mii"
+)
+
+// paperExampleGraph builds the introductory example of Figure 6:
+// A -> B -> C -> D with a loop-carried edge D -> B (distance 1), plus
+// D -> E -> F. C has latency 2 (a load), everything else latency 1.
+// RecMII = (1+2+1)/1 = 4; on a 2-wide machine ResMII = 6/2 = 3.
+func paperExampleGraph() *ddg.Graph {
+	g := ddg.NewGraph(6, 6)
+	a := g.AddNode(ddg.OpALU, "A")
+	b := g.AddNode(ddg.OpALU, "B")
+	c := g.AddNode(ddg.OpLoad, "C") // latency 2
+	d := g.AddNode(ddg.OpALU, "D")
+	e := g.AddNode(ddg.OpALU, "E")
+	f := g.AddNode(ddg.OpALU, "F")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	g.AddEdge(c, d, 0)
+	g.AddEdge(d, b, 1) // recurrence
+	g.AddEdge(d, e, 0)
+	g.AddEdge(e, f, 0)
+	return g
+}
+
+// exampleMachine is the hypothetical target of Section 3: two clusters
+// of one GP unit each, two buses, one read and one write port per
+// cluster.
+func exampleMachine() *machine.Config {
+	m := &machine.Config{
+		Name:    "intro-2c",
+		Network: machine.Broadcast,
+		Buses:   2,
+		Clusters: []machine.Cluster{
+			machine.GPCluster(1, 1, 1),
+			machine.GPCluster(1, 1, 1),
+		},
+		Latencies: machine.DefaultLatencies(),
+	}
+	return m
+}
+
+func TestPaperExampleMII(t *testing.T) {
+	g := paperExampleGraph()
+	m := exampleMachine()
+	if rec := mii.RecMII(g, m.Latency); rec != 4 {
+		t.Errorf("RecMII = %d, want 4", rec)
+	}
+	if res := mii.ResMII(g, m); res != 3 {
+		t.Errorf("ResMII = %d, want 3", res)
+	}
+	if got := mii.MII(g, m); got != 4 {
+		t.Errorf("MII = %d, want 4", got)
+	}
+}
+
+// TestPaperExampleHeuristicMatchesUnified reproduces the Section 3
+// outcome: the full heuristic assignment schedules the loop on the
+// clustered machine at the same II (4) a unified 2-wide machine gets.
+func TestPaperExampleHeuristicMatchesUnified(t *testing.T) {
+	g := paperExampleGraph()
+	m := exampleMachine()
+
+	unified, err := Run(g, m.Unified(), Options{})
+	if err != nil {
+		t.Fatalf("unified run: %v", err)
+	}
+	if unified.II != 4 {
+		t.Fatalf("unified II = %d, want 4", unified.II)
+	}
+
+	clustered, err := Run(g, m, Options{
+		Assign: assign.Options{Variant: assign.HeuristicIterative},
+	})
+	if err != nil {
+		t.Fatalf("clustered run: %v", err)
+	}
+	if clustered.II != unified.II {
+		t.Errorf("clustered II = %d, want %d (match unified)", clustered.II, unified.II)
+	}
+	// The SCC {B, C, D} must stay on one cluster: splitting it adds a
+	// copy to the critical cycle and would force II >= 6.
+	res := clustered.Assignment
+	cb, cc, cd := res.ClusterOf[1], res.ClusterOf[2], res.ClusterOf[3]
+	if cb != cc || cc != cd {
+		t.Errorf("SCC split across clusters: B=%d C=%d D=%d", cb, cc, cd)
+	}
+}
+
+// TestPaperExampleSMS checks the paper's actual phase-two scheduler
+// reaches the same II.
+func TestPaperExampleSMS(t *testing.T) {
+	g := paperExampleGraph()
+	m := exampleMachine()
+	out, err := Run(g, m, Options{
+		Assign:    assign.Options{Variant: assign.HeuristicIterative},
+		Scheduler: SMS,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.II != 4 {
+		t.Errorf("SMS clustered II = %d, want 4", out.II)
+	}
+}

@@ -1,0 +1,124 @@
+// Package pipeline drives the paper's two-phase process (Figure 5):
+// compute the unified-machine MII, run cluster assignment at a
+// candidate II, hand the annotated graph to a traditional modulo
+// scheduler, and escalate II — re-running assignment from scratch —
+// until a valid schedule emerges.
+package pipeline
+
+import (
+	"fmt"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mii"
+	"clustersched/internal/sched"
+)
+
+// Scheduler selects the phase-two algorithm.
+type Scheduler int
+
+// Available phase-two schedulers.
+const (
+	// IMS is Rau's iterative modulo scheduler.
+	IMS Scheduler = iota
+	// SMS is the iterative swing modulo scheduler the paper uses.
+	SMS
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case IMS:
+		return "IMS"
+	case SMS:
+		return "SMS"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Options configures a pipeline run.
+type Options struct {
+	// Assign configures the cluster assignment phase.
+	Assign assign.Options
+	// Scheduler picks the phase-two algorithm (default IMS).
+	Scheduler Scheduler
+	// SchedBudgetRatio is the per-node displacement budget of the
+	// scheduler; zero selects the scheduler's default.
+	SchedBudgetRatio int
+	// MaxIISlack bounds the search: the pipeline gives up when
+	// II > MII + MaxIISlack. Zero selects DefaultMaxIISlack.
+	MaxIISlack int
+}
+
+// DefaultMaxIISlack is the default II search headroom above MII.
+const DefaultMaxIISlack = 96
+
+// Outcome reports a finished pipeline run.
+type Outcome struct {
+	// II is the achieved initiation interval.
+	II int
+	// MII is max(ResMII, RecMII) of the original graph on the machine.
+	MII int
+	// Assignment is the cluster assignment used (single trivial cluster
+	// for unified machines).
+	Assignment *assign.Result
+	// Schedule is the final modulo schedule of the annotated graph.
+	Schedule *sched.Schedule
+	// AssignFailures and SchedFailures count II values rejected by each
+	// phase before success.
+	AssignFailures int
+	SchedFailures  int
+}
+
+// Run schedules loop g on machine m. It returns an error only when the
+// II search space is exhausted, which for well-formed inputs indicates
+// a machine too narrow for the loop (or a pathological graph).
+func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: invalid graph: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: invalid machine: %w", err)
+	}
+	slack := opts.MaxIISlack
+	if slack <= 0 {
+		slack = DefaultMaxIISlack
+	}
+	out := &Outcome{MII: mii.MII(g, m)}
+	for ii := out.MII; ii <= out.MII+slack; ii++ {
+		res, ok := assign.Run(g, m, ii, opts.Assign)
+		if !ok {
+			out.AssignFailures++
+			continue
+		}
+		in := sched.Input{
+			Graph:       res.Graph,
+			Machine:     m,
+			ClusterOf:   res.ClusterOf,
+			CopyTargets: res.CopyTargets,
+			II:          ii,
+		}
+		var (
+			s  *sched.Schedule
+			sk bool
+		)
+		switch opts.Scheduler {
+		case SMS:
+			s, sk = sched.SMS(in, opts.SchedBudgetRatio)
+		default:
+			s, sk = sched.IMS(in, opts.SchedBudgetRatio)
+		}
+		if !sk {
+			out.SchedFailures++
+			continue
+		}
+		out.II = ii
+		out.Assignment = res
+		out.Schedule = s
+		return out, nil
+	}
+	return nil, fmt.Errorf("pipeline: no schedule for %q within II <= %d (MII %d)",
+		m.Name, out.MII+slack, out.MII)
+}

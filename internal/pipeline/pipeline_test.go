@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+	"clustersched/internal/sched"
+	"clustersched/internal/verify"
+)
+
+func TestRunRejectsInvalidGraph(t *testing.T) {
+	g := ddg.NewGraph(2, 2)
+	a := g.AddNode(ddg.OpALU, "")
+	b := g.AddNode(ddg.OpALU, "")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 0) // zero-distance cycle
+	_, err := Run(g, machine.NewBusedGP(2, 2, 1), Options{})
+	if err == nil || !strings.Contains(err.Error(), "invalid graph") {
+		t.Errorf("invalid graph accepted: %v", err)
+	}
+}
+
+func TestRunRejectsInvalidMachine(t *testing.T) {
+	g := ddg.NewGraph(1, 0)
+	g.AddNode(ddg.OpALU, "")
+	m := &machine.Config{Name: "empty"}
+	if _, err := Run(g, m, Options{}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestRunGivesUpWithinSlack(t *testing.T) {
+	// A machine that can never schedule a split loop: no ports, tiny
+	// cluster, too many ops for one cluster at any II up to the slack.
+	g := ddg.NewGraph(6, 5)
+	for i := 0; i < 6; i++ {
+		g.AddNode(ddg.OpALU, "")
+		if i > 0 {
+			g.AddEdge(i-1, i, 0)
+		}
+	}
+	g.AddEdge(5, 0, 1) // one big recurrence: must stay on one cluster
+	m := &machine.Config{
+		Name:    "starved",
+		Network: machine.Broadcast,
+		Buses:   1,
+		Clusters: []machine.Cluster{
+			machine.GPCluster(1, 0, 0),
+			machine.GPCluster(1, 0, 0),
+		},
+		Latencies: machine.DefaultLatencies(),
+	}
+	// The recurrence fits one cluster at II=6; so this SHOULD succeed.
+	out, err := Run(g, m, Options{})
+	if err != nil {
+		t.Fatalf("recurrence should fit one cluster at II=6: %v", err)
+	}
+	if out.II != 6 {
+		t.Errorf("II = %d, want 6", out.II)
+	}
+	// Two coupled 5-op recurrences: each fits a cluster alone at II=5,
+	// but the edge between them needs a copy the portless machine can
+	// never place, and a single cluster needs II=10 — beyond slack 2.
+	g2 := ddg.NewGraph(10, 11)
+	for i := 0; i < 10; i++ {
+		g2.AddNode(ddg.OpALU, "")
+	}
+	for i := 1; i < 5; i++ {
+		g2.AddEdge(i-1, i, 0)
+		g2.AddEdge(i+4, i+5, 0)
+	}
+	g2.AddEdge(4, 0, 1)
+	g2.AddEdge(9, 5, 1)
+	g2.AddEdge(0, 5, 0) // couples the recurrences
+	if _, err := Run(g2, m, Options{MaxIISlack: 2}); err == nil {
+		t.Error("expected exhaustion error")
+	}
+	// With enough slack both recurrences fit one cluster at II=10.
+	out2, err := Run(g2, m, Options{MaxIISlack: 8})
+	if err != nil {
+		t.Fatalf("II=10 single-cluster schedule should exist: %v", err)
+	}
+	if out2.II != 10 {
+		t.Errorf("II = %d, want 10", out2.II)
+	}
+}
+
+func TestOutcomeCountsFailures(t *testing.T) {
+	// On the intro machine the example needs iterative work; check the
+	// failure counters stay consistent (non-negative, and II >= MII).
+	g := paperExampleGraph()
+	m := exampleMachine()
+	out, err := Run(g, m, Options{Assign: assign.Options{Variant: assign.Simple}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.II < out.MII {
+		t.Errorf("II %d below MII %d", out.II, out.MII)
+	}
+	if out.AssignFailures < 0 || out.SchedFailures < 0 {
+		t.Error("negative failure counts")
+	}
+}
+
+// TestEveryScheduleValidates is the end-to-end oracle: anything the
+// pipeline returns must pass independent verification, on every
+// machine family and both schedulers.
+func TestEveryScheduleValidates(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 21, Count: 60})
+	machines := []*machine.Config{
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedGP(4, 4, 2),
+		machine.NewBusedFS(2, 2, 1),
+		machine.NewGrid4(2),
+	}
+	for _, m := range machines {
+		for _, schedChoice := range []Scheduler{IMS, SMS} {
+			for i, g := range loops {
+				out, err := Run(g, m, Options{
+					Assign:    assign.Options{Variant: assign.HeuristicIterative},
+					Scheduler: schedChoice,
+				})
+				if err != nil {
+					t.Errorf("%s/%s loop %d: %v", m.Name, schedChoice, i, err)
+					continue
+				}
+				in := sched.Input{
+					Graph:       out.Assignment.Graph,
+					Machine:     m,
+					ClusterOf:   out.Assignment.ClusterOf,
+					CopyTargets: out.Assignment.CopyTargets,
+					II:          out.II,
+				}
+				if err := verify.Schedule(in, out.Schedule); err != nil {
+					t.Errorf("%s/%s loop %d: schedule invalid: %v", m.Name, schedChoice, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestUnifiedRunNeedsNoCopies(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 8, Count: 40})
+	u := machine.NewBusedGP(4, 4, 2).Unified()
+	for i, g := range loops {
+		out, err := Run(g, u, Options{})
+		if err != nil {
+			t.Fatalf("loop %d: %v", i, err)
+		}
+		if out.Assignment.Copies != 0 {
+			t.Errorf("loop %d: unified run has %d copies", i, out.Assignment.Copies)
+		}
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	if IMS.String() != "IMS" || SMS.String() != "SMS" {
+		t.Error("scheduler names wrong")
+	}
+	if !strings.Contains(Scheduler(9).String(), "9") {
+		t.Error("unknown scheduler should render its number")
+	}
+}
+
+func TestNonPipelinedUnitsEndToEnd(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	m.NonPipelined[ddg.OpFDiv] = true
+	m.NonPipelined[ddg.OpFSqrt] = true
+	loops := loopgen.Suite(loopgen.Options{Seed: 27, Count: 40})
+	for i, g := range loops {
+		out, err := Run(g, m, Options{Assign: assign.Options{Variant: assign.HeuristicIterative}})
+		if err != nil {
+			t.Errorf("loop %d: %v", i, err)
+			continue
+		}
+		in := sched.Input{
+			Graph:       out.Assignment.Graph,
+			Machine:     m,
+			ClusterOf:   out.Assignment.ClusterOf,
+			CopyTargets: out.Assignment.CopyTargets,
+			II:          out.II,
+		}
+		if err := verify.Schedule(in, out.Schedule); err != nil {
+			t.Errorf("loop %d: %v", i, err)
+		}
+		// A loop with any divide cannot beat the 9-cycle occupancy.
+		counts := g.KindCounts()
+		if counts[ddg.OpFDiv]+counts[ddg.OpFSqrt] > 0 && out.II < 9 {
+			t.Errorf("loop %d: II %d below the divider occupancy", i, out.II)
+		}
+	}
+}
+
+func TestCopyLatencyFullyHiddenOffCriticalPaths(t *testing.T) {
+	// An acyclic loop forced across clusters: raising copy latency must
+	// not change the II, only the schedule depth.
+	g := ddg.NewGraph(0, 0)
+	p := g.AddNode(ddg.OpALU, "p")
+	for i := 0; i < 11; i++ {
+		c := g.AddNode(ddg.OpALU, "")
+		g.AddEdge(p, c, 0)
+	}
+	var iis []int
+	var stages []int
+	for _, lat := range []int{1, 4} {
+		m := machine.NewBusedGP(2, 2, 1)
+		m.Latencies[ddg.OpCopy] = lat
+		out, err := Run(g, m, Options{Assign: assign.Options{Variant: assign.HeuristicIterative}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iis = append(iis, out.II)
+		stages = append(stages, out.Schedule.StageCount())
+	}
+	if iis[0] != iis[1] {
+		t.Errorf("copy latency changed II: %v", iis)
+	}
+}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+	"clustersched/internal/regalloc"
+	"clustersched/internal/sched"
+	"clustersched/internal/sim"
+	"clustersched/internal/verify"
+)
+
+// TestSoakFullSuite drives the entire 1327-loop suite through every
+// machine family and, for every schedule produced, runs the
+// independent structural verifier, the MVE register allocator's
+// validator, and the functional simulator. Skipped under -short.
+func TestSoakFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	loops := loopgen.Suite(loopgen.Options{})
+	machines := []*machine.Config{
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedGP(4, 4, 2),
+		machine.NewBusedFS(2, 2, 1),
+		machine.NewBusedFS(4, 4, 2),
+		machine.NewGrid4(2),
+	}
+	type job struct {
+		loop    int
+		machIdx int
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				g := loops[j.loop]
+				m := machines[j.machIdx]
+				out, err := Run(g, m, Options{
+					Assign: assign.Options{Variant: assign.HeuristicIterative},
+				})
+				if err != nil {
+					fail("loop %d on %s: %v", j.loop, m.Name, err)
+					continue
+				}
+				in := sched.Input{
+					Graph:       out.Assignment.Graph,
+					Machine:     m,
+					ClusterOf:   out.Assignment.ClusterOf,
+					CopyTargets: out.Assignment.CopyTargets,
+					II:          out.II,
+				}
+				if err := verify.Schedule(in, out.Schedule); err != nil {
+					fail("loop %d on %s: verify: %v", j.loop, m.Name, err)
+					continue
+				}
+				alloc := regalloc.AllocateMVE(in, out.Schedule)
+				if err := alloc.Validate(in, out.Schedule); err != nil {
+					fail("loop %d on %s: regalloc: %v", j.loop, m.Name, err)
+					continue
+				}
+				if err := sim.Run(in, out.Schedule, alloc, 0); err != nil {
+					fail("loop %d on %s: sim: %v", j.loop, m.Name, err)
+				}
+			}
+		}()
+	}
+	for i := range loops {
+		for mi := range machines {
+			jobs <- job{loop: i, machIdx: mi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}

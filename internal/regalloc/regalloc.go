@@ -1,0 +1,260 @@
+// Package regalloc analyses and allocates the registers of a modulo
+// schedule, the concern that motivates clustering in the first place:
+// each cluster's register file only has to hold the values produced on
+// that cluster. It implements:
+//
+//   - value lifetimes of the steady-state kernel;
+//   - the modulo-variable-expansion factor (Lam, PLDI 1988): the
+//     kernel unroll needed on machines without rotating register
+//     files, because a value whose lifetime exceeds II would be
+//     overwritten by the next iteration's instance;
+//   - an MVE register allocator: the kernel is unrolled by that
+//     factor and the per-iteration value instances are colored as
+//     circular arcs on the unrolled kernel, giving a valid register
+//     binding and per-cluster register counts.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/sched"
+)
+
+// Lifetime is the register occupancy of one value of the kernel.
+type Lifetime struct {
+	Value   int // producing node
+	Cluster int // register file holding the value
+	Start   int // first cycle the value exists (def + latency)
+	Len     int // cycles until after the last use (>= 1 for produced values)
+}
+
+// producesValue reports whether a node kind defines a register.
+func producesValue(k ddg.OpKind) bool {
+	return k != ddg.OpStore && k != ddg.OpBranch
+}
+
+// Lifetimes computes every value lifetime of the schedule. Values with
+// no consumers still occupy their register for one cycle. A copy's
+// result physically lands in each *target* cluster's register file (a
+// broadcast copy with several targets writes several files), so a copy
+// yields one lifetime per target cluster, each ending at the last use
+// by that cluster's consumers.
+func Lifetimes(in sched.Input, s *sched.Schedule) []Lifetime {
+	g := in.Graph
+	lat := in.Machine.Latency
+	var out []Lifetime
+	for v := 0; v < g.NumNodes(); v++ {
+		if !producesValue(g.Nodes[v].Kind) {
+			continue
+		}
+		start := s.CycleOf[v] + lat(g.Nodes[v].Kind)
+		if g.Nodes[v].Kind == ddg.OpCopy && in.CopyTargets != nil {
+			for _, target := range in.CopyTargets[v] {
+				end := start + 1
+				for _, e := range g.OutEdges(v) {
+					if clusterOf(in, e.To) != target {
+						continue
+					}
+					if use := s.CycleOf[e.To] + s.II*e.Distance + 1; use > end {
+						end = use
+					}
+				}
+				out = append(out, Lifetime{Value: v, Cluster: target, Start: start, Len: end - start})
+			}
+			continue
+		}
+		end := start + 1
+		for _, e := range g.OutEdges(v) {
+			if use := s.CycleOf[e.To] + s.II*e.Distance + 1; use > end {
+				end = use
+			}
+		}
+		out = append(out, Lifetime{Value: v, Cluster: clusterOf(in, v), Start: start, Len: end - start})
+	}
+	return out
+}
+
+func clusterOf(in sched.Input, n int) int {
+	if in.ClusterOf == nil {
+		return 0
+	}
+	return in.ClusterOf[n]
+}
+
+// MVEFactor returns the kernel unroll factor modulo variable expansion
+// needs: the maximum ceil(lifetime/II) over all values. A factor of 1
+// means no value outlives its iteration's slot and the plain kernel is
+// safe even without rotating registers.
+func MVEFactor(in sched.Input, s *sched.Schedule) int {
+	factor := 1
+	for _, l := range Lifetimes(in, s) {
+		if f := (l.Len + s.II - 1) / s.II; f > factor {
+			factor = f
+		}
+	}
+	return factor
+}
+
+// LowerBound returns Rau's averaged lower bound on register need:
+// ceil(sum of lifetimes / II), machine-wide and per cluster.
+func LowerBound(in sched.Input, s *sched.Schedule) (total int, perCluster []int) {
+	perSum := make([]int, in.Machine.NumClusters())
+	sum := 0
+	for _, l := range Lifetimes(in, s) {
+		sum += l.Len
+		perSum[l.Cluster] += l.Len
+	}
+	perCluster = make([]int, len(perSum))
+	for i, v := range perSum {
+		perCluster[i] = (v + s.II - 1) / s.II
+	}
+	return (sum + s.II - 1) / s.II, perCluster
+}
+
+// Binding is one value instance's register assignment: in an
+// MVE-unrolled kernel each of the Factor unrolled iterations writes
+// the value into its own register.
+type Binding struct {
+	Lifetime
+	Instance int // which unrolled copy (0..Factor-1)
+	Register int // register index within the cluster's file
+}
+
+// Allocation is a complete MVE register allocation.
+type Allocation struct {
+	Factor         int // kernel unroll factor
+	RegsPerCluster []int
+	Bindings       []Binding
+}
+
+// TotalRegisters sums the per-cluster register files.
+func (a *Allocation) TotalRegisters() int {
+	t := 0
+	for _, r := range a.RegsPerCluster {
+		t += r
+	}
+	return t
+}
+
+// AllocateMVE unrolls the kernel by the MVE factor and colors each
+// cluster's value instances as circular arcs over the unrolled kernel
+// length (first-fit, longest arcs first). The result is a valid
+// register binding: no two arcs sharing a register overlap on the
+// circle, which Validate re-checks independently.
+func AllocateMVE(in sched.Input, s *sched.Schedule) *Allocation {
+	factor := MVEFactor(in, s)
+	circle := factor * s.II
+	alloc := &Allocation{
+		Factor:         factor,
+		RegsPerCluster: make([]int, in.Machine.NumClusters()),
+	}
+
+	byCluster := make([][]Binding, in.Machine.NumClusters())
+	for _, l := range Lifetimes(in, s) {
+		for i := 0; i < factor; i++ {
+			b := Binding{Lifetime: l, Instance: i, Register: -1}
+			byCluster[l.Cluster] = append(byCluster[l.Cluster], b)
+		}
+	}
+
+	for cl, arcs := range byCluster {
+		// Longest first, then earliest start, then value ID: stable and
+		// effective for first-fit circular coloring.
+		sort.Slice(arcs, func(i, j int) bool {
+			a, b := arcs[i], arcs[j]
+			if a.Len != b.Len {
+				return a.Len > b.Len
+			}
+			if sa, sb := a.arcStart(s.II, circle), b.arcStart(s.II, circle); sa != sb {
+				return sa < sb
+			}
+			if a.Value != b.Value {
+				return a.Value < b.Value
+			}
+			return a.Instance < b.Instance
+		})
+		var regs [][]Binding // per register: its assigned arcs
+		for i := range arcs {
+			placed := false
+			for r := 0; r < len(regs) && !placed; r++ {
+				if fits(arcs[i], regs[r], s.II, circle) {
+					arcs[i].Register = r
+					regs[r] = append(regs[r], arcs[i])
+					placed = true
+				}
+			}
+			if !placed {
+				arcs[i].Register = len(regs)
+				regs = append(regs, []Binding{arcs[i]})
+			}
+		}
+		alloc.RegsPerCluster[cl] = len(regs)
+		alloc.Bindings = append(alloc.Bindings, arcs...)
+	}
+	return alloc
+}
+
+// arcStart is where the instance's lifetime begins on the circle.
+func (b Binding) arcStart(ii, circle int) int {
+	s := (b.Start + b.Instance*ii) % circle
+	if s < 0 {
+		s += circle
+	}
+	return s
+}
+
+// fits reports whether arc a overlaps none of the register's arcs.
+func fits(a Binding, assigned []Binding, ii, circle int) bool {
+	for _, b := range assigned {
+		if arcsOverlap(a.arcStart(ii, circle), a.Len, b.arcStart(ii, circle), b.Len, circle) {
+			return false
+		}
+	}
+	return true
+}
+
+// arcsOverlap tests two circular arcs (start, length) on a circle.
+func arcsOverlap(s1, l1, s2, l2, circle int) bool {
+	d12 := (s2 - s1) % circle
+	if d12 < 0 {
+		d12 += circle
+	}
+	d21 := (s1 - s2) % circle
+	if d21 < 0 {
+		d21 += circle
+	}
+	return d12 < l1 || d21 < l2
+}
+
+// Validate independently re-checks the allocation: every value
+// instance bound, bindings within the per-cluster register counts, and
+// no same-register overlap.
+func (a *Allocation) Validate(in sched.Input, s *sched.Schedule) error {
+	circle := a.Factor * s.II
+	wantInstances := len(Lifetimes(in, s)) * a.Factor
+	if len(a.Bindings) != wantInstances {
+		return fmt.Errorf("regalloc: %d bindings for %d value instances", len(a.Bindings), wantInstances)
+	}
+	type key struct{ cluster, reg int }
+	byReg := map[key][]Binding{}
+	for _, b := range a.Bindings {
+		if b.Register < 0 || b.Register >= a.RegsPerCluster[b.Cluster] {
+			return fmt.Errorf("regalloc: value %d instance %d register %d out of range", b.Value, b.Instance, b.Register)
+		}
+		byReg[key{b.Cluster, b.Register}] = append(byReg[key{b.Cluster, b.Register}], b)
+	}
+	for k, arcs := range byReg {
+		for i := 0; i < len(arcs); i++ {
+			for j := i + 1; j < len(arcs); j++ {
+				if arcsOverlap(arcs[i].arcStart(s.II, circle), arcs[i].Len,
+					arcs[j].arcStart(s.II, circle), arcs[j].Len, circle) {
+					return fmt.Errorf("regalloc: cluster %d register %d double-booked by values %d/%d and %d/%d",
+						k.cluster, k.reg, arcs[i].Value, arcs[i].Instance, arcs[j].Value, arcs[j].Instance)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clustersched/internal/loopgen"
+)
+
+func TestMarkdownPaperSections(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 2, Count: 40})
+	var buf bytes.Buffer
+	if err := Markdown(&buf, loops, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report (40 loops)",
+		"## Loop suite (Table 1)",
+		"## fig12 —", "## fig13 —", "## fig14 —", "## fig15 —",
+		"## fig16 —", "## fig17 —", "## fig18 —", "## fig19 —",
+		"## table3 —", "## grid —",
+		"| row | paper% | match% |",
+		"Heuristic Iterative",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "## abl-incoming") {
+		t.Error("extensions included without opting in")
+	}
+}
+
+func TestMarkdownExtensions(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Seed: 3, Count: 25})
+	var buf bytes.Buffer
+	if err := Markdown(&buf, loops, Options{Extensions: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## abl-incoming", "## abl-order", "## ring", "## copylatency",
+		"## Register pressure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"container/heap"
+
+	"clustersched/internal/mrt"
+)
+
+// DefaultIMSBudgetRatio is the scheduling-attempt budget per node used
+// by IMS when the caller passes a non-positive ratio (Rau reports a
+// ratio of a few attempts per operation suffices; we are generous).
+const DefaultIMSBudgetRatio = 12
+
+// IMS runs Rau's iterative modulo scheduler on the input at its fixed
+// II. It reports false when no schedule was found within the budget
+// (including the case where inserted copies push RecMII above II, so
+// no schedule can exist).
+func IMS(in Input, budgetRatio int) (*Schedule, bool) {
+	validateInput(in)
+	g := in.Graph
+	lat := in.Machine.Latency
+	n := g.NumNodes()
+	if n == 0 {
+		return &Schedule{II: in.II, CycleOf: nil, Table: mrt.NewCycle(in.Machine, in.II)}, true
+	}
+
+	// If the dependence constraints are unsatisfiable at this II (a
+	// recurrence cycle exceeds II), fail immediately.
+	lstart, ok := g.LatestStart(lat, in.II)
+	if !ok {
+		return nil, false
+	}
+
+	if budgetRatio <= 0 {
+		budgetRatio = DefaultIMSBudgetRatio
+	}
+	budget := budgetRatio * n
+
+	table := mrt.NewCycle(in.Machine, in.II)
+	cycleOf := make([]int, n)
+	scheduled := make([]bool, n)
+	everTried := make([]bool, n)
+	lastCycle := make([]int, n)
+
+	// Priority: most critical first — smallest latest-start time, ties
+	// by node ID for determinism.
+	pq := &nodeHeap{prio: lstart}
+	for i := 0; i < n; i++ {
+		heap.Push(pq, i)
+	}
+
+	for pq.Len() > 0 {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		op := heap.Pop(pq).(int)
+		if scheduled[op] {
+			continue
+		}
+
+		estart := 0
+		for _, e := range g.InEdges(op) {
+			if !scheduled[e.From] {
+				continue
+			}
+			t := cycleOf[e.From] + lat(g.Nodes[e.From].Kind) - in.II*e.Distance
+			if t > estart {
+				estart = t
+			}
+		}
+
+		placedAt := -1
+		for t := estart; t < estart+in.II; t++ {
+			if canPlace(&in, table, op, t) {
+				placedAt = t
+				break
+			}
+		}
+		if placedAt < 0 {
+			// Forced placement: displace whatever occupies the chosen
+			// cycle (Rau's "schedule with displacement").
+			placedAt = estart
+			if everTried[op] && lastCycle[op]+1 > placedAt {
+				placedAt = lastCycle[op] + 1
+			}
+			for _, victim := range conflictsAt(&in, table, op, placedAt) {
+				table.Unplace(victim)
+				scheduled[victim] = false
+				heap.Push(pq, victim)
+			}
+			if !place(&in, table, op, placedAt) {
+				// The conflict list covered every occupant, so this
+				// cannot fail for resource reasons; treat defensively.
+				return nil, false
+			}
+		} else if !place(&in, table, op, placedAt) {
+			return nil, false
+		}
+		cycleOf[op] = placedAt
+		scheduled[op] = true
+		everTried[op] = true
+		lastCycle[op] = placedAt
+
+		// Unschedule successors whose dependence from op is now
+		// violated; they will be re-placed later.
+		for _, e := range g.OutEdges(op) {
+			if !scheduled[e.To] || e.To == op {
+				continue
+			}
+			need := placedAt + lat(g.Nodes[op].Kind) - in.II*e.Distance
+			if cycleOf[e.To] < need {
+				table.Unplace(e.To)
+				scheduled[e.To] = false
+				heap.Push(pq, e.To)
+			}
+		}
+	}
+
+	return &Schedule{II: in.II, CycleOf: cycleOf, Table: table}, true
+}
+
+// nodeHeap orders node IDs by ascending priority value (critical
+// first), breaking ties by ID. Stale entries (already scheduled) are
+// skipped by the consumer.
+type nodeHeap struct {
+	items []int
+	prio  []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.prio[a] != h.prio[b] {
+		return h.prio[a] < h.prio[b]
+	}
+	return a < b
+}
+func (h *nodeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x any)    { h.items = append(h.items, x.(int)) }
+func (h *nodeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

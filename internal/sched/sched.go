@@ -1,0 +1,106 @@
+// Package sched implements modulo scheduling for cluster-annotated
+// dependence graphs: Rau's iterative modulo scheduler (IMS) and a
+// swing modulo scheduler (SMS). Both are "traditional" schedulers in
+// the paper's sense — they know nothing about the cluster assignment
+// algorithm and simply honour the cluster annotation and the copy
+// nodes present in the graph.
+package sched
+
+import (
+	"fmt"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mrt"
+)
+
+// Input is a scheduling request: an annotated graph on a machine at a
+// fixed candidate II. For a unified machine ClusterOf may be nil
+// (everything runs on cluster 0) and CopyTargets empty.
+type Input struct {
+	Graph       *ddg.Graph
+	Machine     *machine.Config
+	ClusterOf   []int
+	CopyTargets [][]int
+	II          int
+}
+
+func (in *Input) clusterOf(n int) int {
+	if in.ClusterOf == nil {
+		return 0
+	}
+	return in.ClusterOf[n]
+}
+
+func (in *Input) copyTargets(n int) []int {
+	if in.CopyTargets == nil {
+		return nil
+	}
+	return in.CopyTargets[n]
+}
+
+func (in *Input) isCopy(n int) bool {
+	return in.Graph.Nodes[n].Kind == ddg.OpCopy
+}
+
+// Schedule is a successful modulo schedule: an absolute start cycle
+// per node, all resource and dependence constraints met at interval II.
+type Schedule struct {
+	II      int
+	CycleOf []int
+	Table   *mrt.Cycle
+}
+
+// StageCount returns the number of kernel stages (schedule length in
+// IIs), i.e. the depth of software-pipelining overlap.
+func (s *Schedule) StageCount() int {
+	maxC := 0
+	for _, c := range s.CycleOf {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC/s.II + 1
+}
+
+// validateInput panics on malformed requests; these are programming
+// errors in the caller, not schedulable conditions.
+func validateInput(in Input) {
+	if in.II <= 0 {
+		panic(fmt.Sprintf("sched: non-positive II %d", in.II))
+	}
+	if in.ClusterOf != nil && len(in.ClusterOf) != in.Graph.NumNodes() {
+		panic("sched: ClusterOf length mismatch")
+	}
+}
+
+// newTableFor allocates an empty cycle-exact reservation table sized
+// for the request.
+func newTableFor(in Input) *mrt.Cycle { return mrt.NewCycle(in.Machine, in.II) }
+
+// place puts node n at the given cycle in the table, dispatching on
+// copy vs ordinary operation. It reports false when resources are
+// busy.
+func place(in *Input, table *mrt.Cycle, n, cycle int) bool {
+	if in.isCopy(n) {
+		return table.PlaceCopy(n, in.clusterOf(n), in.copyTargets(n), cycle)
+	}
+	return table.PlaceOp(n, in.clusterOf(n), in.Graph.Nodes[n].Kind, cycle)
+}
+
+// canPlace reports whether node n would fit at the given cycle.
+func canPlace(in *Input, table *mrt.Cycle, n, cycle int) bool {
+	if in.isCopy(n) {
+		return table.CanPlaceCopy(in.clusterOf(n), in.copyTargets(n), cycle)
+	}
+	return table.CanPlaceOp(in.clusterOf(n), in.Graph.Nodes[n].Kind, cycle)
+}
+
+// conflictsAt returns the nodes occupying the resources node n needs at
+// the given cycle.
+func conflictsAt(in *Input, table *mrt.Cycle, n, cycle int) []int {
+	if in.isCopy(n) {
+		return table.CopyConflictsAt(in.clusterOf(n), in.copyTargets(n), cycle)
+	}
+	return table.ConflictsAt(in.clusterOf(n), in.Graph.Nodes[n].Kind, cycle)
+}

@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"container/heap"
+
+	"clustersched/internal/order"
+)
+
+// DefaultSMSBudgetRatio is the displacement budget per node for the
+// iterative swing modulo scheduler.
+const DefaultSMSBudgetRatio = 12
+
+// SMS runs an iterative swing modulo scheduler: nodes are taken in the
+// swing order (criticality-ranked recurrences first, neighbours kept
+// adjacent) and placed as close as possible to their already scheduled
+// neighbours, scanning forward when driven by predecessors and
+// backward when driven by successors. When no slot exists the node is
+// force-placed and the conflicting occupants displaced, bounded by a
+// budget — the "iterative version of the swing modulo scheduler" the
+// paper uses in phase two.
+func SMS(in Input, budgetRatio int) (*Schedule, bool) {
+	validateInput(in)
+	g := in.Graph
+	lat := in.Machine.Latency
+	n := g.NumNodes()
+	if n == 0 {
+		return &Schedule{II: in.II, CycleOf: nil}, true
+	}
+	estart0, ok := g.EarliestStart(lat, in.II)
+	if !ok {
+		return nil, false // recurrence exceeds II; unschedulable
+	}
+	if budgetRatio <= 0 {
+		budgetRatio = DefaultSMSBudgetRatio
+	}
+	budget := budgetRatio * n
+
+	prio := order.Compute(g, lat)
+	rank := make([]int, n)
+	for i, v := range prio {
+		rank[v] = i
+	}
+
+	table := newTableFor(in)
+	cycleOf := make([]int, n)
+	scheduled := make([]bool, n)
+	lastCycle := make([]int, n)
+	everTried := make([]bool, n)
+
+	// Work list ordered by swing rank; displaced nodes re-enter it.
+	pq := &nodeHeap{prio: rank}
+	for _, v := range prio {
+		heap.Push(pq, v)
+	}
+
+	const unset = int(^uint(0) >> 1) // max int sentinel
+
+	for pq.Len() > 0 {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		op := heap.Pop(pq).(int)
+		if scheduled[op] {
+			continue
+		}
+
+		early := unset
+		for _, e := range g.InEdges(op) {
+			if !scheduled[e.From] || e.From == op {
+				continue
+			}
+			t := cycleOf[e.From] + lat(g.Nodes[e.From].Kind) - in.II*e.Distance
+			if early == unset || t > early {
+				early = t
+			}
+		}
+		late := unset
+		for _, e := range g.OutEdges(op) {
+			if !scheduled[e.To] || e.To == op {
+				continue
+			}
+			t := cycleOf[e.To] - lat(g.Nodes[op].Kind) + in.II*e.Distance
+			if late == unset || t < late {
+				late = t
+			}
+		}
+
+		placedAt := unset
+		switch {
+		case early != unset && late != unset:
+			for t := early; t <= late && t < early+in.II; t++ {
+				if canPlace(&in, table, op, t) {
+					placedAt = t
+					break
+				}
+			}
+		case early != unset:
+			for t := early; t < early+in.II; t++ {
+				if canPlace(&in, table, op, t) {
+					placedAt = t
+					break
+				}
+			}
+		case late != unset:
+			for t := late; t > late-in.II; t-- {
+				if canPlace(&in, table, op, t) {
+					placedAt = t
+					break
+				}
+			}
+		default:
+			for t := estart0[op]; t < estart0[op]+in.II; t++ {
+				if canPlace(&in, table, op, t) {
+					placedAt = t
+					break
+				}
+			}
+		}
+
+		if placedAt == unset {
+			// Forced placement with displacement, as in IMS.
+			placedAt = estart0[op]
+			if early != unset && early > placedAt {
+				placedAt = early
+			}
+			if everTried[op] && lastCycle[op]+1 > placedAt {
+				placedAt = lastCycle[op] + 1
+			}
+			for _, victim := range conflictsAt(&in, table, op, placedAt) {
+				table.Unplace(victim)
+				scheduled[victim] = false
+				heap.Push(pq, victim)
+			}
+		}
+		if !place(&in, table, op, placedAt) {
+			return nil, false
+		}
+		cycleOf[op] = placedAt
+		scheduled[op] = true
+		everTried[op] = true
+		lastCycle[op] = placedAt
+
+		// Displace neighbours whose dependences are now violated.
+		for _, e := range g.OutEdges(op) {
+			if !scheduled[e.To] || e.To == op {
+				continue
+			}
+			if cycleOf[e.To] < placedAt+lat(g.Nodes[op].Kind)-in.II*e.Distance {
+				table.Unplace(e.To)
+				scheduled[e.To] = false
+				heap.Push(pq, e.To)
+			}
+		}
+		for _, e := range g.InEdges(op) {
+			if !scheduled[e.From] || e.From == op {
+				continue
+			}
+			if cycleOf[e.From]+lat(g.Nodes[e.From].Kind)-in.II*e.Distance > placedAt {
+				table.Unplace(e.From)
+				scheduled[e.From] = false
+				heap.Push(pq, e.From)
+			}
+		}
+	}
+
+	normalize(cycleOf, in.II)
+	return &Schedule{II: in.II, CycleOf: cycleOf, Table: table}, true
+}
+
+// normalize shifts all cycles by a multiple of II so the earliest is
+// non-negative; modulo slots are unchanged.
+func normalize(cycleOf []int, ii int) {
+	minC := 0
+	for _, c := range cycleOf {
+		if c < minC {
+			minC = c
+		}
+	}
+	if minC >= 0 {
+		return
+	}
+	shift := ((-minC + ii - 1) / ii) * ii
+	for i := range cycleOf {
+		cycleOf[i] += shift
+	}
+}

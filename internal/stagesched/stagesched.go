@@ -1,0 +1,138 @@
+// Package stagesched implements stage scheduling (Eichenberger &
+// Davidson, MICRO 1995), the register-pressure post-pass the paper
+// pairs with iterative modulo scheduling: operations are moved by
+// whole multiples of II — which keeps every modulo reservation slot,
+// and therefore every resource assignment, untouched — within their
+// dependence slack, so as to shorten value lifetimes and reduce the
+// number of registers the kernel needs.
+package stagesched
+
+import (
+	"clustersched/internal/sched"
+)
+
+// MaxPasses bounds the hill-climbing sweeps; lifetimes converge in a
+// couple of passes on real loops.
+const MaxPasses = 10
+
+// Optimize moves operations between stages to minimize the total
+// register lifetime of the schedule. The schedule is modified in
+// place; the return value is the number of operations moved. Resource
+// feasibility is preserved by construction (only whole-II moves), and
+// all dependences are re-checked against their slack before a move.
+func Optimize(in sched.Input, s *sched.Schedule) int {
+	g := in.Graph
+	n := g.NumNodes()
+	moved := 0
+
+	for pass := 0; pass < MaxPasses; pass++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			lo, hi := slack(in, s, v)
+			if lo >= hi {
+				continue
+			}
+			cur := s.CycleOf[v]
+			bestCycle, bestCost := cur, cost(in, s, v, cur)
+			for c := firstAligned(lo, cur, s.II); c <= hi; c += s.II {
+				if c == cur {
+					continue
+				}
+				if k := cost(in, s, v, c); k < bestCost {
+					bestCost, bestCycle = k, c
+				}
+			}
+			if bestCycle != cur {
+				s.CycleOf[v] = bestCycle
+				moved++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return moved
+}
+
+// firstAligned returns the smallest cycle >= lo congruent to cur
+// modulo ii.
+func firstAligned(lo, cur, ii int) int {
+	delta := (cur - lo) % ii
+	if delta < 0 {
+		delta += ii
+	}
+	return lo + delta
+}
+
+// slack returns the dependence-feasible cycle window of node v given
+// every other node stays put. Self edges are excluded: both endpoints
+// move together, so they never constrain a whole-II shift (they were
+// satisfied by II >= RecMII at scheduling time).
+func slack(in sched.Input, s *sched.Schedule, v int) (lo, hi int) {
+	g := in.Graph
+	lat := in.Machine.Latency
+	const inf = int(^uint(0) >> 1)
+	lo, hi = -inf/2, inf/2
+	for _, e := range g.InEdges(v) {
+		if e.From == v {
+			continue
+		}
+		if t := s.CycleOf[e.From] + lat(g.Nodes[e.From].Kind) - s.II*e.Distance; t > lo {
+			lo = t
+		}
+	}
+	for _, e := range g.OutEdges(v) {
+		if e.To == v {
+			continue
+		}
+		if t := s.CycleOf[e.To] - lat(g.Nodes[v].Kind) + s.II*e.Distance; t < hi {
+			hi = t
+		}
+	}
+	// Keep sinks/sources from drifting arbitrarily: bound the window to
+	// one schedule length around the current cycle.
+	span := s.II * (s.StageCount() + 1)
+	if lo < s.CycleOf[v]-span {
+		lo = s.CycleOf[v] - span
+	}
+	if hi > s.CycleOf[v]+span {
+		hi = s.CycleOf[v] + span
+	}
+	return lo, hi
+}
+
+// cost is the total lifetime of the values affected by placing v at
+// cycle c: v's own result plus the results of v's producers (whose
+// last use may be v).
+func cost(in sched.Input, s *sched.Schedule, v, c int) int {
+	g := in.Graph
+	at := func(n int) int {
+		if n == v {
+			return c
+		}
+		return s.CycleOf[n]
+	}
+	total := lifetimeAt(in, s, v, at)
+	for _, p := range g.Predecessors(v) {
+		if p != v {
+			total += lifetimeAt(in, s, p, at)
+		}
+	}
+	return total
+}
+
+// lifetimeAt computes node p's value lifetime under the hypothetical
+// cycle function at.
+func lifetimeAt(in sched.Input, s *sched.Schedule, p int, at func(int) int) int {
+	g := in.Graph
+	lat := in.Machine.Latency
+	def := at(p) + lat(g.Nodes[p].Kind)
+	last := def
+	for _, e := range g.OutEdges(p) {
+		if use := at(e.To) + s.II*e.Distance; use > last {
+			last = use
+		}
+	}
+	return last - def
+}

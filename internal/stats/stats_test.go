@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaHistBuckets(t *testing.T) {
+	var h DeltaHist
+	h.Add(0)
+	h.Add(0)
+	h.Add(1)
+	h.Add(3)
+	h.Add(7)  // pools into >= 4
+	h.Add(-2) // clamps to 0 (clustered beat unified)
+	if h.Buckets[0] != 3 || h.Buckets[1] != 1 || h.Buckets[3] != 1 || h.Buckets[4] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if got := h.MatchPercent(); got != 50 {
+		t.Errorf("MatchPercent = %v, want 50", got)
+	}
+}
+
+func TestDeltaHistFailures(t *testing.T) {
+	var h DeltaHist
+	h.Add(0)
+	h.AddFailure()
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (failures count)", h.Total())
+	}
+	if h.MatchPercent() != 50 {
+		t.Errorf("MatchPercent = %v, want 50", h.MatchPercent())
+	}
+	if !strings.Contains(h.Row(), "unscheduled") {
+		t.Error("Row() should mention unscheduled loops")
+	}
+}
+
+func TestWithinPercent(t *testing.T) {
+	var h DeltaHist
+	h.Add(0)
+	h.Add(1)
+	h.Add(1)
+	h.Add(5)
+	if got := h.WithinPercent(1); got != 75 {
+		t.Errorf("WithinPercent(1) = %v, want 75", got)
+	}
+	if got := h.WithinPercent(10); got != 100 {
+		t.Errorf("WithinPercent(10) = %v, want 100 (clamped)", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h DeltaHist
+	if h.MatchPercent() != 0 || h.WithinPercent(2) != 0 || h.Percent(1) != 0 {
+		t.Error("empty histogram should report zeros, not NaN")
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		var h DeltaHist
+		for _, d := range deltas {
+			h.Add(int(d % 8))
+		}
+		if len(deltas) == 0 {
+			return true
+		}
+		sum := 0.0
+		for d := 0; d <= MaxDelta; d++ {
+			sum += h.Percent(d)
+		}
+		return sum > 99.999 && sum < 100.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMentionsMatch(t *testing.T) {
+	var h DeltaHist
+	h.Add(0)
+	if s := h.String(); !strings.Contains(s, "match 100.0%") {
+		t.Errorf("String = %q", s)
+	}
+}

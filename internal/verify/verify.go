@@ -1,0 +1,186 @@
+// Package verify independently re-checks finished modulo schedules:
+// every dependence distance, every resource reservation, and the
+// cluster-locality rule that an operation may only read values present
+// in its own register file. It is the test oracle the rest of the
+// repository trusts, so it shares no bookkeeping with the schedulers —
+// it rebuilds a fresh reservation table and replays the schedule.
+package verify
+
+import (
+	"fmt"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/mrt"
+	"clustersched/internal/sched"
+)
+
+// Schedule re-validates a modulo schedule against its input. It
+// returns nil when the schedule is valid, or an error describing the
+// first violation found.
+func Schedule(in sched.Input, s *sched.Schedule) error {
+	g := in.Graph
+	if s.II != in.II {
+		return fmt.Errorf("verify: schedule II %d differs from input II %d", s.II, in.II)
+	}
+	if len(s.CycleOf) != g.NumNodes() {
+		return fmt.Errorf("verify: %d cycles for %d nodes", len(s.CycleOf), g.NumNodes())
+	}
+	lat := in.Machine.Latency
+
+	// Dependences: for every edge, consumer at least latency cycles
+	// after the producer, minus II per iteration of distance.
+	for i, e := range g.Edges {
+		need := s.CycleOf[e.From] + lat(g.Nodes[e.From].Kind) - in.II*e.Distance
+		if s.CycleOf[e.To] < need {
+			return fmt.Errorf("verify: edge %d (n%d@%d -> n%d@%d, dist %d) violated: need >= %d",
+				i, e.From, s.CycleOf[e.From], e.To, s.CycleOf[e.To], e.Distance, need)
+		}
+	}
+
+	// Cluster annotations and copy structure.
+	for n := 0; n < g.NumNodes(); n++ {
+		cl := clusterOf(in, n)
+		if cl < 0 || cl >= in.Machine.NumClusters() {
+			return fmt.Errorf("verify: node %d assigned to invalid cluster %d", n, cl)
+		}
+		if g.Nodes[n].Kind == ddg.OpCopy {
+			targets := copyTargets(in, n)
+			if len(targets) == 0 {
+				return fmt.Errorf("verify: copy node %d has no targets", n)
+			}
+			for _, t := range targets {
+				if t == cl {
+					return fmt.Errorf("verify: copy node %d targets its own cluster %d", n, cl)
+				}
+				if t < 0 || t >= in.Machine.NumClusters() {
+					return fmt.Errorf("verify: copy node %d targets invalid cluster %d", n, t)
+				}
+			}
+		} else if in.Machine.Clusters[cl].FUCountFor(g.Nodes[n].Kind) == 0 {
+			return fmt.Errorf("verify: node %d (%s) on cluster %d with no capable unit",
+				n, g.Nodes[n].Kind, cl)
+		}
+	}
+
+	// Cluster locality: every value an operation consumes must be
+	// produced on (or copied to) the operation's own cluster.
+	for i, e := range g.Edges {
+		consCl := clusterOf(in, e.To)
+		prodCl := clusterOf(in, e.From)
+		ok := prodCl == consCl
+		if !ok && g.Nodes[e.From].Kind == ddg.OpCopy {
+			for _, t := range copyTargets(in, e.From) {
+				if t == consCl {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			return fmt.Errorf("verify: edge %d: node %d on cluster %d reads value of node %d on cluster %d without a copy",
+				i, e.To, consCl, e.From, prodCl)
+		}
+	}
+
+	// Resources: replay every placement into a fresh table; any
+	// collision or missing unit is a violation.
+	table := mrt.NewCycle(in.Machine, in.II)
+	for n := 0; n < g.NumNodes(); n++ {
+		var ok bool
+		if g.Nodes[n].Kind == ddg.OpCopy {
+			ok = table.PlaceCopy(n, clusterOf(in, n), copyTargets(in, n), s.CycleOf[n])
+		} else {
+			ok = table.PlaceOp(n, clusterOf(in, n), g.Nodes[n].Kind, s.CycleOf[n])
+		}
+		if !ok {
+			return fmt.Errorf("verify: node %d oversubscribes resources at cycle %d (slot %d)",
+				n, s.CycleOf[n], s.CycleOf[n]%in.II)
+		}
+	}
+	return nil
+}
+
+func clusterOf(in sched.Input, n int) int {
+	if in.ClusterOf == nil {
+		return 0
+	}
+	return in.ClusterOf[n]
+}
+
+func copyTargets(in sched.Input, n int) []int {
+	if in.CopyTargets == nil {
+		return nil
+	}
+	return in.CopyTargets[n]
+}
+
+// MaxLive estimates the steady-state register pressure of a modulo
+// schedule: for every produced value, the interval from availability
+// (definition plus latency) to its last use is spread over the kernel
+// slots modulo II; the maximum overlap across slots is the number of
+// simultaneously live values the rotating register file must hold.
+// Per-cluster pressure is attributed to the register file physically
+// holding the value: the producer's cluster for ordinary operations,
+// each target cluster for copies (a broadcast copy occupies a register
+// in every file it writes).
+func MaxLive(in sched.Input, s *sched.Schedule) (total int, perCluster []int) {
+	g := in.Graph
+	lat := in.Machine.Latency
+	buckets := make([]int, in.II)
+	clBuckets := make([][]int, in.Machine.NumClusters())
+	for i := range clBuckets {
+		clBuckets[i] = make([]int, in.II)
+	}
+	record := func(cl, start, end int) {
+		if end <= start {
+			end = start + 1 // a result occupies its register at least one cycle
+		}
+		for t := start; t < end; t++ {
+			slot := ((t % in.II) + in.II) % in.II
+			buckets[slot]++
+			clBuckets[cl][slot]++
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Nodes[v].Kind == ddg.OpStore || g.Nodes[v].Kind == ddg.OpBranch {
+			continue // no register result
+		}
+		start := s.CycleOf[v] + lat(g.Nodes[v].Kind)
+		if g.Nodes[v].Kind == ddg.OpCopy && in.CopyTargets != nil {
+			for _, target := range in.CopyTargets[v] {
+				end := start
+				for _, e := range g.OutEdges(v) {
+					if clusterOf(in, e.To) != target {
+						continue
+					}
+					if use := s.CycleOf[e.To] + in.II*e.Distance; use > end {
+						end = use
+					}
+				}
+				record(target, start, end)
+			}
+			continue
+		}
+		end := start
+		for _, e := range g.OutEdges(v) {
+			if use := s.CycleOf[e.To] + in.II*e.Distance; use > end {
+				end = use
+			}
+		}
+		record(clusterOf(in, v), start, end)
+	}
+	perCluster = make([]int, len(clBuckets))
+	for _, b := range buckets {
+		if b > total {
+			total = b
+		}
+	}
+	for i, cb := range clBuckets {
+		for _, b := range cb {
+			if b > perCluster[i] {
+				perCluster[i] = b
+			}
+		}
+	}
+	return total, perCluster
+}
