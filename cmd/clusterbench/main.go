@@ -17,7 +17,9 @@ import (
 	"os"
 	"strings"
 
+	"clustersched/internal/diag"
 	"clustersched/internal/experiments"
+	"clustersched/internal/lint"
 	livermorepkg "clustersched/internal/livermore"
 	"clustersched/internal/loopgen"
 	"clustersched/internal/pipeline"
@@ -110,6 +112,19 @@ func main() {
 			os.Exit(2)
 		}
 		configs = []experiments.Config{cfg}
+	}
+	// Lint every machine the selected experiments will run before
+	// starting: a broken configuration fails fast with diagnostics
+	// here instead of mid-run pipeline errors on every loop.
+	var machineDiags []diag.Diagnostic
+	for _, cfg := range configs {
+		for _, row := range cfg.Rows {
+			machineDiags = append(machineDiags, lint.Machine(row.Machine)...)
+		}
+	}
+	if diag.CountErrors(machineDiags) > 0 {
+		diag.Text(os.Stderr, machineDiags)
+		os.Exit(1)
 	}
 	for _, cfg := range configs {
 		var res experiments.Result

@@ -23,6 +23,8 @@ import (
 
 	"clustersched"
 	"clustersched/internal/cli"
+	"clustersched/internal/diag"
+	"clustersched/internal/lint"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 		pipelined   = flag.Bool("pipeline", false, "print prologue and epilogue, not just the kernel")
 		stages      = flag.Bool("stages", false, "run stage scheduling before printing")
 		verbose     = flag.Bool("v", false, "also print placement and register details")
+		nolint      = flag.Bool("nolint", false, "skip the pre-compilation source lint (diagnostics still apply inside the pipeline)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,10 +45,12 @@ func main() {
 		src []byte
 		err error
 	)
-	if flag.Arg(0) == "-" {
+	name := flag.Arg(0)
+	if name == "-" {
 		src, err = io.ReadAll(os.Stdin)
+		name = "<stdin>"
 	} else {
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(name)
 	}
 	if err != nil {
 		fatal(err)
@@ -54,6 +59,17 @@ func main() {
 	m, err := cli.ParseMachine(*machineSpec)
 	if err != nil {
 		fatal(err)
+	}
+	// Fail fast with full diagnostics — every finding, with stable
+	// codes — instead of the compiler's first error. Warnings print
+	// but do not block.
+	if !*nolint {
+		diags := lint.Source(name, string(src))
+		diags = append(diags, lint.Machine(m)...)
+		diag.Text(os.Stderr, diags)
+		if diag.CountErrors(diags) > 0 {
+			os.Exit(1)
+		}
 	}
 	loops, err := clustersched.CompileSource(string(src))
 	if err != nil {

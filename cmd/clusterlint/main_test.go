@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"clustersched/internal/diag"
+)
+
+// runLint drives the CLI exactly as main does, capturing the streams.
+func runLint(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestKernelsLintClean(t *testing.T) {
+	code, out, stderr := runLint(t, []string{"../../examples/kernels/kernels.loop"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d on the shipped kernels, want 0\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "no findings") {
+		t.Errorf("stdout = %q, want the no-findings notice", out)
+	}
+}
+
+func TestZeroCycleFixtureTextMode(t *testing.T) {
+	code, out, _ := runLint(t, []string{"testdata/zerocycle.ddg"}, "")
+	if code != 1 {
+		t.Fatalf("exit %d on a zero-distance cycle, want 1\nstdout: %s", code, out)
+	}
+	if !strings.Contains(out, "DDG006") {
+		t.Errorf("stdout %q does not carry the DDG006 code", out)
+	}
+	if !strings.Contains(out, "testdata/zerocycle.ddg") {
+		t.Errorf("stdout %q does not name the input file", out)
+	}
+}
+
+func TestZeroCycleFixtureJSONMode(t *testing.T) {
+	code, out, _ := runLint(t, []string{"-json", "testdata/zerocycle.ddg"}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []diag.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "DDG006" && d.Severity == diag.Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON findings %v missing an error-severity DDG006", diags)
+	}
+}
+
+func TestBuiltinMachinesClean(t *testing.T) {
+	code, out, stderr := runLint(t, []string{"-machine", "builtin"}, "")
+	if code != 0 {
+		t.Fatalf("built-in machine configs do not lint clean (exit %d)\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+}
+
+func TestStdinLoopSource(t *testing.T) {
+	code, out, _ := runLint(t, []string{"-"}, "loop d {\n t = a[i]\n out[i] = b[i]\n}")
+	if code != 0 {
+		t.Fatalf("exit %d for warning-only input, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "LOOP002") || !strings.Contains(out, "<stdin>") {
+		t.Errorf("stdout %q: want a LOOP002 warning located in <stdin>", out)
+	}
+}
+
+func TestWerrorPromotesWarnings(t *testing.T) {
+	code, _, _ := runLint(t, []string{"-werror", "-"}, "loop d {\n t = a[i]\n out[i] = b[i]\n}")
+	if code != 1 {
+		t.Errorf("exit %d with -werror on a warning, want 1", code)
+	}
+}
+
+func TestParseErrorExitsOne(t *testing.T) {
+	code, out, _ := runLint(t, []string{"-"}, "loop {")
+	if code != 1 {
+		t.Fatalf("exit %d on unparsable source, want 1", code)
+	}
+	if !strings.Contains(out, "LOOP001") {
+		t.Errorf("stdout %q missing LOOP001", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t, nil, ""); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, []string{"no/such/file.loop"}, ""); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, []string{"-machine", "bogus:spec"}, ""); code != 2 {
+		t.Errorf("bad machine spec: exit %d, want 2", code)
+	}
+}
+
+func TestExplicitMachineSpecLints(t *testing.T) {
+	code, out, _ := runLint(t, []string{"-machine", "gp:2:2:1,unified:8"}, "")
+	if code != 0 {
+		t.Errorf("exit %d for valid machine specs, want 0\n%s", code, out)
+	}
+}

@@ -11,6 +11,8 @@ package ddg
 import (
 	"fmt"
 	"sort"
+
+	"clustersched/internal/diag"
 )
 
 // OpKind classifies an operation. The latency of each kind is a machine
@@ -194,47 +196,99 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
-// Validate checks structural invariants and returns a descriptive error
-// for the first violation found.
-func (g *Graph) Validate() error {
+// Structural diagnostic codes reported by Lint. Package lint layers
+// additional DDG-prefixed advisory codes on top of these.
+const (
+	CodeBadNode      = "DDG001" // nil node record or mismatched ID
+	CodeBadKind      = "DDG002" // operation kind out of range
+	CodeDanglingEdge = "DDG003" // edge endpoint references a missing node
+	CodeNegativeDist = "DDG004" // edge with negative iteration distance
+	CodeZeroSelfEdge = "DDG005" // self-edge with distance 0
+	CodeZeroCycle    = "DDG006" // zero-distance dependence cycle
+)
+
+// Lint checks every structural invariant and returns all violations as
+// diagnostics, not just the first. It trusts nothing about the graph:
+// adjacency is rebuilt from the Edges slice, so graphs assembled by
+// struct literal (bypassing AddNode/AddEdge) are checked correctly,
+// and the cycle search runs only over edges whose endpoints exist.
+func (g *Graph) Lint() []diag.Diagnostic {
+	var r diag.Reporter
 	for i, n := range g.Nodes {
 		if n == nil {
-			return fmt.Errorf("ddg: node %d is nil", i)
+			r.Errorf(CodeBadNode, fmt.Sprintf("node %d", i), "node %d is nil", i)
+			continue
 		}
 		if n.ID != i {
-			return fmt.Errorf("ddg: node %d has mismatched ID %d", i, n.ID)
+			r.Errorf(CodeBadNode, fmt.Sprintf("node %d", i), "node %d has mismatched ID %d", i, n.ID)
 		}
 		if n.Kind < 0 || int(n.Kind) >= NumOpKinds {
-			return fmt.Errorf("ddg: node %d has invalid kind %d", i, int(n.Kind))
+			r.Errorf(CodeBadKind, fmt.Sprintf("node %d", i), "node %d has invalid kind %d", i, int(n.Kind))
 		}
 	}
 	for i, e := range g.Edges {
+		subject := fmt.Sprintf("edge %d", i)
 		if e.From < 0 || e.From >= len(g.Nodes) {
-			return fmt.Errorf("ddg: edge %d has invalid source %d", i, e.From)
+			r.Errorf(CodeDanglingEdge, subject, "edge %d has invalid source %d (have %d nodes)", i, e.From, len(g.Nodes))
 		}
 		if e.To < 0 || e.To >= len(g.Nodes) {
-			return fmt.Errorf("ddg: edge %d has invalid sink %d", i, e.To)
+			r.Errorf(CodeDanglingEdge, subject, "edge %d has invalid sink %d (have %d nodes)", i, e.To, len(g.Nodes))
 		}
 		if e.Distance < 0 {
-			return fmt.Errorf("ddg: edge %d has negative distance %d", i, e.Distance)
+			r.Errorf(CodeNegativeDist, subject, "edge %d has negative distance %d", i, e.Distance)
+		}
+		if e.From == e.To && e.From >= 0 && e.From < len(g.Nodes) && e.Distance == 0 {
+			r.Errorf(CodeZeroSelfEdge, subject,
+				"edge %d is a self-dependence of node %d at distance 0 (an operation cannot precede itself within one iteration)",
+				i, e.From)
 		}
 	}
 	// A zero-distance cycle is not schedulable at any II: every op in the
-	// cycle would have to precede itself within one iteration.
-	if cyc := g.zeroDistanceCycle(); cyc != nil {
-		return fmt.Errorf("ddg: zero-distance dependence cycle through nodes %v", cyc)
+	// cycle would have to precede itself within one iteration. (A
+	// distance-0 self-edge is the one-node case, reported above with its
+	// own code and excluded here.)
+	if cyc := g.zeroDistanceCycle(); cyc != nil && len(cyc) > 1 {
+		r.Report(diag.Diagnostic{
+			Code:     CodeZeroCycle,
+			Severity: diag.Error,
+			Subject:  fmt.Sprintf("nodes %v", cyc),
+			Message:  fmt.Sprintf("zero-distance dependence cycle through nodes %v", cyc),
+			Fix:      "give at least one edge of the cycle a positive iteration distance, or break the recurrence",
+		})
+	}
+	return r.Diagnostics()
+}
+
+// Validate checks structural invariants. It returns nil for a
+// well-formed graph, or a *diag.List carrying every violation (not
+// just the first), whose Error string leads with the first one.
+func (g *Graph) Validate() error {
+	diags := g.Lint()
+	if err := diag.AsError(diags); err != nil {
+		return fmt.Errorf("ddg: %w", err)
 	}
 	return nil
 }
 
 // zeroDistanceCycle returns the node IDs of some cycle consisting only
-// of distance-0 edges, or nil if none exists.
+// of distance-0 edges, or nil if none exists. Edges with out-of-range
+// endpoints are skipped, so it is safe on graphs Lint has found other
+// problems in.
 func (g *Graph) zeroDistanceCycle() []int {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
+	// Rebuild adjacency from Edges: literal-constructed graphs may have
+	// stale or missing succ slices.
+	succ := make([][]int, len(g.Nodes))
+	for i, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			continue
+		}
+		succ[e.From] = append(succ[e.From], i)
+	}
 	color := make([]int, len(g.Nodes))
 	parent := make([]int, len(g.Nodes))
 	for i := range parent {
@@ -244,7 +298,7 @@ func (g *Graph) zeroDistanceCycle() []int {
 	var dfs func(u int) bool
 	dfs = func(u int) bool {
 		color[u] = gray
-		for _, ei := range g.succ[u] {
+		for _, ei := range succ[u] {
 			e := g.Edges[ei]
 			if e.Distance != 0 {
 				continue

@@ -36,8 +36,24 @@ type NamedGraph struct {
 	Graph *ddg.Graph
 }
 
-// Read parses every loop in the stream.
+// Read parses every loop in the stream. Each finished loop is
+// validated; semantically broken graphs (e.g. zero-distance cycles)
+// are rejected. Use ReadLax to load such graphs anyway, for tools —
+// like clusterlint — that want to analyse broken inputs rather than
+// refuse them.
 func Read(r io.Reader) ([]NamedGraph, error) {
+	return read(r, true)
+}
+
+// ReadLax parses every loop in the stream without validating the
+// finished graphs. Syntactic errors (unknown directives, dangling
+// node references, malformed numbers) are still reported; semantic
+// ones (zero-distance cycles) are left for the caller to diagnose.
+func ReadLax(r io.Reader) ([]NamedGraph, error) {
+	return read(r, false)
+}
+
+func read(r io.Reader, validate bool) ([]NamedGraph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var (
@@ -111,8 +127,10 @@ func Read(r io.Reader) ([]NamedGraph, error) {
 			if cur == nil {
 				return nil, fmt.Errorf("ddgio: line %d: end outside loop", line)
 			}
-			if err := cur.Graph.Validate(); err != nil {
-				return nil, fmt.Errorf("ddgio: line %d: invalid loop %q: %w", line, cur.Name, err)
+			if validate {
+				if err := cur.Graph.Validate(); err != nil {
+					return nil, fmt.Errorf("ddgio: line %d: invalid loop %q: %w", line, cur.Name, err)
+				}
 			}
 			out = append(out, *cur)
 			cur = nil

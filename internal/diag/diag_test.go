@@ -1,0 +1,143 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSeverityString(t *testing.T) {
+	cases := map[Severity]string{Error: "error", Warning: "warning", Info: "info", Severity(9): "severity(9)"}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(sev), got, want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Code: "DDG006", Severity: Error, Message: "cycle", File: "a.loop", Line: 3, Subject: "nodes [1 2]"}
+	want := "a.loop:3: error DDG006: cycle [nodes [1 2]]"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d2 := Diagnostic{Code: "MACH001", Severity: Warning, Message: "m", Line: 7}
+	if got := d2.String(); got != "line 7: warning MACH001: m" {
+		t.Errorf("String() = %q", got)
+	}
+	d3 := Diagnostic{Code: "X001", Severity: Info, Message: "m"}
+	if got := d3.String(); got != "info X001: m" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestReporterCollects(t *testing.T) {
+	var r Reporter
+	r.Errorf("E001", "node 1", "bad node %d", 1)
+	r.Warnf("W001", "", "suspicious")
+	r.Infof("I001", "", "fyi")
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if !r.HasErrors() {
+		t.Error("HasErrors = false, want true")
+	}
+	if got := CountErrors(r.Diagnostics()); got != 1 {
+		t.Errorf("CountErrors = %d, want 1", got)
+	}
+	if got := len(Filter(r.Diagnostics(), Warning)); got != 1 {
+		t.Errorf("Filter(Warning) = %d findings, want 1", got)
+	}
+}
+
+func TestAsErrorNilWithoutErrors(t *testing.T) {
+	if err := AsError(nil); err != nil {
+		t.Errorf("AsError(nil) = %v, want nil", err)
+	}
+	warnOnly := []Diagnostic{{Code: "W001", Severity: Warning, Message: "w"}}
+	if err := AsError(warnOnly); err != nil {
+		t.Errorf("AsError(warnings) = %v, want nil", err)
+	}
+}
+
+func TestAsErrorCarriesAllDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Code: "E001", Severity: Error, Message: "first"},
+		{Code: "W001", Severity: Warning, Message: "side note"},
+		{Code: "E002", Severity: Error, Message: "second"},
+	}
+	err := AsError(diags)
+	if err == nil {
+		t.Fatal("AsError = nil, want error")
+	}
+	var list *List
+	if !errors.As(err, &list) {
+		t.Fatalf("error %T does not unwrap to *List", err)
+	}
+	if len(list.Diags) != 3 {
+		t.Errorf("List carries %d diagnostics, want 3", len(list.Diags))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "E001: first") || !strings.Contains(msg, "and 1 more") {
+		t.Errorf("Error() = %q, want first error plus count", msg)
+	}
+}
+
+func TestSortOrdersByLocationThenSeverity(t *testing.T) {
+	diags := []Diagnostic{
+		{Code: "B", Severity: Warning, File: "b.loop", Line: 1},
+		{Code: "A", Severity: Warning, File: "a.loop", Line: 9},
+		{Code: "C", Severity: Error, File: "a.loop", Line: 9},
+	}
+	Sort(diags)
+	if diags[0].File != "a.loop" || diags[0].Code != "C" {
+		t.Errorf("Sort order wrong: %+v", diags)
+	}
+	if diags[2].File != "b.loop" {
+		t.Errorf("Sort order wrong: %+v", diags)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{
+		{Code: "DDG006", Severity: Error, Message: "cycle", File: "x.ddg", Line: 2, Fix: "break it"},
+	}
+	if err := Text(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x.ddg:2: error DDG006: cycle") || !strings.Contains(out, "fix: break it") {
+		t.Errorf("Text output = %q", out)
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diagnostic{{Code: "MACH003", Severity: Error, Message: "orphan kind", Subject: "kind load"}}
+	if err := JSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0].Code != "MACH003" || back[0].Severity != Error {
+		t.Errorf("round trip = %+v", back)
+	}
+	if !strings.Contains(buf.String(), `"severity": "error"`) {
+		t.Errorf("severity not rendered as string: %s", buf.String())
+	}
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("JSON(nil) = %q, want []", got)
+	}
+}

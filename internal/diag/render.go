@@ -1,0 +1,34 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Text renders the findings one per line in file:line: severity CODE:
+// message form, with suggested fixes indented beneath.
+func Text(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+		if d.Fix != "" {
+			if _, err := fmt.Fprintf(w, "\tfix: %s\n", d.Fix); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSON renders the findings as an indented JSON array (an empty array
+// for no findings, never null), one stable object per diagnostic.
+func JSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

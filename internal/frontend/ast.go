@@ -1,0 +1,81 @@
+package frontend
+
+// The exported syntax view: a flattened, read-only projection of the
+// parser's AST that the lint package (and other tools) can analyse
+// without depending on parser internals. Expressions are flattened
+// into the ordered list of name references they read; constants fold
+// away here exactly as they do in compilation.
+
+// Ref is one name reference in a loop body: a scalar or an array
+// element access.
+type Ref struct {
+	Name   string
+	Array  bool
+	Offset int // subscript i+Offset, array references only
+	Line   int
+}
+
+// Stmt is one statement "target = rhs" with the references the
+// right-hand side reads, in evaluation order.
+type Stmt struct {
+	Line   int
+	Target Ref
+	Reads  []Ref
+}
+
+// LoopSyntax is the syntax view of one parsed loop.
+type LoopSyntax struct {
+	Name  string
+	Line  int
+	Stmts []Stmt
+}
+
+// ParseSyntax parses the source and returns the syntax view of every
+// loop, without compiling to dependence graphs. Parse errors are the
+// same the compiler reports.
+func ParseSyntax(src string) ([]LoopSyntax, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	asts, err := parseProgram(toks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LoopSyntax, 0, len(asts))
+	for _, ast := range asts {
+		l := LoopSyntax{Name: ast.name, Line: ast.line}
+		for _, st := range ast.body {
+			s := Stmt{
+				Line: st.line,
+				Target: Ref{
+					Name:   st.target.name,
+					Array:  st.target.array,
+					Offset: st.target.offset,
+					Line:   st.target.line,
+				},
+			}
+			collectReads(st.rhs, &s.Reads)
+			l.Stmts = append(l.Stmts, s)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// collectReads appends every scalar and array reference of e in
+// evaluation order.
+func collectReads(e *expr, out *[]Ref) {
+	if e == nil {
+		return
+	}
+	switch e.kind {
+	case exprScalar:
+		*out = append(*out, Ref{Name: e.name, Line: e.line})
+	case exprArray:
+		*out = append(*out, Ref{Name: e.name, Array: true, Offset: e.offset, Line: e.line})
+	}
+	for _, a := range e.args {
+		collectReads(a, out)
+	}
+}

@@ -1,4 +1,4 @@
-package frontend
+package frontend_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
+	"clustersched/internal/frontend"
 	"clustersched/internal/machine"
 	"clustersched/internal/mii"
 	"clustersched/internal/pipeline"
@@ -13,7 +14,7 @@ import (
 
 func compileOne(t *testing.T, src string) *ddg.Graph {
 	t.Helper()
-	loops, err := Compile(src)
+	loops, err := frontend.Compile(src)
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
@@ -188,7 +189,7 @@ loop norm {
 }
 
 func TestCompileMultipleLoops(t *testing.T) {
-	loops, err := Compile(`
+	loops, err := frontend.Compile(`
 loop one { a[i] = b[i] + 1.0 }
 loop two { c[i] = d[i] * 2.0 }
 `)
@@ -215,7 +216,7 @@ func TestCompileErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := Compile(tc.src)
+			_, err := frontend.Compile(tc.src)
 			if err == nil {
 				t.Fatal("compile accepted bad input")
 			}
@@ -235,7 +236,7 @@ loop saxpy   { y[i] = y[i] + alpha * x[i] }
 loop smooth  { x[i] = (x[i-1] + in[i] + in[i+1]) / 3.0 }
 loop norm    { r[i] = sqrt(x[i] * x[i] + y[i] * y[i]) }
 `
-	loops, err := Compile(src)
+	loops, err := frontend.Compile(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,11 +278,11 @@ loop cond {
 }
 
 func TestCompileSelectArityError(t *testing.T) {
-	_, err := Compile(`loop x { a[i] = select(b[i], c[i]) }`)
+	_, err := frontend.Compile(`loop x { a[i] = select(b[i], c[i]) }`)
 	if err == nil || !strings.Contains(err.Error(), "','") {
 		t.Errorf("short select accepted: %v", err)
 	}
-	_, err = Compile(`loop x { a[i] = sqrt(b[i], c[i]) }`)
+	_, err = frontend.Compile(`loop x { a[i] = sqrt(b[i], c[i]) }`)
 	if err == nil {
 		t.Error("sqrt with two args accepted")
 	}

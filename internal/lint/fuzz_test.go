@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"regexp"
+	"testing"
+
+	"clustersched/internal/diag"
+	"clustersched/internal/lint"
+)
+
+var codePattern = regexp.MustCompile(`^(DDG|MACH|LOOP|SCHED)\d{3}$`)
+
+// FuzzLintLoop feeds arbitrary source through the loop-language linter.
+// The linter must never panic, and every diagnostic it emits must carry
+// a well-formed code, a valid severity, and the location it was asked
+// to lint.
+func FuzzLintLoop(f *testing.F) {
+	f.Add("loop dot { s = s + a[i]*b[i] }")
+	f.Add("loop d {\n t = a[i]\n t = b[i]\n out[i] = t\n}")
+	f.Add("loop d {\n x[i] = a[i]\n x[i] = b[i]\n}")
+	f.Add("loop d { i = i + 1.0 }")
+	f.Add("loop d { s = s + 1.0\n s[i] = s }")
+	f.Add("loop d { x[i] = a[i] }\nloop d { y[i] = b[i] }")
+	f.Add("loop {")
+	f.Add("")
+	f.Add("loop rec { x[i] = x[i-3] + 0.5 }")
+	f.Add("# comment only\n")
+	f.Add("loop w { q[i] = sqrt(u[i]*u[i] + w[i]*w[i]) }")
+	f.Fuzz(func(t *testing.T, src string) {
+		diags := lint.Source("fuzz.loop", src)
+		for _, d := range diags {
+			if !codePattern.MatchString(d.Code) {
+				t.Errorf("malformed diagnostic code %q in %+v", d.Code, d)
+			}
+			if d.Severity != diag.Error && d.Severity != diag.Warning && d.Severity != diag.Info {
+				t.Errorf("invalid severity %d in %+v", int(d.Severity), d)
+			}
+			if d.File != "fuzz.loop" {
+				t.Errorf("diagnostic lost its location: %+v", d)
+			}
+			if d.Line < 0 {
+				t.Errorf("negative line in %+v", d)
+			}
+			if d.Message == "" {
+				t.Errorf("empty message in %+v", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+)
+
+// Advisory graph codes, continuing the DDG001-DDG006 structural codes
+// owned by ddg.Graph.Lint.
+const (
+	CodeDuplicateEdge = "DDG007" // identical dependence recorded twice
+	CodeIsolatedNode  = "DDG008" // non-branch node with no dependences
+	CodePreAssignCopy = "DDG009" // copy node in a pre-assignment graph
+)
+
+// Graph checks a pre-assignment dependence graph: every structural
+// invariant of ddg.Graph.Lint plus advisory findings — duplicate
+// edges, isolated nodes, and copy nodes (which only cluster assignment
+// should introduce).
+func Graph(g *ddg.Graph) []diag.Diagnostic {
+	diags := g.Lint()
+	var r diag.Reporter
+
+	// Two identical edges are idiomatic — one value feeding both
+	// operands of a consumer (x*x). Three or more identical records
+	// cannot all be operand uses and indicate a redundant dependence.
+	seen := make(map[ddg.Edge][]int, len(g.Edges))
+	for i, e := range g.Edges {
+		seen[e] = append(seen[e], i)
+	}
+	for i, e := range g.Edges {
+		if dups := seen[e]; len(dups) > 2 && dups[0] == i {
+			r.Report(diag.Diagnostic{
+				Code: CodeDuplicateEdge, Severity: diag.Warning,
+				Subject: fmt.Sprintf("edge %d", i),
+				Message: fmt.Sprintf("dependence n%d -> n%d dist=%d is recorded %d times (edges %v)",
+					e.From, e.To, e.Distance, len(dups), dups),
+				Fix: "record a dependence once per operand use; drop the redundant edges",
+			})
+		}
+	}
+
+	if g.NumNodes() > 1 {
+		degree := make([]int, g.NumNodes())
+		for _, e := range g.Edges {
+			if e.From >= 0 && e.From < g.NumNodes() {
+				degree[e.From]++
+			}
+			if e.To >= 0 && e.To < g.NumNodes() {
+				degree[e.To]++
+			}
+		}
+		for i, n := range g.Nodes {
+			if n == nil || degree[i] > 0 {
+				continue
+			}
+			// The loop-closing branch legitimately carries no data
+			// dependences; anything else dangling is suspect.
+			if n.Kind == ddg.OpBranch {
+				continue
+			}
+			r.Report(diag.Diagnostic{
+				Code: CodeIsolatedNode, Severity: diag.Warning,
+				Subject: fmt.Sprintf("node %d", i),
+				Message: fmt.Sprintf("node %d (%s) has no dependences; it is unreachable from the rest of the loop", i, n.Kind),
+				Fix:     "remove the operation or wire it into the dataflow",
+			})
+		}
+	}
+
+	for i, n := range g.Nodes {
+		if n != nil && n.Kind == ddg.OpCopy {
+			r.Report(diag.Diagnostic{
+				Code: CodePreAssignCopy, Severity: diag.Warning,
+				Subject: fmt.Sprintf("node %d", i),
+				Message: fmt.Sprintf("node %d is an explicit copy; copies are normally inserted by cluster assignment, not present in its input", i),
+				Fix:     "drop the copy and let assignment place inter-cluster moves",
+			})
+		}
+	}
+
+	return append(diags, r.Diagnostics()...)
+}

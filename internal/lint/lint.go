@@ -1,0 +1,28 @@
+// Package lint implements the static-analysis passes that gate the
+// scheduling pipeline: data-dependence-graph well-formedness, machine
+// configuration validation, and loop-language lint over the frontend
+// AST. Each pass returns structured diagnostics (package diag) with
+// stable codes; docs/DIAGNOSTICS.md catalogues all of them.
+//
+// The passes layer advisory findings (warnings, infos) on top of the
+// hard structural checks owned by ddg.Graph.Lint and
+// machine.Config.Lint: an input with Error-severity findings produces
+// garbage assignments or crashes downstream, while warnings flag
+// legal-but-suspect inputs (dead values, isolated nodes, unused
+// fabric) that usually indicate a mistake.
+package lint
+
+import (
+	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+	"clustersched/internal/machine"
+)
+
+// Input runs the graph and machine passes a pipeline run depends on
+// and returns their combined findings. The pipeline rejects the run
+// when any finding is Error severity, before assignment starts.
+func Input(g *ddg.Graph, m *machine.Config) []diag.Diagnostic {
+	diags := Graph(g)
+	diags = append(diags, Machine(m)...)
+	return diags
+}

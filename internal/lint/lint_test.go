@@ -1,0 +1,457 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+	"clustersched/internal/experiments"
+	"clustersched/internal/lint"
+	"clustersched/internal/machine"
+)
+
+func hasCode(diags []diag.Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func codes(diags []diag.Diagnostic) string {
+	var cs []string
+	for _, d := range diags {
+		cs = append(cs, d.Code)
+	}
+	return strings.Join(cs, ",")
+}
+
+// chainGraph is a minimal clean fixture: load -> alu -> store.
+func chainGraph() *ddg.Graph {
+	g := ddg.NewGraph(3, 2)
+	a := g.AddNode(ddg.OpLoad, "a[i]")
+	b := g.AddNode(ddg.OpALU, "")
+	c := g.AddNode(ddg.OpStore, "x[i]")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+	return g
+}
+
+func TestGraphLintCodes(t *testing.T) {
+	cases := []struct {
+		name    string
+		code    string
+		trigger func() *ddg.Graph
+		clean   func() *ddg.Graph
+	}{
+		{
+			name: "bad node record", code: "DDG001",
+			trigger: func() *ddg.Graph {
+				return &ddg.Graph{Nodes: []*ddg.Node{{ID: 5, Kind: ddg.OpALU}}}
+			},
+			clean: chainGraph,
+		},
+		{
+			name: "nil node record", code: "DDG001",
+			trigger: func() *ddg.Graph {
+				return &ddg.Graph{Nodes: []*ddg.Node{nil}}
+			},
+			clean: chainGraph,
+		},
+		{
+			name: "invalid kind", code: "DDG002",
+			trigger: func() *ddg.Graph {
+				return &ddg.Graph{Nodes: []*ddg.Node{{ID: 0, Kind: ddg.OpKind(99)}}}
+			},
+			clean: chainGraph,
+		},
+		{
+			name: "dangling edge", code: "DDG003",
+			trigger: func() *ddg.Graph {
+				g := chainGraph()
+				g.Edges = append(g.Edges, ddg.Edge{From: 0, To: 17, Distance: 0})
+				return g
+			},
+			clean: chainGraph,
+		},
+		{
+			name: "negative distance", code: "DDG004",
+			trigger: func() *ddg.Graph {
+				g := chainGraph()
+				g.Edges = append(g.Edges, ddg.Edge{From: 0, To: 1, Distance: -1})
+				return g
+			},
+			clean: chainGraph,
+		},
+		{
+			name: "zero-distance self edge", code: "DDG005",
+			trigger: func() *ddg.Graph {
+				g := chainGraph()
+				g.Edges = append(g.Edges, ddg.Edge{From: 1, To: 1, Distance: 0})
+				return g
+			},
+			clean: func() *ddg.Graph {
+				// A self recurrence at distance 1 is legal.
+				g := chainGraph()
+				g.AddEdge(1, 1, 1)
+				return g
+			},
+		},
+		{
+			name: "zero-distance cycle", code: "DDG006",
+			trigger: func() *ddg.Graph {
+				g := ddg.NewGraph(2, 2)
+				a := g.AddNode(ddg.OpALU, "")
+				b := g.AddNode(ddg.OpALU, "")
+				g.AddEdge(a, b, 0)
+				g.AddEdge(b, a, 0)
+				return g
+			},
+			clean: func() *ddg.Graph {
+				// The same cycle closed at distance 1 is a recurrence.
+				g := ddg.NewGraph(2, 2)
+				a := g.AddNode(ddg.OpALU, "")
+				b := g.AddNode(ddg.OpALU, "")
+				g.AddEdge(a, b, 0)
+				g.AddEdge(b, a, 1)
+				return g
+			},
+		},
+		{
+			name: "redundant duplicate edge", code: "DDG007",
+			trigger: func() *ddg.Graph {
+				g := chainGraph()
+				g.AddEdge(0, 1, 0)
+				g.AddEdge(0, 1, 0) // three identical records in total
+				return g
+			},
+			clean: func() *ddg.Graph {
+				// Two identical edges are one value feeding both
+				// operands (x*x): idiomatic, not redundant.
+				g := chainGraph()
+				g.AddEdge(0, 1, 0)
+				return g
+			},
+		},
+		{
+			name: "isolated node", code: "DDG008",
+			trigger: func() *ddg.Graph {
+				g := chainGraph()
+				g.AddNode(ddg.OpALU, "orphan")
+				return g
+			},
+			clean: func() *ddg.Graph {
+				// The loop-closing branch legitimately has no edges.
+				g := chainGraph()
+				g.AddNode(ddg.OpBranch, "loop")
+				return g
+			},
+		},
+		{
+			name: "pre-assignment copy", code: "DDG009",
+			trigger: func() *ddg.Graph {
+				g := ddg.NewGraph(2, 1)
+				a := g.AddNode(ddg.OpALU, "")
+				k := g.AddNode(ddg.OpCopy, "")
+				g.AddEdge(a, k, 0)
+				return g
+			},
+			clean: chainGraph,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lint.Graph(tc.trigger())
+			if !hasCode(got, tc.code) {
+				t.Errorf("trigger fixture: want %s, got [%s]", tc.code, codes(got))
+			}
+			if clean := lint.Graph(tc.clean()); hasCode(clean, tc.code) {
+				t.Errorf("clean fixture: unexpected %s in [%s]", tc.code, codes(clean))
+			}
+		})
+	}
+}
+
+func TestMachineLintCodes(t *testing.T) {
+	lat := machine.DefaultLatencies()
+	cleanGP := func() *machine.Config { return machine.NewBusedGP(2, 2, 1) }
+	cases := []struct {
+		name    string
+		code    string
+		trigger func() *machine.Config
+		clean   func() *machine.Config
+	}{
+		{
+			name: "no clusters", code: "MACH001",
+			trigger: func() *machine.Config {
+				return &machine.Config{Name: "empty", Network: machine.Broadcast, Latencies: lat}
+			},
+			clean: cleanGP,
+		},
+		{
+			name: "empty cluster", code: "MACH002",
+			trigger: func() *machine.Config {
+				m := cleanGP()
+				m.Clusters[1].FUs = nil
+				return m
+			},
+			clean: cleanGP,
+		},
+		{
+			name: "orphan kind", code: "MACH003",
+			trigger: func() *machine.Config {
+				// Integer units only: loads, stores, and FP execute nowhere.
+				return &machine.Config{
+					Name:    "intonly",
+					Network: machine.Broadcast, Buses: 1,
+					Clusters: []machine.Cluster{
+						{FUs: []machine.FUClass{machine.FUInteger}, ReadPorts: 1, WritePorts: 1},
+						{FUs: []machine.FUClass{machine.FUInteger}, ReadPorts: 1, WritePorts: 1},
+					},
+					Latencies: lat,
+				}
+			},
+			clean: func() *machine.Config { return machine.NewBusedFS(2, 2, 1) },
+		},
+		{
+			name: "negative ports", code: "MACH004",
+			trigger: func() *machine.Config {
+				m := cleanGP()
+				m.Clusters[0].ReadPorts = -1
+				return m
+			},
+			clean: cleanGP,
+		},
+		{
+			name: "clustered broadcast without buses", code: "MACH005",
+			trigger: func() *machine.Config {
+				m := cleanGP()
+				m.Buses = 0
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewUnifiedGP(8) },
+		},
+		{
+			name: "clustered point-to-point without links", code: "MACH006",
+			trigger: func() *machine.Config {
+				m := machine.NewGrid4(2)
+				m.Links = nil
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewGrid4(2) },
+		},
+		{
+			name: "invalid link", code: "MACH007",
+			trigger: func() *machine.Config {
+				m := machine.NewGrid4(2)
+				m.Links[0] = machine.Link{A: 0, B: 9}
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewGrid4(2) },
+		},
+		{
+			name: "unreachable cluster", code: "MACH008",
+			trigger: func() *machine.Config {
+				m := machine.NewGrid4(2)
+				m.Links = []machine.Link{{A: 0, B: 1}} // clusters 2, 3 cut off
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewRing(6, 2) },
+		},
+		{
+			name: "unknown network", code: "MACH009",
+			trigger: func() *machine.Config {
+				m := cleanGP()
+				m.Network = machine.Network(7)
+				return m
+			},
+			clean: cleanGP,
+		},
+		{
+			name: "latency gap", code: "MACH010",
+			trigger: func() *machine.Config {
+				m := cleanGP()
+				m.Latencies[ddg.OpFMul] = 0
+				return m
+			},
+			clean: cleanGP,
+		},
+		{
+			name: "fabric mismatch", code: "MACH011",
+			trigger: func() *machine.Config {
+				m := machine.NewGrid4(2)
+				m.Buses = 4 // ignored on a point-to-point machine
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewGrid4(2) },
+		},
+		{
+			name: "portless cluster", code: "MACH012",
+			trigger: func() *machine.Config {
+				m := cleanGP()
+				m.Clusters[0].WritePorts = 0
+				return m
+			},
+			clean: cleanGP,
+		},
+		{
+			name: "duplicate link", code: "MACH013",
+			trigger: func() *machine.Config {
+				m := machine.NewGrid4(2)
+				m.Links = append(m.Links, machine.Link{A: 1, B: 0})
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewGrid4(2) },
+		},
+		{
+			name: "unused fabric", code: "MACH014",
+			trigger: func() *machine.Config {
+				m := machine.NewUnifiedGP(8)
+				m.Buses = 2
+				return m
+			},
+			clean: func() *machine.Config { return machine.NewUnifiedGP(8) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lint.Machine(tc.trigger())
+			if !hasCode(got, tc.code) {
+				t.Errorf("trigger fixture: want %s, got [%s]", tc.code, codes(got))
+			}
+			if clean := lint.Machine(tc.clean()); hasCode(clean, tc.code) {
+				t.Errorf("clean fixture: unexpected %s in [%s]", tc.code, codes(clean))
+			}
+		})
+	}
+}
+
+func TestSourceLintCodes(t *testing.T) {
+	cases := []struct {
+		name    string
+		code    string
+		trigger string
+		clean   string
+	}{
+		{
+			name: "parse error", code: "LOOP001",
+			trigger: "loop {",
+			clean:   "loop d { s = s + a[i] * b[i] }",
+		},
+		{
+			name: "scalar never read", code: "LOOP002",
+			trigger: "loop d {\n t = a[i] + 1.0\n out[i] = a[i]\n}",
+			clean:   "loop d { s = s + a[i] }", // carried reduction read
+		},
+		{
+			name: "value overwritten unread", code: "LOOP002",
+			trigger: "loop d {\n t = a[i]\n t = b[i]\n out[i] = t\n}",
+			clean:   "loop d {\n t = a[i]\n u = t + 1.0\n t = b[i]\n out[i] = t * u\n}",
+		},
+		{
+			name: "dead store", code: "LOOP003",
+			trigger: "loop d {\n x[i] = a[i]\n x[i] = b[i]\n}",
+			clean:   "loop d {\n x[i] = a[i]\n y[i] = x[i]\n x[i] = b[i]\n}",
+		},
+		{
+			name: "index shadowing", code: "LOOP004",
+			trigger: "loop d { i = i + 1.0 }",
+			clean:   "loop d { s = s + 1.0 }",
+		},
+		{
+			name: "scalar/array name collision", code: "LOOP005",
+			trigger: "loop d {\n s = s + 1.0\n s[i] = s\n}",
+			clean:   "loop d {\n s = s + 1.0\n out[i] = s\n}",
+		},
+		{
+			name: "duplicate loop name", code: "LOOP006",
+			trigger: "loop d { x[i] = a[i] }\nloop d { y[i] = b[i] }",
+			clean:   "loop d { x[i] = a[i] }\nloop e { y[i] = b[i] }",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lint.Source("t.loop", tc.trigger)
+			if !hasCode(got, tc.code) {
+				t.Errorf("trigger fixture: want %s, got [%s]", tc.code, codes(got))
+			}
+			if clean := lint.Source("t.loop", tc.clean); hasCode(clean, tc.code) {
+				t.Errorf("clean fixture: unexpected %s in [%s]", tc.code, codes(clean))
+			}
+		})
+	}
+}
+
+func TestSourceDiagnosticsCarryLocation(t *testing.T) {
+	diags := lint.Source("dead.loop", "loop d {\n t = a[i] + 1.0\n out[i] = a[i]\n}")
+	if len(diags) == 0 {
+		t.Fatal("want a finding")
+	}
+	for _, d := range diags {
+		if d.File != "dead.loop" {
+			t.Errorf("finding %s has file %q, want dead.loop", d.Code, d.File)
+		}
+		if d.Line <= 0 {
+			t.Errorf("finding %s has no line: %+v", d.Code, d)
+		}
+	}
+}
+
+func TestParseErrorCarriesLine(t *testing.T) {
+	diags := lint.Source("bad.loop", "loop d {\n x[i] = +\n}")
+	if len(diags) != 1 || diags[0].Code != "LOOP001" {
+		t.Fatalf("want one LOOP001, got [%s]", codes(diags))
+	}
+	if diags[0].Line != 2 {
+		t.Errorf("parse error line = %d, want 2", diags[0].Line)
+	}
+}
+
+// TestBuiltinMachinesLintClean is the acceptance gate: every machine
+// configuration the repository ships — the constructor families and
+// every experiment row, paper set and extensions — lints with zero
+// findings of any severity.
+func TestBuiltinMachinesLintClean(t *testing.T) {
+	var machines []*machine.Config
+	machines = append(machines,
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedGP(4, 4, 2),
+		machine.NewBusedFS(2, 2, 1),
+		machine.NewBusedFS(4, 4, 2),
+		machine.NewGrid4(2),
+		machine.NewRing(2, 1),
+		machine.NewRing(4, 2),
+		machine.NewRing(6, 2),
+		machine.NewRing(8, 2),
+		machine.NewUnifiedGP(4),
+		machine.NewUnifiedGP(8),
+		machine.NewUnifiedGP(16),
+	)
+	for _, cfg := range append(experiments.All(), experiments.Extensions()...) {
+		for _, row := range cfg.Rows {
+			machines = append(machines, row.Machine)
+		}
+	}
+	machines = append(machines, experiments.LivermoreMachines()...)
+	seen := map[string]bool{}
+	for _, m := range machines {
+		if seen[m.Name] {
+			continue
+		}
+		seen[m.Name] = true
+		if diags := lint.Machine(m); len(diags) != 0 {
+			t.Errorf("built-in machine %s is not lint-clean: [%s]", m.Name, codes(diags))
+		}
+		if u := m.Unified(); !seen[u.Name] {
+			seen[u.Name] = true
+			if diags := lint.Machine(u); len(diags) != 0 {
+				t.Errorf("unified baseline %s is not lint-clean: [%s]", u.Name, codes(diags))
+			}
+		}
+	}
+	if len(seen) < 15 {
+		t.Fatalf("only %d distinct built-in machines found; the sweep looks broken", len(seen))
+	}
+}

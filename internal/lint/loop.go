@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"clustersched/internal/diag"
+	"clustersched/internal/frontend"
+)
+
+// Loop-language codes.
+const (
+	CodeParseError    = "LOOP001" // source does not parse
+	CodeDeadValue     = "LOOP002" // scalar assignment never read
+	CodeDeadStore     = "LOOP003" // store overwritten before any read
+	CodeIndexShadow   = "LOOP004" // assignment shadows the loop index
+	CodeNameShadow    = "LOOP005" // name used as both scalar and array
+	CodeDuplicateLoop = "LOOP006" // two loops share a name
+)
+
+// Source lints loop-language source code. The file name is attached
+// to every finding for error reporting; it may be empty. A source
+// that fails to parse yields a single CodeParseError finding carrying
+// the parser's message.
+func Source(file, src string) []diag.Diagnostic {
+	loops, err := frontend.ParseSyntax(src)
+	if err != nil {
+		return []diag.Diagnostic{parseDiagnostic(file, err)}
+	}
+	var r diag.Reporter
+	seen := map[string]int{}
+	for _, l := range loops {
+		if firstLine, dup := seen[l.Name]; dup {
+			r.Report(diag.Diagnostic{
+				Code: CodeDuplicateLoop, Severity: diag.Warning,
+				File: file, Line: l.Line, Subject: "loop " + l.Name,
+				Message: fmt.Sprintf("loop %q is already defined at line %d", l.Name, firstLine),
+				Fix:     "rename one of the loops",
+			})
+		} else {
+			seen[l.Name] = l.Line
+		}
+		lintLoop(&r, file, l)
+	}
+	diags := r.Diagnostics()
+	diag.Sort(diags)
+	return diags
+}
+
+// parseDiagnostic converts a frontend error ("frontend: line 3: ...")
+// into a located diagnostic.
+func parseDiagnostic(file string, err error) diag.Diagnostic {
+	msg := strings.TrimPrefix(err.Error(), "frontend: ")
+	line := 0
+	if rest, ok := strings.CutPrefix(msg, "line "); ok {
+		if n, _ := fmt.Sscanf(rest, "%d:", &line); n != 1 {
+			line = 0
+		}
+	}
+	return diag.Diagnostic{
+		Code: CodeParseError, Severity: diag.Error,
+		File: file, Line: line,
+		Message: msg,
+	}
+}
+
+// lintLoop runs the per-loop AST passes.
+func lintLoop(r *diag.Reporter, file string, l frontend.LoopSyntax) {
+	subject := "loop " + l.Name
+
+	// Index shadowing and scalar/array name collisions.
+	asScalar := map[string]int{} // name -> first line seen as scalar
+	asArray := map[string]int{}
+	note := func(ref frontend.Ref) {
+		m := asScalar
+		if ref.Array {
+			m = asArray
+		}
+		if _, ok := m[ref.Name]; !ok {
+			m[ref.Name] = ref.Line
+		}
+	}
+	for _, st := range l.Stmts {
+		note(st.Target)
+		for _, rd := range st.Reads {
+			note(rd)
+		}
+		if !st.Target.Array && st.Target.Name == "i" {
+			r.Report(diag.Diagnostic{
+				Code: CodeIndexShadow, Severity: diag.Warning,
+				File: file, Line: st.Line, Subject: subject,
+				Message: "assignment to \"i\" shadows the loop index",
+				Fix:     "rename the scalar; 'i' is reserved for the iteration index",
+			})
+		}
+	}
+	for name, line := range asScalar {
+		if aline, both := asArray[name]; both {
+			first := line
+			if aline < first {
+				first = aline
+			}
+			r.Report(diag.Diagnostic{
+				Code: CodeNameShadow, Severity: diag.Warning,
+				File: file, Line: first, Subject: subject,
+				Message: fmt.Sprintf("%q is used both as a scalar and as an array", name),
+				Fix:     "use distinct names for the scalar and the array",
+			})
+		}
+	}
+
+	lintDeadScalars(r, file, subject, l)
+	lintDeadStores(r, file, subject, l)
+}
+
+// lintDeadScalars reports scalar assignments no read ever consumes.
+//
+// Semantics (package frontend): a scalar read consumes the closest
+// preceding definition in the body; a read with no preceding
+// definition consumes the previous iteration's final definition
+// (a recurrence). Reads on a statement's right-hand side happen
+// before its own assignment.
+func lintDeadScalars(r *diag.Reporter, file, subject string, l frontend.LoopSyntax) {
+	type def struct {
+		stmt, line int
+	}
+	defs := map[string][]def{}
+	reads := map[string][]int{} // name -> statement indices with a scalar read
+	for i, st := range l.Stmts {
+		for _, rd := range st.Reads {
+			if !rd.Array {
+				reads[rd.Name] = append(reads[rd.Name], i)
+			}
+		}
+		if !st.Target.Array {
+			defs[st.Target.Name] = append(defs[st.Target.Name], def{stmt: i, line: st.Line})
+		}
+	}
+	for name, ds := range defs {
+		rs := reads[name]
+		if len(rs) == 0 {
+			r.Report(diag.Diagnostic{
+				Code: CodeDeadValue, Severity: diag.Warning,
+				File: file, Line: ds[0].line, Subject: subject,
+				Message: fmt.Sprintf("scalar %q is assigned but never read", name),
+				Fix:     "delete the assignment(s) or store the result to an array",
+			})
+			continue
+		}
+		for p, d := range ds {
+			live := false
+			if p+1 < len(ds) {
+				// Overwritten later: live only if some read falls after
+				// this definition and no later than the overwriting
+				// statement (whose right-hand side still sees this value).
+				next := ds[p+1].stmt
+				for _, j := range rs {
+					if j > d.stmt && j <= next {
+						live = true
+						break
+					}
+				}
+			} else {
+				// Final definition: consumed by any later read, or
+				// carried into the next iteration by a read preceding
+				// (or on the right-hand side of) the first definition.
+				first := ds[0].stmt
+				for _, j := range rs {
+					if j > d.stmt || j <= first {
+						live = true
+						break
+					}
+				}
+			}
+			if !live {
+				r.Report(diag.Diagnostic{
+					Code: CodeDeadValue, Severity: diag.Warning,
+					File: file, Line: d.line, Subject: subject,
+					Message: fmt.Sprintf("value assigned to %q is overwritten before it is read", name),
+					Fix:     "delete the assignment or read the value before reassigning",
+				})
+			}
+		}
+	}
+}
+
+// lintDeadStores reports stores overwritten by a later store to the
+// same element in the same iteration with no intervening read: the
+// stored value is observable nowhere, in this or any other iteration.
+func lintDeadStores(r *diag.Reporter, file, subject string, l frontend.LoopSyntax) {
+	type site struct {
+		stmt, line int
+	}
+	stores := map[[2]interface{}][]site{}
+	reads := map[[2]interface{}][]int{}
+	for i, st := range l.Stmts {
+		for _, rd := range st.Reads {
+			if rd.Array {
+				key := [2]interface{}{rd.Name, rd.Offset}
+				reads[key] = append(reads[key], i)
+			}
+		}
+		if st.Target.Array {
+			key := [2]interface{}{st.Target.Name, st.Target.Offset}
+			stores[key] = append(stores[key], site{stmt: i, line: st.Line})
+		}
+	}
+	for key, ss := range stores {
+		rs := reads[key]
+		for p := 0; p+1 < len(ss); p++ {
+			cur, next := ss[p], ss[p+1]
+			consumed := false
+			for _, j := range rs {
+				// A read on the overwriting statement's right-hand side
+				// still sees the old value.
+				if j > cur.stmt && j <= next.stmt {
+					consumed = true
+					break
+				}
+			}
+			if !consumed {
+				r.Report(diag.Diagnostic{
+					Code: CodeDeadStore, Severity: diag.Warning,
+					File: file, Line: cur.line, Subject: subject,
+					Message: fmt.Sprintf("store to %s[i%+d] is overwritten at line %d before it is read", key[0], key[1], next.line),
+					Fix:     "delete the earlier store",
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+
+	"clustersched/internal/diag"
+	"clustersched/internal/machine"
+)
+
+// Advisory machine codes, continuing the MACH001-MACH010 consistency
+// codes owned by machine.Config.Lint.
+const (
+	CodeFabricMismatch  = "MACH011" // fabric fields inconsistent with network kind
+	CodePortlessCluster = "MACH012" // clustered machine with a port-less cluster
+	CodeDuplicateLink   = "MACH013" // same cluster pair linked twice
+	CodeUnusedFabric    = "MACH014" // single-cluster machine with a fabric
+)
+
+// Machine checks a machine configuration: every consistency invariant
+// of machine.Config.Lint plus advisory findings about fabric fields
+// that the network kind ignores, clusters no copy can reach or leave,
+// and redundant links.
+func Machine(m *machine.Config) []diag.Diagnostic {
+	diags := m.Lint()
+	var r diag.Reporter
+	mname := fmt.Sprintf("machine %q", m.Name)
+
+	switch m.Network {
+	case machine.Broadcast:
+		if len(m.Links) > 0 {
+			r.Warnf(CodeFabricMismatch, mname,
+				"machine %q is a broadcast machine but declares %d point-to-point link(s), which are ignored",
+				m.Name, len(m.Links))
+		}
+	case machine.PointToPoint:
+		if m.Buses > 0 {
+			r.Warnf(CodeFabricMismatch, mname,
+				"machine %q is a point-to-point machine but declares %d broadcast bus(es), which are ignored",
+				m.Name, m.Buses)
+		}
+	}
+
+	if m.Clustered() {
+		for i := range m.Clusters {
+			c := &m.Clusters[i]
+			if c.ReadPorts == 0 || c.WritePorts == 0 {
+				r.Report(diag.Diagnostic{
+					Code: CodePortlessCluster, Severity: diag.Warning,
+					Subject: fmt.Sprintf("cluster %d", i),
+					Message: fmt.Sprintf("machine %q: cluster %d has %d read / %d write port(s); values cannot %s it, so any loop needing communication there is unschedulable",
+						m.Name, i, c.ReadPorts, c.WritePorts, portVerb(c)),
+					Fix: "give every cluster of a clustered machine at least one read and one write port",
+				})
+			}
+		}
+	} else if m.Buses > 0 || len(m.Links) > 0 {
+		r.Infof(CodeUnusedFabric, mname,
+			"machine %q has a single cluster; its %s is never used",
+			m.Name, fabricName(m))
+	}
+
+	seen := make(map[[2]int]int, len(m.Links))
+	for i, l := range m.Links {
+		a, b := l.A, l.B
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if first, dup := seen[key]; dup {
+			r.Warnf(CodeDuplicateLink, fmt.Sprintf("link %d", i),
+				"machine %q: link %d duplicates link %d (clusters %d-%d)", m.Name, i, first, a, b)
+			continue
+		}
+		seen[key] = i
+	}
+
+	return append(diags, r.Diagnostics()...)
+}
+
+func portVerb(c *machine.Cluster) string {
+	switch {
+	case c.ReadPorts == 0 && c.WritePorts == 0:
+		return "enter or leave"
+	case c.ReadPorts == 0:
+		return "leave"
+	default:
+		return "enter"
+	}
+}
+
+func fabricName(m *machine.Config) string {
+	if len(m.Links) > 0 {
+		return fmt.Sprintf("%d link(s)", len(m.Links))
+	}
+	return fmt.Sprintf("%d bus(es)", m.Buses)
+}

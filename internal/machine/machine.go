@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
 )
 
 // FUClass is a function-unit class. A general-purpose (GP) unit runs
@@ -273,55 +274,112 @@ func (m *Config) Path(a, b int) []int {
 	return nil
 }
 
-// Validate checks the configuration for internal consistency.
-func (m *Config) Validate() error {
+// Configuration diagnostic codes reported by Lint. Package lint layers
+// additional MACH-prefixed advisory codes on top of these.
+const (
+	CodeNoClusters     = "MACH001" // machine without clusters
+	CodeEmptyCluster   = "MACH002" // cluster with zero function units
+	CodeOrphanKind     = "MACH003" // operation kind executable nowhere
+	CodeNegativePorts  = "MACH004" // cluster with a negative port count
+	CodeNoBuses        = "MACH005" // clustered broadcast machine with no bus
+	CodeNoLinks        = "MACH006" // clustered point-to-point machine with no links
+	CodeBadLink        = "MACH007" // link endpoint out of range or self-link
+	CodeUnreachable    = "MACH008" // cluster pair with no link path
+	CodeUnknownNetwork = "MACH009" // network kind out of range
+	CodeLatencyGap     = "MACH010" // operation kind with non-positive latency
+)
+
+// Lint checks the configuration for internal consistency and returns
+// all problems as diagnostics, not just the first.
+func (m *Config) Lint() []diag.Diagnostic {
+	var r diag.Reporter
+	mname := fmt.Sprintf("machine %q", m.Name)
 	if len(m.Clusters) == 0 {
-		return fmt.Errorf("machine %q: no clusters", m.Name)
+		r.Report(diag.Diagnostic{
+			Code: CodeNoClusters, Severity: diag.Error, Subject: mname,
+			Message: fmt.Sprintf("machine %q: no clusters", m.Name),
+			Fix:     "add at least one cluster with function units",
+		})
 	}
 	for i := range m.Clusters {
 		c := &m.Clusters[i]
+		subject := fmt.Sprintf("cluster %d", i)
 		if len(c.FUs) == 0 {
-			return fmt.Errorf("machine %q: cluster %d has no function units", m.Name, i)
+			r.Errorf(CodeEmptyCluster, subject, "machine %q: cluster %d has no function units", m.Name, i)
 		}
 		if c.ReadPorts < 0 || c.WritePorts < 0 {
-			return fmt.Errorf("machine %q: cluster %d has negative port count", m.Name, i)
+			r.Errorf(CodeNegativePorts, subject, "machine %q: cluster %d has negative port count", m.Name, i)
 		}
 	}
 	switch m.Network {
 	case Broadcast:
 		if len(m.Clusters) > 1 && m.Buses <= 0 {
-			return fmt.Errorf("machine %q: clustered broadcast machine needs at least one bus", m.Name)
+			r.Report(diag.Diagnostic{
+				Code: CodeNoBuses, Severity: diag.Error, Subject: mname,
+				Message: fmt.Sprintf("machine %q: clustered broadcast machine needs at least one bus", m.Name),
+				Fix:     "set Buses >= 1 so inter-cluster copies have a fabric to ride",
+			})
 		}
 	case PointToPoint:
 		if len(m.Clusters) > 1 && len(m.Links) == 0 {
-			return fmt.Errorf("machine %q: clustered point-to-point machine needs links", m.Name)
+			r.Errorf(CodeNoLinks, mname, "machine %q: clustered point-to-point machine needs links", m.Name)
 		}
+		badLink := false
 		for i, l := range m.Links {
 			if l.A < 0 || l.A >= len(m.Clusters) || l.B < 0 || l.B >= len(m.Clusters) || l.A == l.B {
-				return fmt.Errorf("machine %q: link %d (%d-%d) is invalid", m.Name, i, l.A, l.B)
+				r.Errorf(CodeBadLink, fmt.Sprintf("link %d", i), "machine %q: link %d (%d-%d) is invalid", m.Name, i, l.A, l.B)
+				badLink = true
 			}
 		}
 		// Every pair of clusters must be bridgeable, possibly via hops.
-		for a := 0; a < len(m.Clusters); a++ {
-			for b := a + 1; b < len(m.Clusters); b++ {
-				if m.Path(a, b) == nil {
-					return fmt.Errorf("machine %q: cluster %d cannot reach cluster %d", m.Name, a, b)
+		// Skip when a link is malformed: Path would chase bad endpoints.
+		if !badLink {
+			for a := 0; a < len(m.Clusters); a++ {
+				for b := a + 1; b < len(m.Clusters); b++ {
+					if m.Path(a, b) == nil {
+						r.Report(diag.Diagnostic{
+							Code: CodeUnreachable, Severity: diag.Error,
+							Subject: fmt.Sprintf("clusters %d,%d", a, b),
+							Message: fmt.Sprintf("machine %q: cluster %d cannot reach cluster %d", m.Name, a, b),
+							Fix:     "add links until the cluster graph is connected",
+						})
+					}
 				}
 			}
 		}
 	default:
-		return fmt.Errorf("machine %q: unknown network %d", m.Name, int(m.Network))
+		r.Errorf(CodeUnknownNetwork, mname, "machine %q: unknown network %d", m.Name, int(m.Network))
 	}
 	for k := 0; k < ddg.NumOpKinds; k++ {
 		if m.Latencies[k] <= 0 {
-			return fmt.Errorf("machine %q: kind %s has non-positive latency %d", m.Name, ddg.OpKind(k), m.Latencies[k])
+			r.Report(diag.Diagnostic{
+				Code: CodeLatencyGap, Severity: diag.Error,
+				Subject: fmt.Sprintf("kind %s", ddg.OpKind(k)),
+				Message: fmt.Sprintf("machine %q: kind %s has non-positive latency %d", m.Name, ddg.OpKind(k), m.Latencies[k]),
+				Fix:     "fill the latency table for every operation kind (see machine.DefaultLatencies)",
+			})
 		}
 		if ddg.OpKind(k) == ddg.OpCopy {
 			continue
 		}
-		if m.FUCountFor(ddg.OpKind(k)) == 0 {
-			return fmt.Errorf("machine %q: no function unit can execute %s", m.Name, ddg.OpKind(k))
+		if len(m.Clusters) > 0 && m.FUCountFor(ddg.OpKind(k)) == 0 {
+			r.Report(diag.Diagnostic{
+				Code: CodeOrphanKind, Severity: diag.Error,
+				Subject: fmt.Sprintf("kind %s", ddg.OpKind(k)),
+				Message: fmt.Sprintf("machine %q: no function unit can execute %s", m.Name, ddg.OpKind(k)),
+				Fix:     "add a general-purpose unit or a specialized unit covering the kind to some cluster",
+			})
 		}
+	}
+	return r.Diagnostics()
+}
+
+// Validate checks the configuration for internal consistency. It
+// returns nil for a consistent machine, or a *diag.List carrying every
+// violation, whose Error string leads with the first one.
+func (m *Config) Validate() error {
+	if err := diag.AsError(m.Lint()); err != nil {
+		return err
 	}
 	return nil
 }

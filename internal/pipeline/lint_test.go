@@ -1,0 +1,79 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+	"clustersched/internal/machine"
+)
+
+// TestRunRejectsOrphanKindBeforeAssignment feeds a structurally sound
+// machine that has no unit for loads or stores. The pipeline must
+// refuse it up front with a coded diagnostic — before cluster
+// assignment ever sees a graph whose memory ops can execute nowhere.
+func TestRunRejectsOrphanKindBeforeAssignment(t *testing.T) {
+	g := ddg.NewGraph(3, 2)
+	a := g.AddNode(ddg.OpLoad, "a[i]")
+	b := g.AddNode(ddg.OpALU, "")
+	c := g.AddNode(ddg.OpStore, "x[i]")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, c, 0)
+
+	m := &machine.Config{
+		Name:    "intonly",
+		Network: machine.Broadcast, Buses: 1,
+		Clusters: []machine.Cluster{
+			{FUs: []machine.FUClass{machine.FUInteger}, ReadPorts: 1, WritePorts: 1},
+			{FUs: []machine.FUClass{machine.FUInteger}, ReadPorts: 1, WritePorts: 1},
+		},
+		Latencies: machine.DefaultLatencies(),
+	}
+
+	out, err := Run(g, m, Options{})
+	if err == nil {
+		t.Fatal("machine with unexecutable op kinds accepted")
+	}
+	if out != nil {
+		t.Errorf("got a schedule %+v alongside the rejection", out)
+	}
+	if !strings.Contains(err.Error(), "invalid machine") {
+		t.Errorf("error %q does not identify the machine as invalid", err)
+	}
+	var list *diag.List
+	if !errors.As(err, &list) {
+		t.Fatalf("error %T does not unwrap to diagnostics", err)
+	}
+	found := false
+	for _, d := range list.Diags {
+		if d.Code == machine.CodeOrphanKind {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics %v missing %s (orphan op kind)", list.Diags, machine.CodeOrphanKind)
+	}
+}
+
+// The graph-side twin: structural graph defects surface as coded
+// diagnostics through the same errors.As path.
+func TestRunGraphRejectionCarriesDiagnostics(t *testing.T) {
+	g := ddg.NewGraph(2, 2)
+	a := g.AddNode(ddg.OpALU, "")
+	b := g.AddNode(ddg.OpALU, "")
+	g.AddEdge(a, b, 0)
+	g.AddEdge(b, a, 0)
+	_, err := Run(g, machine.NewBusedGP(2, 2, 1), Options{})
+	if err == nil {
+		t.Fatal("zero-distance cycle accepted")
+	}
+	var list *diag.List
+	if !errors.As(err, &list) {
+		t.Fatalf("error %T does not unwrap to diagnostics", err)
+	}
+	if len(list.Diags) == 0 || list.Diags[0].Code != ddg.CodeZeroCycle {
+		t.Errorf("diagnostics = %v, want leading %s", list.Diags, ddg.CodeZeroCycle)
+	}
+}

@@ -10,6 +10,8 @@ import (
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+	"clustersched/internal/lint"
 	"clustersched/internal/machine"
 	"clustersched/internal/mii"
 	"clustersched/internal/sched"
@@ -72,14 +74,18 @@ type Outcome struct {
 	SchedFailures  int
 }
 
-// Run schedules loop g on machine m. It returns an error only when the
-// II search space is exhausted, which for well-formed inputs indicates
-// a machine too narrow for the loop (or a pathological graph).
+// Run schedules loop g on machine m. Inputs are linted first: a graph
+// or machine with Error-severity diagnostics is rejected before
+// assignment runs, and the returned error wraps a *diag.List carrying
+// every finding (recover it with errors.As). Otherwise Run errors only
+// when the II search space is exhausted, which for well-formed inputs
+// indicates a machine too narrow for the loop (or a pathological
+// graph).
 func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
-	if err := g.Validate(); err != nil {
+	if err := diag.AsError(lint.Graph(g)); err != nil {
 		return nil, fmt.Errorf("pipeline: invalid graph: %w", err)
 	}
-	if err := m.Validate(); err != nil {
+	if err := diag.AsError(lint.Machine(m)); err != nil {
 		return nil, fmt.Errorf("pipeline: invalid machine: %w", err)
 	}
 	slack := opts.MaxIISlack

@@ -1,0 +1,93 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+	"clustersched/internal/machine"
+	"clustersched/internal/sched"
+)
+
+// doubleBroken builds a schedule with two independent defects: a
+// violated dependence (consumer scheduled with its producer) and a
+// resource conflict (six ALU ops in a four-wide modulo slot).
+func doubleBroken() (sched.Input, *sched.Schedule) {
+	g := ddg.NewGraph(6, 1)
+	for i := 0; i < 6; i++ {
+		g.AddNode(ddg.OpALU, "")
+	}
+	g.AddEdge(0, 1, 0)
+	in := sched.Input{Graph: g, Machine: machine.NewUnifiedGP(4), II: 1}
+	s := &sched.Schedule{II: 1, CycleOf: []int{0, 0, 0, 0, 0, 0}}
+	return in, s
+}
+
+func TestAuditEnumeratesAllViolations(t *testing.T) {
+	in, s := doubleBroken()
+	diags := Audit(in, s)
+	if len(diags) < 2 {
+		t.Fatalf("Audit found %d violations, want at least 2: %v", len(diags), diags)
+	}
+	distinct := map[string]bool{}
+	for _, d := range diags {
+		if d.Severity != diag.Error {
+			t.Errorf("audit finding %s has severity %v, want error", d.Code, d.Severity)
+		}
+		distinct[d.Code] = true
+	}
+	if !distinct[CodeDependence] {
+		t.Errorf("missing %s (dependence violation) in %v", CodeDependence, diags)
+	}
+	if !distinct[CodeOversubscribed] {
+		t.Errorf("missing %s (resource conflict) in %v", CodeOversubscribed, diags)
+	}
+}
+
+func TestAuditCountsEveryConflict(t *testing.T) {
+	// Six ops into four slots leaves two that cannot be placed; the
+	// audit reports each one, not just the first.
+	in, s := doubleBroken()
+	over := 0
+	for _, d := range Audit(in, s) {
+		if d.Code == CodeOversubscribed {
+			over++
+		}
+	}
+	if over != 2 {
+		t.Errorf("Audit reported %d oversubscriptions, want 2", over)
+	}
+}
+
+func TestAuditCleanScheduleIsEmpty(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	in, s := scheduledLoop(t, 7, m)
+	if diags := Audit(in, s); len(diags) != 0 {
+		t.Errorf("valid schedule audited dirty: %v", diags)
+	}
+}
+
+func TestScheduleWrapsFirstAuditFinding(t *testing.T) {
+	in, s := doubleBroken()
+	err := Schedule(in, s)
+	if err == nil {
+		t.Fatal("Schedule accepted a broken schedule")
+	}
+	first := Audit(in, s)[0]
+	if !strings.Contains(err.Error(), first.Message) {
+		t.Errorf("Schedule error %q does not carry the first audit finding %q", err, first.Message)
+	}
+	if !strings.HasPrefix(err.Error(), "verify: ") {
+		t.Errorf("Schedule error %q lost its package prefix", err)
+	}
+}
+
+func TestAuditLengthMismatchShortCircuits(t *testing.T) {
+	in, _ := doubleBroken()
+	s := &sched.Schedule{II: 1, CycleOf: []int{0}}
+	diags := Audit(in, s)
+	if len(diags) != 1 || diags[0].Code != CodeLengthMismatch {
+		t.Errorf("length mismatch audit = %v, want single %s", diags, CodeLengthMismatch)
+	}
+}

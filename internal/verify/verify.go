@@ -10,94 +10,19 @@ import (
 	"fmt"
 
 	"clustersched/internal/ddg"
-	"clustersched/internal/mrt"
 	"clustersched/internal/sched"
 )
 
 // Schedule re-validates a modulo schedule against its input. It
 // returns nil when the schedule is valid, or an error describing the
-// first violation found.
+// first violation found. It is the compatibility wrapper over Audit,
+// which enumerates every violation as structured diagnostics.
 func Schedule(in sched.Input, s *sched.Schedule) error {
-	g := in.Graph
-	if s.II != in.II {
-		return fmt.Errorf("verify: schedule II %d differs from input II %d", s.II, in.II)
+	diags := Audit(in, s)
+	if len(diags) == 0 {
+		return nil
 	}
-	if len(s.CycleOf) != g.NumNodes() {
-		return fmt.Errorf("verify: %d cycles for %d nodes", len(s.CycleOf), g.NumNodes())
-	}
-	lat := in.Machine.Latency
-
-	// Dependences: for every edge, consumer at least latency cycles
-	// after the producer, minus II per iteration of distance.
-	for i, e := range g.Edges {
-		need := s.CycleOf[e.From] + lat(g.Nodes[e.From].Kind) - in.II*e.Distance
-		if s.CycleOf[e.To] < need {
-			return fmt.Errorf("verify: edge %d (n%d@%d -> n%d@%d, dist %d) violated: need >= %d",
-				i, e.From, s.CycleOf[e.From], e.To, s.CycleOf[e.To], e.Distance, need)
-		}
-	}
-
-	// Cluster annotations and copy structure.
-	for n := 0; n < g.NumNodes(); n++ {
-		cl := clusterOf(in, n)
-		if cl < 0 || cl >= in.Machine.NumClusters() {
-			return fmt.Errorf("verify: node %d assigned to invalid cluster %d", n, cl)
-		}
-		if g.Nodes[n].Kind == ddg.OpCopy {
-			targets := copyTargets(in, n)
-			if len(targets) == 0 {
-				return fmt.Errorf("verify: copy node %d has no targets", n)
-			}
-			for _, t := range targets {
-				if t == cl {
-					return fmt.Errorf("verify: copy node %d targets its own cluster %d", n, cl)
-				}
-				if t < 0 || t >= in.Machine.NumClusters() {
-					return fmt.Errorf("verify: copy node %d targets invalid cluster %d", n, t)
-				}
-			}
-		} else if in.Machine.Clusters[cl].FUCountFor(g.Nodes[n].Kind) == 0 {
-			return fmt.Errorf("verify: node %d (%s) on cluster %d with no capable unit",
-				n, g.Nodes[n].Kind, cl)
-		}
-	}
-
-	// Cluster locality: every value an operation consumes must be
-	// produced on (or copied to) the operation's own cluster.
-	for i, e := range g.Edges {
-		consCl := clusterOf(in, e.To)
-		prodCl := clusterOf(in, e.From)
-		ok := prodCl == consCl
-		if !ok && g.Nodes[e.From].Kind == ddg.OpCopy {
-			for _, t := range copyTargets(in, e.From) {
-				if t == consCl {
-					ok = true
-					break
-				}
-			}
-		}
-		if !ok {
-			return fmt.Errorf("verify: edge %d: node %d on cluster %d reads value of node %d on cluster %d without a copy",
-				i, e.To, consCl, e.From, prodCl)
-		}
-	}
-
-	// Resources: replay every placement into a fresh table; any
-	// collision or missing unit is a violation.
-	table := mrt.NewCycle(in.Machine, in.II)
-	for n := 0; n < g.NumNodes(); n++ {
-		var ok bool
-		if g.Nodes[n].Kind == ddg.OpCopy {
-			ok = table.PlaceCopy(n, clusterOf(in, n), copyTargets(in, n), s.CycleOf[n])
-		} else {
-			ok = table.PlaceOp(n, clusterOf(in, n), g.Nodes[n].Kind, s.CycleOf[n])
-		}
-		if !ok {
-			return fmt.Errorf("verify: node %d oversubscribes resources at cycle %d (slot %d)",
-				n, s.CycleOf[n], s.CycleOf[n]%in.II)
-		}
-	}
-	return nil
+	return fmt.Errorf("verify: %s", diags[0].Message)
 }
 
 func clusterOf(in sched.Input, n int) int {

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Full tier-1 gate: build, tests, and the lint gate.
+# Run from the repository root:  sh scripts/check.sh
+set -eu
+
+go build ./...
+go test ./...
+sh scripts/lint.sh
+echo "check: OK"

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Repository lint gate: formatting, vet, and clusterlint over every
+# shipped loop file and every built-in machine configuration.
+# Run from the repository root:  sh scripts/lint.sh
+set -eu
+
+fail=0
+
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+if ! go vet ./...; then
+    fail=1
+fi
+
+for f in examples/kernels/*.loop; do
+    if ! go run ./cmd/clusterlint "$f"; then
+        echo "clusterlint: findings in $f" >&2
+        fail=1
+    fi
+done
+
+if ! go run ./cmd/clusterlint -machine builtin >/dev/null; then
+    echo "clusterlint: built-in machine configurations are not clean" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint: FAIL" >&2
+    exit 1
+fi
+echo "lint: OK"
