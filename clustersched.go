@@ -29,10 +29,39 @@
 //	res, err := clustersched.Schedule(g, clustersched.BusedGP(2, 2, 1))
 //	if err != nil { ... }
 //	fmt.Println(res.II, res.Kernel())
+//
+// # Cancellation and observability
+//
+// ScheduleContext is the context-aware entry point: it honours
+// cancellation and deadlines mid-search (between II candidates, node
+// placements, and scheduler displacements) and returns an error
+// wrapping ctx.Err() when the context ends the run. Schedule is a thin
+// wrapper over it with context.Background().
+//
+// Every schedule collects search-effort counters, available as
+// Result.Stats(). WithObserver streams structured trace events
+// (phase timings, II candidates, evictions, copy-pressure rejections,
+// scheduler displacements — see docs/OBSERVABILITY.md) to an Observer
+// such as NewJSONObserver.
+//
+// # Option defaults
+//
+// All options have working defaults; zero options reproduce the
+// paper's full algorithm:
+//
+//	Option          Default                 Meaning
+//	WithVariant     HeuristicIterative      the paper's complete assignment algorithm
+//	WithScheduler   IMS                     phase-two engine (SMS reproduces the paper's choice)
+//	WithBudget      8 evictions per node    assignment backtracking budget (min 16 total)
+//	WithMaxIISlack  96 cycles above MII     II search headroom before giving up
+//	WithTimeout     none                    wall-clock bound on the whole search
+//	WithObserver    none (counters only)    structured trace event sink
 package clustersched
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
@@ -43,6 +72,7 @@ import (
 	"clustersched/internal/loopgen"
 	"clustersched/internal/machine"
 	"clustersched/internal/mii"
+	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
 	"clustersched/internal/regalloc"
 	"clustersched/internal/sched"
@@ -181,6 +211,61 @@ func WithMaxIISlack(slack int) Option {
 	return func(o *pipeline.Options) { o.MaxIISlack = slack }
 }
 
+// Observer receives structured trace events from inside a schedule
+// run: phase begin/end with durations, II candidates, assignment
+// commits and force-placements, evictions, PCR/MRC copy-pressure
+// rejections, budget exhaustions, and scheduler displacements. Calls
+// are synchronous with the search; an Observer shared between
+// concurrent schedules must be safe for concurrent use.
+type Observer = obs.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = obs.ObserverFunc
+
+// Event is one structured trace record; see docs/OBSERVABILITY.md for
+// the catalogue.
+type Event = obs.Event
+
+// EventKind identifies a trace event type.
+type EventKind = obs.EventKind
+
+// Trace event kinds.
+const (
+	KindPhaseBegin      = obs.KindPhaseBegin
+	KindPhaseEnd        = obs.KindPhaseEnd
+	KindIICandidate     = obs.KindIICandidate
+	KindAssignCommit    = obs.KindAssignCommit
+	KindForcePlace      = obs.KindForcePlace
+	KindEviction        = obs.KindEviction
+	KindPCRReject       = obs.KindPCRReject
+	KindBudgetExhausted = obs.KindBudgetExhausted
+	KindSchedDisplace   = obs.KindSchedDisplace
+)
+
+// Stats aggregates the search effort of one schedule: II candidates
+// tried, assignment commits/force-placements/evictions, copy-pressure
+// rejections, scheduler displacements, budget exhaustions, and
+// per-phase wall-clock time.
+type Stats = obs.Stats
+
+// NewJSONObserver returns an Observer streaming events to w as JSON
+// Lines (one object per line). It is safe to share across concurrent
+// schedules.
+func NewJSONObserver(w io.Writer) Observer { return obs.NewJSON(w) }
+
+// WithObserver installs a trace event sink for the run.
+func WithObserver(o Observer) Option {
+	return func(po *pipeline.Options) { po.Observer = o }
+}
+
+// WithTimeout bounds the whole search's wall-clock time; the run ends
+// with an error wrapping context.DeadlineExceeded when it trips. It
+// composes with any deadline already on the caller's context (the
+// earlier one wins).
+func WithTimeout(d time.Duration) Option {
+	return func(po *pipeline.Options) { po.Timeout = d }
+}
+
 // Result is a complete clustered modulo schedule.
 type Result struct {
 	// II is the achieved initiation interval; MII its lower bound.
@@ -198,19 +283,35 @@ type Result struct {
 	machine *Machine
 	input   sched.Input
 	sch     *sched.Schedule
+	stats   Stats
 }
+
+// Stats returns the search-effort counters of the run that produced
+// this schedule: II candidates tried, assignment commits and
+// evictions, scheduler displacements, and per-phase durations.
+func (r *Result) Stats() Stats { return r.stats }
 
 // Schedule software-pipelines loop g onto machine m using the paper's
 // two-phase process, with the full heuristic iterative assignment by
-// default.
+// default. It is ScheduleContext under context.Background().
 func Schedule(g *Graph, m *Machine, options ...Option) (*Result, error) {
+	return ScheduleContext(context.Background(), g, m, options...)
+}
+
+// ScheduleContext is Schedule with cancellation: the search honours
+// ctx mid-run — a canceled context or an expired deadline stops it
+// between II candidates, node placements, and scheduler displacements,
+// and the returned error wraps ctx.Err() (check it with
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded).
+func ScheduleContext(ctx context.Context, g *Graph, m *Machine, options ...Option) (*Result, error) {
 	opts := pipeline.Options{
-		Assign: assign.Options{Variant: assign.HeuristicIterative},
+		Assign:       assign.Options{Variant: assign.HeuristicIterative},
+		CollectStats: true,
 	}
 	for _, o := range options {
 		o(&opts)
 	}
-	out, err := pipeline.Run(g, m, opts)
+	out, err := pipeline.RunContext(ctx, g, m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +332,7 @@ func Schedule(g *Graph, m *Machine, options ...Option) (*Result, error) {
 		machine:   m,
 		input:     in,
 		sch:       out.Schedule,
+		stats:     out.Stats,
 	}, nil
 }
 

@@ -9,19 +9,33 @@
 //	clusterbench -count 200      # smaller suite for a quick look
 //	clusterbench -scheduler sms  # use the swing modulo scheduler
 //	clusterbench -table1         # print the loop-suite statistics
+//	clusterbench -stats          # add search-effort statistics per row
+//	clusterbench -trace ev.json  # stream every pipeline event as JSON lines
+//	clusterbench -benchjson      # time the pipeline over the suite, emit JSON
+//
+// Ctrl-C cancels the run: in-flight loops finish, no new work starts,
+// and the process exits non-zero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
 	"clustersched/internal/diag"
 	"clustersched/internal/experiments"
 	"clustersched/internal/lint"
 	livermorepkg "clustersched/internal/livermore"
 	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
 	"clustersched/internal/report"
 )
@@ -39,8 +53,14 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit results as CSV instead of tables")
 		livermore = flag.Bool("livermore", false, "run the real Livermore-kernel study and exit")
 		markdown  = flag.Bool("markdown", false, "emit a full Markdown reproduction report (-ext adds the extension sections)")
+		statsFlag = flag.Bool("stats", false, "collect search-effort statistics and print them per row (implied by -trace)")
+		trace     = flag.String("trace", "", "write a JSON-lines event stream of every pipeline run to this file (- for stderr)")
+		benchjson = flag.Bool("benchjson", false, "time the pipeline over the suite and emit a JSON summary (ns/op plus aggregated stats) on stdout")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	loops := loopgen.Suite(loopgen.Options{Seed: *seed, Count: *count})
 	if *table1 {
@@ -48,7 +68,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Parallelism: *workers}
+	opts := experiments.Options{Parallelism: *workers, CollectStats: *statsFlag}
 	switch strings.ToLower(*scheduler) {
 	case "ims":
 		opts.Scheduler = pipeline.IMS
@@ -57,6 +77,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "clusterbench: unknown scheduler %q (want ims or sms)\n", *scheduler)
 		os.Exit(2)
+	}
+	if *trace != "" {
+		w := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		opts.Observer = obs.NewJSON(w)
+	}
+
+	if *benchjson {
+		if err := benchJSON(ctx, loops, opts); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *markdown {
@@ -70,20 +109,21 @@ func main() {
 	if *livermore {
 		kernels, err := livermorepkg.Kernels()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		rep, err := experiments.LivermoreStudy(kernels, opts)
+		rep, err := experiments.LivermoreStudyContext(ctx, kernels, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(rep.Report())
 		return
 	}
 
 	if *registers {
-		study := experiments.RegisterStudy(loops, opts)
+		study, err := experiments.RegisterStudyContext(ctx, loops, opts)
+		if err != nil {
+			fatal(err)
+		}
 		if *csv {
 			fmt.Print(study.CSV())
 		} else {
@@ -93,7 +133,10 @@ func main() {
 	}
 
 	if *exp == "baseline" {
-		res := experiments.BaselineComparison(loops, opts)
+		res, err := experiments.BaselineComparisonContext(ctx, loops, opts)
+		if err != nil {
+			fatal(err)
+		}
 		if *csv {
 			fmt.Print(res.CSV())
 		} else {
@@ -127,18 +170,87 @@ func main() {
 		os.Exit(1)
 	}
 	for _, cfg := range configs {
-		var res experiments.Result
+		var (
+			res experiments.Result
+			err error
+		)
 		if cfg.ID == "abl-order" {
 			// The ordering ablation needs ID-shuffled loops; see the
 			// RunOrderingAblation documentation.
-			res = experiments.RunOrderingAblation(loops, opts)
+			res, err = experiments.RunOrderingAblationContext(ctx, loops, opts)
 		} else {
-			res = experiments.Run(cfg, loops, opts)
+			res, err = experiments.RunContext(ctx, cfg, loops, opts)
 		}
 		if *csv {
 			fmt.Print(res.CSV())
 		} else {
 			fmt.Println(res.Report())
+			if opts.CollectStats || opts.Observer != nil {
+				for _, row := range res.Rows {
+					fmt.Printf("  stats %-30s %s\n", row.Label, row.Stats.String())
+				}
+				fmt.Println()
+			}
+		}
+		if err != nil {
+			fatal(err)
 		}
 	}
+}
+
+// benchJSON times the full pipeline — HeuristicIterative assignment
+// plus modulo scheduling — over the synthetic suite on the paper's
+// 2-cluster GP machine and emits one JSON object with ns/op and the
+// aggregated search-effort statistics. scripts/bench.sh redirects this
+// into BENCH_pipeline.json.
+func benchJSON(ctx context.Context, loops []*ddg.Graph, opts experiments.Options) error {
+	m := machine.NewBusedGP(2, 2, 1)
+	popts := pipeline.Options{
+		Assign:       assign.Options{Variant: assign.HeuristicIterative},
+		Scheduler:    opts.Scheduler,
+		Observer:     opts.Observer,
+		CollectStats: true,
+	}
+	var agg obs.Stats
+	scheduled := 0
+	start := time.Now()
+	for _, g := range loops {
+		out, err := pipeline.RunContext(ctx, g, m, popts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		agg.Add(out.Stats)
+		scheduled++
+	}
+	elapsed := time.Since(start)
+	summary := struct {
+		Name      string    `json:"name"`
+		Machine   string    `json:"machine"`
+		Loops     int       `json:"loops"`
+		Scheduled int       `json:"scheduled"`
+		TotalNS   int64     `json:"total_ns"`
+		NSPerOp   int64     `json:"ns_per_op"`
+		Stats     obs.Stats `json:"stats"`
+	}{
+		Name:      "pipeline_suite",
+		Machine:   m.Name,
+		Loops:     len(loops),
+		Scheduled: scheduled,
+		TotalNS:   elapsed.Nanoseconds(),
+		Stats:     agg,
+	}
+	if scheduled > 0 {
+		summary.NSPerOp = elapsed.Nanoseconds() / int64(scheduled)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(summary)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 //
 //	clusterc kernels.loop
 //	clusterc -machine fs:4:4:2 -pipeline kernels.loop
+//	clusterc -trace - -timeout 500ms kernels.loop
 //	echo 'loop dot { s = s + a[i]*b[i] }' | clusterc -
 //
 // The language: one index variable i, array accesses a[i+k] (loads and
@@ -16,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"clustersched"
 	"clustersched/internal/cli"
@@ -32,8 +35,10 @@ func main() {
 		machineSpec = flag.String("machine", "gp:2:2:1", "machine: gp:C:B:P, fs:C:B:P, grid:P, ring:C:P, or unified:W")
 		pipelined   = flag.Bool("pipeline", false, "print prologue and epilogue, not just the kernel")
 		stages      = flag.Bool("stages", false, "run stage scheduling before printing")
-		verbose     = flag.Bool("v", false, "also print placement and register details")
+		verbose     = flag.Bool("v", false, "also print placement, register, and search-effort details")
 		nolint      = flag.Bool("nolint", false, "skip the pre-compilation source lint (diagnostics still apply inside the pipeline)")
+		trace       = flag.String("trace", "", "write a JSON-lines event stream of the schedule search to this file (- for stderr)")
+		timeout     = flag.Duration("timeout", 0, "per-loop scheduling deadline (0 = none), e.g. 500ms")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,10 +81,33 @@ func main() {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var schedOpts []clustersched.Option
+	if *timeout > 0 {
+		schedOpts = append(schedOpts, clustersched.WithTimeout(*timeout))
+	}
+	if *trace != "" {
+		w := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		schedOpts = append(schedOpts, clustersched.WithObserver(clustersched.NewJSONObserver(w)))
+	}
+
 	for _, l := range loops {
 		fmt.Printf("=== %s (%d ops) on %s ===\n", l.Name, l.Graph.NumNodes(), m)
-		res, err := clustersched.Schedule(l.Graph, m)
+		res, err := clustersched.ScheduleContext(ctx, l.Graph, m, schedOpts...)
 		if err != nil {
+			if ctx.Err() != nil {
+				fatal(fmt.Errorf("interrupted: %w", err))
+			}
 			fmt.Printf("  no schedule: %v\n\n", err)
 			continue
 		}
@@ -98,6 +126,7 @@ func main() {
 			}
 			alloc := res.Registers()
 			fmt.Printf("registers per cluster %v (MVE factor %d)\n", alloc.RegsPerCluster, alloc.Factor)
+			fmt.Printf("search: %s\n", res.Stats())
 		}
 		if *pipelined {
 			fmt.Println(res.Pipelined())

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"clustersched/internal/explore"
 	"clustersched/internal/loopgen"
@@ -31,12 +34,19 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	loops := loopgen.Suite(loopgen.Options{Seed: *seed, Count: *count})
 	designs := explore.DefaultDesigns()
 	if *clusters > 0 {
 		designs = append(designs, machine.NewBusedGP(*clusters, *buses, *ports))
 	}
-	points := explore.Sweep(designs, loops, *workers)
+	points, err := explore.SweepContext(ctx, designs, loops, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Print(explore.Report(points))
 	fmt.Println("\narea ~ sum(regs x ports^2) per file; delay ~ log2(regs x read ports)")
 	fmt.Println("of the largest file (paper Section 1.1). Clustering holds match%")

@@ -7,6 +7,8 @@
 // with no knowledge of clustering (paper Sections 2.2 and 4).
 package assign
 
+import "clustersched/internal/obs"
+
 // Variant selects which of the four algorithms from the paper's
 // Figures 12/13 comparison runs.
 type Variant int
@@ -75,6 +77,13 @@ type Options struct {
 	// quantifying how much the ordering itself contributes. Exists for
 	// the ablation benchmark.
 	NaiveOrdering bool
+	// Trace carries the run's observability hooks and cancellation
+	// context (see internal/obs). nil — the default — disables both:
+	// every hook is a single nil check. When the Trace's context is
+	// canceled mid-run, Run returns not-ok like any other failed
+	// assignment; the pipeline distinguishes cancellation by checking
+	// the context itself.
+	Trace *obs.Trace
 }
 
 // DefaultBudgetPerNode is the eviction budget multiplier used when

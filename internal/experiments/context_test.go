@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+	"clustersched/internal/obs"
+)
+
+// cancelAfterFirstEvent is a concurrency-safe observer that fires
+// cancel on the first event it sees from any worker.
+func cancelAfterFirstEvent(cancel context.CancelFunc) obs.Observer {
+	var once sync.Once
+	return obs.ObserverFunc(func(obs.Event) { once.Do(cancel) })
+}
+
+func smallConfig() Config {
+	return Config{
+		ID:    "ctx-test",
+		Title: "cancellation test",
+		Rows: []Row{
+			{Label: "HI", Machine: machine.NewBusedGP(2, 2, 1), Variant: assign.HeuristicIterative, PaperMatch: -1},
+		},
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	loops := loopgen.Suite(loopgen.Options{Count: 10})
+	res, err := RunContext(ctx, smallConfig(), loops, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want the 1 partial row", len(res.Rows))
+	}
+	if got := res.Rows[0].Hist.Total(); got != 0 {
+		t.Errorf("canceled row histogram has %d entries, want 0", got)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	loops := loopgen.Suite(loopgen.Options{Count: 50})
+	opts := Options{
+		Parallelism: 2,
+		Observer:    cancelAfterFirstEvent(cancel),
+	}
+	_, err := RunContext(ctx, smallConfig(), loops, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCollectsStats(t *testing.T) {
+	loops := loopgen.Suite(loopgen.Options{Count: 10})
+	res, err := RunContext(context.Background(), smallConfig(), loops, Options{CollectStats: true})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	s := res.Rows[0].Stats
+	if s.IICandidates == 0 || s.AssignCommits == 0 {
+		t.Errorf("stats not aggregated: %s", s.String())
+	}
+	// Without CollectStats the counters must stay zero (nil trace).
+	res, err = RunContext(context.Background(), smallConfig(), loops, Options{})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if s := res.Rows[0].Stats; s.IICandidates != 0 {
+		t.Errorf("stats collected without CollectStats: %s", s.String())
+	}
+}

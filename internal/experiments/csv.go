@@ -15,7 +15,8 @@ func (r Result) CSV() string {
 	for d := 0; d <= stats.MaxDelta; d++ {
 		fmt.Fprintf(&b, ",delta%d_pct", d)
 	}
-	b.WriteString(",avg_ii,avg_copies,loops,failed\n")
+	b.WriteString(",avg_ii,avg_copies,loops,failed")
+	b.WriteString(",ii_candidates,assign_commits,force_placements,evictions,pcr_rejections,sched_displacements\n")
 	for _, row := range r.Rows {
 		paper := ""
 		if row.PaperMatch >= 0 {
@@ -25,7 +26,10 @@ func (r Result) CSV() string {
 		for d := 0; d <= stats.MaxDelta; d++ {
 			fmt.Fprintf(&b, ",%.2f", row.Hist.Percent(d))
 		}
-		fmt.Fprintf(&b, ",%.2f,%.2f,%d,%d\n", row.AvgII, row.AvgCopies, row.Hist.Total(), row.Hist.Failed)
+		fmt.Fprintf(&b, ",%.2f,%.2f,%d,%d", row.AvgII, row.AvgCopies, row.Hist.Total(), row.Hist.Failed)
+		s := row.Stats
+		fmt.Fprintf(&b, ",%d,%d,%d,%d,%d,%d\n", s.IICandidates, s.AssignCommits,
+			s.ForcePlacements, s.Evictions, s.PCRRejections, s.SchedDisplacements)
 	}
 	return b.String()
 }

@@ -7,15 +7,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
+	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
+	"clustersched/internal/pool"
 	"clustersched/internal/stats"
 )
 
@@ -60,6 +61,10 @@ type RowResult struct {
 	AvgCopies  float64
 	AvgII      float64
 	Elapsed    time.Duration
+	// Stats aggregates the search effort of the clustered runs of this
+	// row (the unified baselines are excluded). Populated when
+	// Options.CollectStats is set or an Observer is installed.
+	Stats obs.Stats
 }
 
 // Result is a completed experiment.
@@ -77,23 +82,54 @@ type Options struct {
 	Scheduler pipeline.Scheduler
 	// Parallelism bounds worker goroutines (default: GOMAXPROCS).
 	Parallelism int
+	// CollectStats threads the observability layer through every
+	// clustered pipeline run and aggregates obs.Stats per row. Off by
+	// default so benchmarks measure the bare pipeline.
+	CollectStats bool
+	// Observer receives trace events from every clustered pipeline run
+	// (implies CollectStats). It is shared across worker goroutines and
+	// must be safe for concurrent use.
+	Observer obs.Observer
 }
 
-// Run executes one experiment over the given loops.
-func Run(cfg Config, loops []*ddg.Graph, opts Options) Result {
-	res := Result{ID: cfg.ID, Title: cfg.Title, Loops: len(loops)}
-	for _, row := range cfg.Rows {
-		res.Rows = append(res.Rows, runRow(row, loops, opts))
+// pipelineOptions resolves the per-run pipeline options for one loop of
+// a row.
+func (o Options) pipelineOptions(row Row) pipeline.Options {
+	scheduler := o.Scheduler
+	if row.Scheduler != nil {
+		scheduler = *row.Scheduler
 	}
+	return pipeline.Options{
+		Assign:       row.assignOptions(),
+		Scheduler:    scheduler,
+		Observer:     o.Observer,
+		CollectStats: o.CollectStats || o.Observer != nil,
+	}
+}
+
+// Run executes one experiment over the given loops; it is RunContext
+// under context.Background().
+func Run(cfg Config, loops []*ddg.Graph, opts Options) Result {
+	res, _ := RunContext(context.Background(), cfg, loops, opts)
 	return res
 }
 
-func runRow(row Row, loops []*ddg.Graph, opts Options) RowResult {
-	start := time.Now()
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// RunContext executes one experiment over the given loops, stopping
+// early — with partial rows and ctx.Err() — when ctx is canceled.
+func RunContext(ctx context.Context, cfg Config, loops []*ddg.Graph, opts Options) (Result, error) {
+	res := Result{ID: cfg.ID, Title: cfg.Title, Loops: len(loops)}
+	for _, row := range cfg.Rows {
+		rr, err := runRow(ctx, row, loops, opts)
+		res.Rows = append(res.Rows, rr)
+		if err != nil {
+			return res, err
+		}
 	}
+	return res, nil
+}
+
+func runRow(ctx context.Context, row Row, loops []*ddg.Graph, opts Options) (RowResult, error) {
+	start := time.Now()
 	unified := row.Machine.Unified()
 
 	type outcome struct {
@@ -101,44 +137,34 @@ func runRow(row Row, loops []*ddg.Graph, opts Options) RowResult {
 		copies int
 		ii     int
 		failed bool
+		stats  obs.Stats
 	}
 	outcomes := make([]outcome, len(loops))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			scheduler := opts.Scheduler
-			if row.Scheduler != nil {
-				scheduler = *row.Scheduler
-			}
-			for i := range work {
-				g := loops[i]
-				uo, uerr := pipeline.Run(g, unified, pipeline.Options{Scheduler: scheduler})
-				co, cerr := pipeline.Run(g, row.Machine, pipeline.Options{
-					Assign:    row.assignOptions(),
-					Scheduler: scheduler,
-				})
-				if uerr != nil || cerr != nil {
-					outcomes[i] = outcome{failed: true}
-					continue
-				}
-				outcomes[i] = outcome{
-					delta:  co.II - uo.II,
-					copies: co.Assignment.Copies,
-					ii:     co.II,
-				}
-			}
-		}()
-	}
-	for i := range loops {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	popts := opts.pipelineOptions(row)
+	uopts := pipeline.Options{Scheduler: popts.Scheduler}
+	err := pool.ForEach(ctx, len(loops), opts.Parallelism, func(i int) {
+		g := loops[i]
+		uo, uerr := pipeline.RunContext(ctx, g, unified, uopts)
+		co, cerr := pipeline.RunContext(ctx, g, row.Machine, popts)
+		if uerr != nil || cerr != nil {
+			outcomes[i] = outcome{failed: true}
+			return
+		}
+		outcomes[i] = outcome{
+			delta:  co.II - uo.II,
+			copies: co.Assignment.Copies,
+			ii:     co.II,
+			stats:  co.Stats,
+		}
+	})
 
 	r := RowResult{Label: row.Label, PaperMatch: row.PaperMatch}
+	if err != nil {
+		// Canceled: the outcomes are a mix of completed and zero
+		// entries; report nothing rather than a misleading partial row.
+		r.Elapsed = time.Since(start)
+		return r, err
+	}
 	var copies, iis int
 	for _, o := range outcomes {
 		if o.failed {
@@ -148,13 +174,14 @@ func runRow(row Row, loops []*ddg.Graph, opts Options) RowResult {
 		r.Hist.Add(o.delta)
 		copies += o.copies
 		iis += o.ii
+		r.Stats.Add(o.stats)
 	}
 	if n := r.Hist.Total() - r.Hist.Failed; n > 0 {
 		r.AvgCopies = float64(copies) / float64(n)
 		r.AvgII = float64(iis) / float64(n)
 	}
 	r.Elapsed = time.Since(start)
-	return r
+	return r, nil
 }
 
 // Report renders a result as a paper-style table.

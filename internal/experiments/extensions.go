@@ -1,11 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
@@ -13,6 +12,7 @@ import (
 	"clustersched/internal/loopgen"
 	"clustersched/internal/machine"
 	"clustersched/internal/pipeline"
+	"clustersched/internal/pool"
 	"clustersched/internal/postpart"
 	"clustersched/internal/regalloc"
 	"clustersched/internal/sched"
@@ -79,12 +79,18 @@ func AblationOrdering() Config {
 // copies of the loops, removing the statement-order information the
 // generator bakes into node IDs.
 func RunOrderingAblation(loops []*ddg.Graph, opts Options) Result {
+	res, _ := RunOrderingAblationContext(context.Background(), loops, opts)
+	return res
+}
+
+// RunOrderingAblationContext is RunOrderingAblation with cancellation.
+func RunOrderingAblationContext(ctx context.Context, loops []*ddg.Graph, opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(99))
 	shuffled := make([]*ddg.Graph, len(loops))
 	for i, g := range loops {
 		shuffled[i] = loopgen.ShuffleIDs(g, rng)
 	}
-	return Run(AblationOrdering(), shuffled, opts)
+	return RunContext(ctx, AblationOrdering(), shuffled, opts)
 }
 
 // AblationScheduler compares phase-two engines on the same assignment
@@ -164,6 +170,14 @@ type RegisterReport struct {
 // register file (the port-limited component a hardware designer cares
 // about).
 func RegisterStudy(loops []*ddg.Graph, opts Options) RegisterReport {
+	rep, _ := RegisterStudyContext(context.Background(), loops, opts)
+	return rep
+}
+
+// RegisterStudyContext is RegisterStudy with cancellation: it stops
+// early — with the completed rows and ctx.Err() — when ctx is
+// canceled.
+func RegisterStudyContext(ctx context.Context, loops []*ddg.Graph, opts Options) (RegisterReport, error) {
 	machines := []struct {
 		label string
 		m     *machine.Config
@@ -175,16 +189,16 @@ func RegisterStudy(loops []*ddg.Graph, opts Options) RegisterReport {
 	}
 	rep := RegisterReport{Loops: len(loops)}
 	for _, mc := range machines {
-		rep.Rows = append(rep.Rows, registerRow(mc.label, mc.m, loops, opts))
+		row, err := registerRow(ctx, mc.label, mc.m, loops, opts)
+		if err != nil {
+			return rep, err
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
-	return rep
+	return rep, nil
 }
 
-func registerRow(label string, m *machine.Config, loops []*ddg.Graph, opts Options) RegisterRow {
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+func registerRow(ctx context.Context, label string, m *machine.Config, loops []*ddg.Graph, opts Options) (RegisterRow, error) {
 	type sample struct {
 		ok       bool
 		maxLive  int
@@ -196,50 +210,40 @@ func registerRow(label string, m *machine.Config, loops []*ddg.Graph, opts Optio
 		moved    int
 	}
 	samples := make([]sample, len(loops))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				out, err := pipeline.Run(loops[i], m, pipeline.Options{
-					Assign:    assign.Options{Variant: assign.HeuristicIterative},
-					Scheduler: opts.Scheduler,
-				})
-				if err != nil {
-					continue
-				}
-				in := schedInput(m, out)
-				live, _ := verify.MaxLive(in, out.Schedule)
-				before := regalloc.AllocateMVE(in, out.Schedule)
-				moved := stagesched.Optimize(in, out.Schedule)
-				after := regalloc.AllocateMVE(in, out.Schedule)
-				rotating := regalloc.AllocateRotating(in, out.Schedule)
-				maxFile := 0
-				for _, r := range after.RegsPerCluster {
-					if r > maxFile {
-						maxFile = r
-					}
-				}
-				samples[i] = sample{
-					ok:       true,
-					maxLive:  live,
-					regs:     before.TotalRegisters(),
-					regsOpt:  after.TotalRegisters(),
-					rotating: rotating.TotalRegisters(),
-					maxFile:  maxFile,
-					factor:   after.Factor,
-					moved:    moved,
-				}
+	err := pool.ForEach(ctx, len(loops), opts.Parallelism, func(i int) {
+		out, err := pipeline.RunContext(ctx, loops[i], m, pipeline.Options{
+			Assign:    assign.Options{Variant: assign.HeuristicIterative},
+			Scheduler: opts.Scheduler,
+		})
+		if err != nil {
+			return
+		}
+		in := schedInput(m, out)
+		live, _ := verify.MaxLive(in, out.Schedule)
+		before := regalloc.AllocateMVE(in, out.Schedule)
+		moved := stagesched.Optimize(in, out.Schedule)
+		after := regalloc.AllocateMVE(in, out.Schedule)
+		rotating := regalloc.AllocateRotating(in, out.Schedule)
+		maxFile := 0
+		for _, r := range after.RegsPerCluster {
+			if r > maxFile {
+				maxFile = r
 			}
-		}()
+		}
+		samples[i] = sample{
+			ok:       true,
+			maxLive:  live,
+			regs:     before.TotalRegisters(),
+			regsOpt:  after.TotalRegisters(),
+			rotating: rotating.TotalRegisters(),
+			maxFile:  maxFile,
+			factor:   after.Factor,
+			moved:    moved,
+		}
+	})
+	if err != nil {
+		return RegisterRow{Label: label}, err
 	}
-	for i := range loops {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 
 	row := RegisterRow{Label: label}
 	var live, regs, regsOpt, rotating, maxFile, factor int
@@ -265,7 +269,7 @@ func registerRow(label string, m *machine.Config, loops []*ddg.Graph, opts Optio
 		row.AvgMaxCluster = float64(maxFile) / n
 		row.AvgMVEFactor = float64(factor) / n
 	}
-	return row
+	return row, nil
 }
 
 func schedInput(m *machine.Config, out *pipeline.Outcome) sched.Input {
@@ -297,6 +301,12 @@ func (r RegisterReport) Report() string {
 // respect recurrences). Both rows report match-vs-unified histograms
 // on the same machine.
 func BaselineComparison(loops []*ddg.Graph, opts Options) Result {
+	res, _ := BaselineComparisonContext(context.Background(), loops, opts)
+	return res
+}
+
+// BaselineComparisonContext is BaselineComparison with cancellation.
+func BaselineComparisonContext(ctx context.Context, loops []*ddg.Graph, opts Options) (Result, error) {
 	m := machine.NewBusedGP(2, 2, 1)
 	res := Result{
 		ID:    "baseline",
@@ -304,10 +314,6 @@ func BaselineComparison(loops []*ddg.Graph, opts Options) Result {
 		Loops: len(loops),
 	}
 	unified := m.Unified()
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
 	type outcome struct {
 		preDelta, postDelta int
@@ -317,40 +323,30 @@ func BaselineComparison(loops []*ddg.Graph, opts Options) Result {
 		failed              bool
 	}
 	outcomes := make([]outcome, len(loops))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				g := loops[i]
-				uo, uerr := pipeline.Run(g, unified, pipeline.Options{Scheduler: opts.Scheduler})
-				pre, perr := pipeline.Run(g, m, pipeline.Options{
-					Assign:    assign.Options{Variant: assign.HeuristicIterative},
-					Scheduler: opts.Scheduler,
-				})
-				post, serr := postpart.Run(g, m, postpart.Options{})
-				if uerr != nil || perr != nil || serr != nil {
-					outcomes[i] = outcome{failed: true}
-					continue
-				}
-				outcomes[i] = outcome{
-					preDelta:   pre.II - uo.II,
-					postDelta:  post.II - uo.II,
-					preCopies:  pre.Assignment.Copies,
-					postCopies: post.Assignment.Copies,
-					preII:      pre.II,
-					postII:     post.II,
-				}
-			}
-		}()
+	err := pool.ForEach(ctx, len(loops), opts.Parallelism, func(i int) {
+		g := loops[i]
+		uo, uerr := pipeline.RunContext(ctx, g, unified, pipeline.Options{Scheduler: opts.Scheduler})
+		pre, perr := pipeline.RunContext(ctx, g, m, pipeline.Options{
+			Assign:    assign.Options{Variant: assign.HeuristicIterative},
+			Scheduler: opts.Scheduler,
+		})
+		post, serr := postpart.Run(g, m, postpart.Options{})
+		if uerr != nil || perr != nil || serr != nil {
+			outcomes[i] = outcome{failed: true}
+			return
+		}
+		outcomes[i] = outcome{
+			preDelta:   pre.II - uo.II,
+			postDelta:  post.II - uo.II,
+			preCopies:  pre.Assignment.Copies,
+			postCopies: post.Assignment.Copies,
+			preII:      pre.II,
+			postII:     post.II,
+		}
+	})
+	if err != nil {
+		return res, err
 	}
-	for i := range loops {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 
 	pre := RowResult{Label: "pre-scheduling assignment (paper)", PaperMatch: -1}
 	post := RowResult{Label: "post-scheduling partitioning", PaperMatch: -1}
@@ -376,7 +372,7 @@ func BaselineComparison(loops []*ddg.Graph, opts Options) Result {
 		post.AvgII = float64(postII) / float64(n)
 	}
 	res.Rows = []RowResult{pre, post}
-	return res
+	return res, nil
 }
 
 // NonPipelinedStudy compares fully pipelined function units against
@@ -457,25 +453,32 @@ func LivermoreMachines() []*machine.Config {
 // machines and tabulates per-kernel initiation intervals against the
 // 8-wide unified baseline.
 func LivermoreStudy(loops []frontend.Loop, opts Options) (LivermoreReport, error) {
+	return LivermoreStudyContext(context.Background(), loops, opts)
+}
+
+// LivermoreStudyContext is LivermoreStudy with cancellation. The study
+// is sequential (a handful of kernels); cancellation takes effect
+// between pipeline runs and mid-search inside each run.
+func LivermoreStudyContext(ctx context.Context, loops []frontend.Loop, opts Options) (LivermoreReport, error) {
 	rep := LivermoreReport{Machines: LivermoreMachines()}
 	unified := machine.NewUnifiedGP(8)
 	for _, l := range loops {
 		row := LivermoreRow{Name: l.Name, Ops: l.Graph.NumNodes()}
-		uo, err := pipeline.Run(l.Graph, unified, pipeline.Options{Scheduler: opts.Scheduler})
+		uo, err := pipeline.RunContext(ctx, l.Graph, unified, pipeline.Options{Scheduler: opts.Scheduler})
 		if err != nil {
 			return rep, fmt.Errorf("livermore %s unified: %w", l.Name, err)
 		}
 		row.MII = uo.MII
 		row.Unified = uo.II
 		for _, m := range rep.Machines {
-			co, err := pipeline.Run(l.Graph, m, pipeline.Options{
+			co, err := pipeline.RunContext(ctx, l.Graph, m, pipeline.Options{
 				Assign:    assign.Options{Variant: assign.HeuristicIterative},
 				Scheduler: opts.Scheduler,
 			})
 			if err != nil {
 				return rep, fmt.Errorf("livermore %s on %s: %w", l.Name, m.Name, err)
 			}
-			ou, err := pipeline.Run(l.Graph, m.Unified(), pipeline.Options{Scheduler: opts.Scheduler})
+			ou, err := pipeline.RunContext(ctx, l.Graph, m.Unified(), pipeline.Options{Scheduler: opts.Scheduler})
 			if err != nil {
 				return rep, fmt.Errorf("livermore %s on unified %s: %w", l.Name, m.Name, err)
 			}

@@ -10,16 +10,16 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 	"clustersched/internal/pipeline"
+	"clustersched/internal/pool"
 	"clustersched/internal/regalloc"
 	"clustersched/internal/sched"
 	"clustersched/internal/stagesched"
@@ -62,11 +62,17 @@ func filePorts(m *machine.Config, c int) (total, reads int) {
 	return reads + writes, reads
 }
 
-// Evaluate measures one machine over the loops.
+// Evaluate measures one machine over the loops; it is EvaluateContext
+// under context.Background().
 func Evaluate(m *machine.Config, loops []*ddg.Graph, workers int) Point {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	p, _ := EvaluateContext(context.Background(), m, loops, workers)
+	return p
+}
+
+// EvaluateContext measures one machine over the loops on a bounded
+// worker pool, stopping early — with a partial Point and ctx.Err() —
+// when ctx is canceled.
+func EvaluateContext(ctx context.Context, m *machine.Config, loops []*ddg.Graph, workers int) (Point, error) {
 	unified := m.Unified()
 	type sample struct {
 		ok      bool
@@ -75,44 +81,31 @@ func Evaluate(m *machine.Config, loops []*ddg.Graph, workers int) Point {
 		perFile []int
 	}
 	samples := make([]sample, len(loops))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				g := loops[i]
-				uo, uerr := pipeline.Run(g, unified, pipeline.Options{})
-				co, cerr := pipeline.Run(g, m, pipeline.Options{
-					Assign: assign.Options{Variant: assign.HeuristicIterative},
-				})
-				if uerr != nil || cerr != nil {
-					continue
-				}
-				in := sched.Input{
-					Graph:       co.Assignment.Graph,
-					Machine:     m,
-					ClusterOf:   co.Assignment.ClusterOf,
-					CopyTargets: co.Assignment.CopyTargets,
-					II:          co.II,
-				}
-				stagesched.Optimize(in, co.Schedule)
-				alloc := regalloc.AllocateMVE(in, co.Schedule)
-				samples[i] = sample{
-					ok:      true,
-					match:   co.II <= uo.II,
-					ii:      co.II,
-					perFile: alloc.RegsPerCluster,
-				}
-			}
-		}()
-	}
-	for i := range loops {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	err := pool.ForEach(ctx, len(loops), workers, func(i int) {
+		g := loops[i]
+		uo, uerr := pipeline.RunContext(ctx, g, unified, pipeline.Options{})
+		co, cerr := pipeline.RunContext(ctx, g, m, pipeline.Options{
+			Assign: assign.Options{Variant: assign.HeuristicIterative},
+		})
+		if uerr != nil || cerr != nil {
+			return
+		}
+		in := sched.Input{
+			Graph:       co.Assignment.Graph,
+			Machine:     m,
+			ClusterOf:   co.Assignment.ClusterOf,
+			CopyTargets: co.Assignment.CopyTargets,
+			II:          co.II,
+		}
+		stagesched.Optimize(in, co.Schedule)
+		alloc := regalloc.AllocateMVE(in, co.Schedule)
+		samples[i] = sample{
+			ok:      true,
+			match:   co.II <= uo.II,
+			ii:      co.II,
+			perFile: alloc.RegsPerCluster,
+		}
+	})
 
 	p := Point{Machine: m}
 	avgPerFile := make([]float64, m.NumClusters())
@@ -137,7 +130,7 @@ func Evaluate(m *machine.Config, loops []*ddg.Graph, workers int) Point {
 		largest += float64(big)
 	}
 	if p.Scheduled == 0 {
-		return p
+		return p, err
 	}
 	n := float64(p.Scheduled)
 	p.MatchPct = 100 * float64(matches) / n
@@ -160,16 +153,28 @@ func Evaluate(m *machine.Config, loops []*ddg.Graph, workers int) Point {
 		}
 	}
 	p.DelayProxy = maxDelay
-	return p
+	return p, err
 }
 
-// Sweep evaluates several machines.
+// Sweep evaluates several machines; it is SweepContext under
+// context.Background().
 func Sweep(machines []*machine.Config, loops []*ddg.Graph, workers int) []Point {
+	out, _ := SweepContext(context.Background(), machines, loops, workers)
+	return out
+}
+
+// SweepContext evaluates several machines, stopping early — with the
+// points measured so far and ctx.Err() — when ctx is canceled.
+func SweepContext(ctx context.Context, machines []*machine.Config, loops []*ddg.Graph, workers int) ([]Point, error) {
 	out := make([]Point, len(machines))
 	for i, m := range machines {
-		out[i] = Evaluate(m, loops, workers)
+		p, err := EvaluateContext(ctx, m, loops, workers)
+		out[i] = p
+		if err != nil {
+			return out[:i+1], err
+		}
 	}
-	return out
+	return out, nil
 }
 
 // DefaultDesigns returns the paper-relevant corner of the design

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonEvent is the wire form of one event in the JSON trace stream:
+// one object per line, stable snake_case keys, times in microseconds.
+type jsonEvent struct {
+	T       int64  `json:"t_us"`
+	Kind    string `json:"kind"`
+	Phase   string `json:"phase,omitempty"`
+	II      int    `json:"ii"`
+	Node    int    `json:"node"`
+	Cluster int    `json:"cluster"`
+	Victim  int    `json:"victim"`
+	DurUS   int64  `json:"dur_us,omitempty"`
+	OK      bool   `json:"ok,omitempty"`
+}
+
+// JSONObserver writes each event as one JSON object per line
+// (JSON Lines). It is safe for concurrent use by many runs sharing one
+// stream; the t_us field is the wall-clock offset from the observer's
+// creation, so interleaved runs stay ordered.
+type JSONObserver struct {
+	mu    sync.Mutex
+	enc   *json.Encoder
+	start time.Time
+	err   error
+}
+
+// NewJSON returns a JSONObserver writing to w.
+func NewJSON(w io.Writer) *JSONObserver {
+	return &JSONObserver{enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Event encodes e as one line. Encoding errors are sticky and stop
+// further writes; check Err after the run.
+func (j *JSONObserver) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonEvent{
+		T:       time.Since(j.start).Microseconds(),
+		Kind:    e.Kind.String(),
+		Phase:   e.Phase,
+		II:      e.II,
+		Node:    e.Node,
+		Cluster: e.Cluster,
+		Victim:  e.Victim,
+		DurUS:   e.Dur.Microseconds(),
+		OK:      e.OK,
+	})
+}
+
+// Err returns the first write error, if any.
+func (j *JSONObserver) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Collector records events in memory, for tests and programmatic
+// inspection. Safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event appends e.
+func (c *Collector) Event(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Count returns how many recorded events have kind k.
+func (c *Collector) Count(k EventKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

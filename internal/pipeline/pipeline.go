@@ -3,10 +3,19 @@
 // candidate II, hand the annotated graph to a traditional modulo
 // scheduler, and escalate II — re-running assignment from scratch —
 // until a valid schedule emerges.
+//
+// The search is observable and cancelable: RunContext threads a
+// context.Context and an optional obs.Observer through the
+// II-escalation loop, the assignment backtracking, and the scheduler
+// inner loops. With no observer, no stats request, and an
+// uncancelable context, the whole layer collapses to a nil *obs.Trace
+// and every hook is a single nil check (see BenchmarkRunObservability).
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
@@ -14,6 +23,7 @@ import (
 	"clustersched/internal/lint"
 	"clustersched/internal/machine"
 	"clustersched/internal/mii"
+	"clustersched/internal/obs"
 	"clustersched/internal/sched"
 )
 
@@ -52,6 +62,17 @@ type Options struct {
 	// MaxIISlack bounds the search: the pipeline gives up when
 	// II > MII + MaxIISlack. Zero selects DefaultMaxIISlack.
 	MaxIISlack int
+	// Observer receives structured trace events from every phase of
+	// the search; nil disables eventing. A shared Observer must be
+	// safe for concurrent use.
+	Observer obs.Observer
+	// CollectStats turns on the obs.Stats counters even without an
+	// Observer; the totals land on Outcome.Stats. Implied by Observer.
+	CollectStats bool
+	// Timeout bounds the whole run's wall-clock time; zero means no
+	// timeout. It composes with whatever deadline the caller's context
+	// already carries (the earlier one wins).
+	Timeout time.Duration
 }
 
 // DefaultMaxIISlack is the default II search headroom above MII.
@@ -72,16 +93,39 @@ type Outcome struct {
 	// phase before success.
 	AssignFailures int
 	SchedFailures  int
+	// Stats carries the search-effort counters when observability was
+	// active (an Observer installed, CollectStats set, or a cancelable
+	// context); zero otherwise.
+	Stats obs.Stats
 }
 
-// Run schedules loop g on machine m. Inputs are linted first: a graph
-// or machine with Error-severity diagnostics is rejected before
-// assignment runs, and the returned error wraps a *diag.List carrying
-// every finding (recover it with errors.As). Otherwise Run errors only
-// when the II search space is exhausted, which for well-formed inputs
-// indicates a machine too narrow for the loop (or a pathological
-// graph).
+// Run schedules loop g on machine m with no cancellation: it is
+// RunContext under context.Background().
 func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
+	return RunContext(context.Background(), g, m, opts)
+}
+
+// RunContext schedules loop g on machine m. Inputs are linted first: a
+// graph or machine with Error-severity diagnostics is rejected before
+// assignment runs, and the returned error wraps a *diag.List carrying
+// every finding (recover it with errors.As). Otherwise RunContext
+// errors only when ctx is canceled or its deadline passes — the error
+// wraps ctx.Err(), checkable with errors.Is — or when the II search
+// space is exhausted, which for well-formed inputs indicates a machine
+// too narrow for the loop (or a pathological graph).
+//
+// Cancellation is honoured mid-search: between II candidates, between
+// node placements inside assignment backtracking, and between
+// placements inside the modulo schedulers.
+func RunContext(ctx context.Context, g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	if err := diag.AsError(lint.Graph(g)); err != nil {
 		return nil, fmt.Errorf("pipeline: invalid graph: %w", err)
 	}
@@ -92,9 +136,21 @@ func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
 	if slack <= 0 {
 		slack = DefaultMaxIISlack
 	}
+	tr := obs.New(ctx, opts.Observer, opts.CollectStats)
+	opts.Assign.Trace = tr
+
+	tm := tr.BeginPhase(obs.PhaseMII, 0)
 	out := &Outcome{MII: mii.MII(g, m)}
+	tr.EndPhase(obs.PhaseMII, out.MII, tm, true)
+
 	for ii := out.MII; ii <= out.MII+slack; ii++ {
+		if err := tr.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: search canceled at II %d (MII %d): %w", ii, out.MII, err)
+		}
+		tr.IICandidate(ii)
+		ta := tr.BeginPhase(obs.PhaseAssign, ii)
 		res, ok := assign.Run(g, m, ii, opts.Assign)
+		tr.EndPhase(obs.PhaseAssign, ii, ta, ok)
 		if !ok {
 			out.AssignFailures++
 			continue
@@ -105,17 +161,20 @@ func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
 			ClusterOf:   res.ClusterOf,
 			CopyTargets: res.CopyTargets,
 			II:          ii,
+			Trace:       tr,
 		}
 		var (
 			s  *sched.Schedule
 			sk bool
 		)
+		ts := tr.BeginPhase(obs.PhaseSched, ii)
 		switch opts.Scheduler {
 		case SMS:
 			s, sk = sched.SMS(in, opts.SchedBudgetRatio)
 		default:
 			s, sk = sched.IMS(in, opts.SchedBudgetRatio)
 		}
+		tr.EndPhase(obs.PhaseSched, ii, ts, sk)
 		if !sk {
 			out.SchedFailures++
 			continue
@@ -123,7 +182,13 @@ func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
 		out.II = ii
 		out.Assignment = res
 		out.Schedule = s
+		if tr != nil {
+			out.Stats = tr.Stats
+		}
 		return out, nil
+	}
+	if err := tr.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: search canceled (MII %d): %w", out.MII, err)
 	}
 	return nil, fmt.Errorf("pipeline: no schedule for %q within II <= %d (MII %d)",
 		m.Name, out.MII+slack, out.MII)

@@ -1,0 +1,106 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEverything(t *testing.T) {
+	const n = 200
+	var seen [n]int32
+	if err := ForEach(context.Background(), n, 8, func(i int) {
+		atomic.AddInt32(&seen[i], 1)
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) { t.Error("ran") }); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+}
+
+func TestForEachNilContext(t *testing.T) {
+	ran := int32(0)
+	if err := ForEach(nil, 5, 0, func(int) { atomic.AddInt32(&ran, 1) }); err != nil { //nolint:staticcheck
+		t.Fatalf("ForEach: %v", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d of 5", ran)
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), 50, workers, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if peak > workers {
+		t.Errorf("peak concurrency %d > %d workers", peak, workers)
+	}
+}
+
+func TestForEachDefaultsToGOMAXPROCS(t *testing.T) {
+	// Just exercise the default path; the bound itself is covered above.
+	n := runtime.GOMAXPROCS(0) * 4
+	ran := int32(0)
+	if err := ForEach(context.Background(), n, 0, func(int) { atomic.AddInt32(&ran, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if int(ran) != n {
+		t.Fatalf("ran %d of %d", ran, n)
+	}
+}
+
+func TestForEachCancelAbortsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForEach(ctx, 10_000, 2, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 4 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > 100 {
+		t.Errorf("ran %d items after cancel; early abort did not bite", got)
+	}
+}
+
+func TestForEachPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := ForEach(ctx, 100, 4, func(int) { atomic.AddInt32(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d items ran under a pre-canceled context", ran)
+	}
+}

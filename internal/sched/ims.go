@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"clustersched/internal/mrt"
+	"clustersched/internal/obs"
 )
 
 // DefaultIMSBudgetRatio is the scheduling-attempt budget per node used
@@ -50,7 +51,11 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 	}
 
 	for pq.Len() > 0 {
+		if in.Trace.Canceled() {
+			return nil, false
+		}
 		if budget <= 0 {
+			in.Trace.BudgetExhausted(obs.PhaseSched, in.II, -1)
 			return nil, false
 		}
 		budget--
@@ -88,6 +93,7 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 				table.Unplace(victim)
 				scheduled[victim] = false
 				heap.Push(pq, victim)
+				in.Trace.SchedDisplace(in.II, op, victim)
 			}
 			if !place(&in, table, op, placedAt) {
 				// The conflict list covered every occupant, so this
@@ -113,6 +119,7 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 				table.Unplace(e.To)
 				scheduled[e.To] = false
 				heap.Push(pq, e.To)
+				in.Trace.SchedDisplace(in.II, op, e.To)
 			}
 		}
 	}

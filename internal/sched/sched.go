@@ -12,6 +12,7 @@ import (
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 	"clustersched/internal/mrt"
+	"clustersched/internal/obs"
 )
 
 // Input is a scheduling request: an annotated graph on a machine at a
@@ -23,6 +24,10 @@ type Input struct {
 	ClusterOf   []int
 	CopyTargets [][]int
 	II          int
+	// Trace carries observability hooks and the run's cancellation
+	// context (see internal/obs); nil disables both. A canceled
+	// context makes the scheduler return not-ok between placements.
+	Trace *obs.Trace
 }
 
 func (in *Input) clusterOf(n int) int {

@@ -3,6 +3,7 @@ package sched
 import (
 	"container/heap"
 
+	"clustersched/internal/obs"
 	"clustersched/internal/order"
 )
 
@@ -56,7 +57,11 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 	const unset = int(^uint(0) >> 1) // max int sentinel
 
 	for pq.Len() > 0 {
+		if in.Trace.Canceled() {
+			return nil, false
+		}
 		if budget <= 0 {
+			in.Trace.BudgetExhausted(obs.PhaseSched, in.II, -1)
 			return nil, false
 		}
 		budget--
@@ -131,6 +136,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 				table.Unplace(victim)
 				scheduled[victim] = false
 				heap.Push(pq, victim)
+				in.Trace.SchedDisplace(in.II, op, victim)
 			}
 		}
 		if !place(&in, table, op, placedAt) {
@@ -150,6 +156,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 				table.Unplace(e.To)
 				scheduled[e.To] = false
 				heap.Push(pq, e.To)
+				in.Trace.SchedDisplace(in.II, op, e.To)
 			}
 		}
 		for _, e := range g.InEdges(op) {
@@ -160,6 +167,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 				table.Unplace(e.From)
 				scheduled[e.From] = false
 				heap.Push(pq, e.From)
+				in.Trace.SchedDisplace(in.II, op, e.From)
 			}
 		}
 	}

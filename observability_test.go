@@ -1,0 +1,166 @@
+// Tests for the context-aware entry point and the observability layer:
+// cancellation semantics, deadlines, trace event streams, and the
+// Stats accounting on Result.
+package clustersched_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"clustersched"
+)
+
+func TestScheduleContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := clustersched.ScheduleContext(ctx, dotProduct(), clustersched.BusedGP(2, 2, 1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestScheduleContextCancelMidEscalation cancels from inside the
+// search — the observer fires cancel when the first assignment phase
+// opens — and checks the run stops before the next II candidate is
+// tried.
+func TestScheduleContextCancelMidEscalation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	candidates := 0
+	obs := clustersched.ObserverFunc(func(e clustersched.Event) {
+		switch e.Kind {
+		case clustersched.KindIICandidate:
+			candidates++
+		case clustersched.KindPhaseBegin:
+			if e.Phase == "assign" {
+				cancel()
+			}
+		}
+	})
+	_, err := clustersched.ScheduleContext(ctx, dotProduct(), clustersched.BusedGP(2, 2, 1),
+		clustersched.WithObserver(obs))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if candidates != 1 {
+		t.Errorf("observed %d II candidates after mid-search cancel, want exactly 1", candidates)
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("error %q does not mention cancellation", err)
+	}
+}
+
+func TestScheduleContextNilContext(t *testing.T) {
+	//nolint:staticcheck // deliberate nil ctx: the API promises Background semantics.
+	res, err := clustersched.ScheduleContext(nil, dotProduct(), clustersched.BusedGP(2, 2, 1))
+	if err != nil {
+		t.Fatalf("ScheduleContext(nil, ...): %v", err)
+	}
+	if res.II != 1 {
+		t.Errorf("II = %d, want 1", res.II)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	_, err := clustersched.Schedule(dotProduct(), clustersched.BusedGP(2, 2, 1),
+		clustersched.WithTimeout(time.Nanosecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWithTimeoutGenerousDeadlinePasses(t *testing.T) {
+	res, err := clustersched.Schedule(dotProduct(), clustersched.BusedGP(2, 2, 1),
+		clustersched.WithTimeout(time.Minute))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+// TestStatsGoldenDotProduct pins the search-effort counters of the
+// canonical dot-product example. The pipeline is deterministic, so
+// these are exact; a change here means the search itself changed.
+func TestStatsGoldenDotProduct(t *testing.T) {
+	res, err := clustersched.Schedule(dotProduct(), clustersched.BusedGP(2, 2, 1))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	s := res.Stats()
+	if s.IICandidates != 1 {
+		t.Errorf("IICandidates = %d, want 1 (MII schedules first try)", s.IICandidates)
+	}
+	if s.AssignCommits != 4 {
+		t.Errorf("AssignCommits = %d, want 4 (one per op, no copies)", s.AssignCommits)
+	}
+	if s.PCRRejections != 2 {
+		t.Errorf("PCRRejections = %d, want 2", s.PCRRejections)
+	}
+	if s.ForcePlacements != 0 || s.Evictions != 0 {
+		t.Errorf("ForcePlacements/Evictions = %d/%d, want 0/0", s.ForcePlacements, s.Evictions)
+	}
+	if s.AssignRejects != 0 || s.SchedRejects != 0 {
+		t.Errorf("AssignRejects/SchedRejects = %d/%d, want 0/0", s.AssignRejects, s.SchedRejects)
+	}
+	if s.AssignTime <= 0 || s.SchedTime <= 0 || s.MIITime <= 0 {
+		t.Errorf("phase times %v/%v/%v, want all positive", s.MIITime, s.AssignTime, s.SchedTime)
+	}
+}
+
+// TestObserverEventStream checks the event protocol end to end: a
+// successful run opens and closes each phase, announces every II
+// candidate, and commits every node.
+func TestObserverEventStream(t *testing.T) {
+	var events []clustersched.Event
+	res, err := clustersched.Schedule(dotProduct(), clustersched.BusedGP(2, 2, 1),
+		clustersched.WithObserver(clustersched.ObserverFunc(func(e clustersched.Event) {
+			events = append(events, e)
+		})))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	count := map[clustersched.EventKind]int{}
+	for _, e := range events {
+		count[e.Kind]++
+	}
+	if count[clustersched.KindPhaseBegin] != count[clustersched.KindPhaseEnd] {
+		t.Errorf("phase_begin %d != phase_end %d", count[clustersched.KindPhaseBegin], count[clustersched.KindPhaseEnd])
+	}
+	if got := count[clustersched.KindIICandidate]; got != res.Stats().IICandidates {
+		t.Errorf("ii_candidate events %d != Stats.IICandidates %d", got, res.Stats().IICandidates)
+	}
+	if got := count[clustersched.KindAssignCommit]; got != res.Stats().AssignCommits {
+		t.Errorf("assign_commit events %d != Stats.AssignCommits %d", got, res.Stats().AssignCommits)
+	}
+	if events[0].Kind != clustersched.KindPhaseBegin || events[0].Phase != "mii" {
+		t.Errorf("first event %v %q, want phase_begin mii", events[0].Kind, events[0].Phase)
+	}
+}
+
+func TestJSONObserverStream(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := clustersched.Schedule(dotProduct(), clustersched.BusedGP(2, 2, 1),
+		clustersched.WithObserver(clustersched.NewJSONObserver(&buf)))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("only %d JSON lines", len(lines))
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if _, ok := rec["kind"]; !ok {
+			t.Fatalf("line %d has no kind: %s", i, line)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Pipeline benchmark: times the full scheduling pipeline over the
+# synthetic suite and writes BENCH_pipeline.json (ns/op plus the
+# aggregated search-effort statistics).
+# Run from the repository root:  sh scripts/bench.sh [count]
+set -eu
+
+COUNT="${1:-400}"
+OUT="BENCH_pipeline.json"
+
+go run ./cmd/clusterbench -benchjson -count "$COUNT" > "$OUT"
+echo "bench: wrote $OUT"
+
+# The Go benchmarks for the zero-cost observer path; BenchmarkSchedule
+# (no observer) against BenchmarkScheduleObserved is the overhead.
+go test -run xxx -bench 'BenchmarkSchedule$|BenchmarkScheduleObserved$' -benchtime 300x .

@@ -1,9 +1,14 @@
 #!/bin/sh
-# Full tier-1 gate: build, tests, and the lint gate.
+# Full tier-1 gate: build, vet, tests, a race pass over the concurrent
+# packages, and the lint gate.
 # Run from the repository root:  sh scripts/check.sh
 set -eu
 
 go build ./...
+go vet ./...
 go test ./...
+# Race pass over every package that runs goroutines (worker pools,
+# shared observers) plus the public API that feeds them.
+go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ .
 sh scripts/lint.sh
 echo "check: OK"
