@@ -1,0 +1,52 @@
+package clustersched_test
+
+import (
+	"testing"
+
+	"clustersched"
+)
+
+// TestResultAudit covers the facade's coded-diagnostic audit: a fresh
+// schedule audits clean, and a corrupted one reports each violation
+// with its SCHED code rather than just the first error.
+func TestResultAudit(t *testing.T) {
+	res, err := clustersched.Schedule(dotProduct(), clustersched.BusedGP(2, 2, 1))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if diags := res.Audit(); len(diags) != 0 {
+		t.Fatalf("valid schedule audited %d findings: %v", len(diags), diags)
+	}
+
+	// Corrupt the schedule: pull the multiply before its operands'
+	// load latency. Audit must report it as a coded dependence
+	// violation, and Validate must agree something is broken.
+	saved := res.CycleOf[2]
+	res.CycleOf[2] = 0
+	diags := res.Audit()
+	if len(diags) == 0 {
+		t.Fatal("corrupted schedule audited clean")
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "" {
+			t.Errorf("diagnostic without a code: %+v", d)
+		}
+		if d.Code == "SCHED003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no SCHED003 dependence violation in %v", diags)
+	}
+	if err := res.Validate(); err == nil {
+		t.Error("Validate passed a schedule Audit rejects")
+	}
+
+	// Restoring the cycle restores a clean audit: Audit re-derives
+	// everything from current state, it does not cache.
+	res.CycleOf[2] = saved
+	if diags := res.Audit(); len(diags) != 0 {
+		t.Errorf("restored schedule still audits %d findings: %v", len(diags), diags)
+	}
+}

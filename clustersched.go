@@ -66,6 +66,7 @@ import (
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
 	"clustersched/internal/ddgio"
+	"clustersched/internal/diag"
 	"clustersched/internal/dot"
 	"clustersched/internal/emit"
 	"clustersched/internal/frontend"
@@ -350,8 +351,21 @@ func (r *Result) Gantt() string { return emit.Gantt(r.input, r.sch) }
 func (r *Result) Stages() int { return r.sch.StageCount() }
 
 // Validate independently re-checks every dependence and resource of
-// the schedule; a nil result is a correctness guarantee.
+// the schedule; a nil result is a correctness guarantee. It stops at
+// the first violation; Audit enumerates all of them.
 func (r *Result) Validate() error { return verify.Schedule(r.input, r.sch) }
+
+// Diagnostic is one coded finding of an analysis or audit pass (see
+// docs/DIAGNOSTICS.md for the code catalogue).
+type Diagnostic = diag.Diagnostic
+
+// Audit independently re-validates the schedule and returns every
+// violation — broken dependences, bad cluster annotations, locality
+// breaks, oversubscribed resources — as coded diagnostics, in
+// deterministic order. An empty list is the same correctness
+// guarantee as a nil Validate; unlike Validate, a broken schedule
+// yields the complete finding list, not just the first.
+func (r *Result) Audit() []Diagnostic { return verify.Audit(r.input, r.sch) }
 
 // MaxLive estimates steady-state register pressure: machine-wide and
 // per cluster.

@@ -12,6 +12,7 @@
 //	clusterbench -stats          # add search-effort statistics per row
 //	clusterbench -trace ev.json  # stream every pipeline event as JSON lines
 //	clusterbench -benchjson      # time the pipeline over the suite, emit JSON
+//	clusterbench -server http://127.0.0.1:8425   # replay the suite against clusterd
 //
 // Ctrl-C cancels the run: in-flight loops finish, no new work starts,
 // and the process exits non-zero.
@@ -28,7 +29,9 @@ import (
 	"time"
 
 	"clustersched/internal/assign"
+	"clustersched/internal/client"
 	"clustersched/internal/ddg"
+	"clustersched/internal/ddgio"
 	"clustersched/internal/diag"
 	"clustersched/internal/experiments"
 	"clustersched/internal/lint"
@@ -38,6 +41,7 @@ import (
 	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
 	"clustersched/internal/report"
+	"clustersched/internal/server"
 )
 
 func main() {
@@ -56,6 +60,7 @@ func main() {
 		statsFlag = flag.Bool("stats", false, "collect search-effort statistics and print them per row (implied by -trace)")
 		trace     = flag.String("trace", "", "write a JSON-lines event stream of every pipeline run to this file (- for stderr)")
 		benchjson = flag.Bool("benchjson", false, "time the pipeline over the suite and emit a JSON summary (ns/op plus aggregated stats) on stdout")
+		serverURL = flag.String("server", "", "replay the suite against a running clusterd at this base URL (cold pass then cached pass) and emit a JSON summary")
 	)
 	flag.Parse()
 
@@ -89,6 +94,13 @@ func main() {
 			w = f
 		}
 		opts.Observer = obs.NewJSON(w)
+	}
+
+	if *serverURL != "" {
+		if err := serverReplay(ctx, *serverURL, loops, strings.ToLower(*scheduler)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *benchjson {
@@ -244,6 +256,97 @@ func benchJSON(ctx context.Context, loops []*ddg.Graph, opts experiments.Options
 	}
 	if scheduled > 0 {
 		summary.NSPerOp = elapsed.Nanoseconds() / int64(scheduled)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(summary)
+}
+
+// serverReplay drives a running clusterd with the synthetic suite:
+// one cold pass (every loop a distinct request) and one identical
+// cached pass, then emits a JSON summary with the throughput of each
+// and the cache's view from /statsz. scripts/bench.sh redirects this
+// into BENCH_server.json.
+func serverReplay(ctx context.Context, baseURL string, loops []*ddg.Graph, scheduler string) error {
+	c := client.New(baseURL, nil)
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("no clusterd at %s: %w", baseURL, err)
+	}
+
+	reqs := make([]server.ScheduleRequest, len(loops))
+	for i, g := range loops {
+		var buf strings.Builder
+		if err := ddgio.Write(&buf, fmt.Sprintf("loop%d", i), g); err != nil {
+			return err
+		}
+		reqs[i] = server.ScheduleRequest{DDG: buf.String(), Machine: "gp:2:2:1", Scheduler: scheduler}
+	}
+
+	pass := func() (elapsed time.Duration, hits, failed int, err error) {
+		start := time.Now()
+		for _, req := range reqs {
+			if ctx.Err() != nil {
+				return 0, 0, 0, ctx.Err()
+			}
+			_, cached, err := c.Schedule(ctx, req)
+			switch {
+			case err == nil && cached:
+				hits++
+			case err != nil:
+				// Some synthetic loops exceed the II slack on a narrow
+				// machine; those fail identically in both passes.
+				failed++
+			}
+		}
+		return time.Since(start), hits, failed, nil
+	}
+
+	coldNS, coldHits, coldFailed, err := pass()
+	if err != nil {
+		return err
+	}
+	cachedNS, cachedHits, cachedFailed, err := pass()
+	if err != nil {
+		return err
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+
+	rps := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(len(reqs)) / d.Seconds()
+	}
+	summary := struct {
+		Name         string  `json:"name"`
+		Server       string  `json:"server"`
+		Machine      string  `json:"machine"`
+		Loops        int     `json:"loops"`
+		ColdNS       int64   `json:"cold_total_ns"`
+		ColdRPS      float64 `json:"cold_rps"`
+		ColdHits     int     `json:"cold_hits"`
+		ColdFailed   int     `json:"cold_failed"`
+		CachedNS     int64   `json:"cached_total_ns"`
+		CachedRPS    float64 `json:"cached_rps"`
+		CachedHits   int     `json:"cached_hits"`
+		CachedFailed int     `json:"cached_failed"`
+		Speedup      float64 `json:"speedup"`
+		CacheHits    uint64  `json:"server_cache_hits"`
+		CacheMisses  uint64  `json:"server_cache_misses"`
+	}{
+		Name:    "server_suite",
+		Server:  baseURL,
+		Machine: "gp:2:2:1",
+		Loops:   len(reqs),
+		ColdNS:  coldNS.Nanoseconds(), ColdRPS: rps(coldNS), ColdHits: coldHits, ColdFailed: coldFailed,
+		CachedNS: cachedNS.Nanoseconds(), CachedRPS: rps(cachedNS), CachedHits: cachedHits, CachedFailed: cachedFailed,
+		CacheHits: st.Cache.Hits, CacheMisses: st.Cache.Misses,
+	}
+	if cachedNS > 0 {
+		summary.Speedup = float64(coldNS) / float64(cachedNS)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

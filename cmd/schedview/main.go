@@ -6,6 +6,12 @@
 //	schedview -machine gp:2:2:1 loops.ddg      # schedule loops from a file
 //	schedview -machine grid:2 -pipeline        # built-in demo loop, full pipeline
 //	schedview -machine fs:4:4:2 -variant simple loops.ddg
+//	schedview -machine gp:2:2:1 -json loops.ddg  # one JSON line per loop
+//
+// With -json each loop is printed as one JSON object in the same shape
+// clusterd's /v1/schedule returns (name, machine, ii, mii, copies,
+// stages, cluster_of, cycle_of, kernel, stats, diagnostics), so output
+// can be piped into the same tooling either way.
 //
 // The machine spec is gp:<clusters>:<buses>:<ports>,
 // fs:<clusters>:<buses>:<ports>, grid:<ports>, ring:<clusters>:<ports>,
@@ -24,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +38,7 @@ import (
 	"clustersched"
 	"clustersched/internal/cli"
 	"clustersched/internal/ddgio"
+	"clustersched/internal/server"
 )
 
 func main() {
@@ -44,6 +52,7 @@ func main() {
 		registers   = flag.Bool("registers", false, "print the MVE register allocation")
 		unroll      = flag.Int("unroll", 1, "unroll the loop body by this factor before scheduling")
 		gantt       = flag.Bool("gantt", false, "print the per-cluster occupancy timeline")
+		jsonOut     = flag.Bool("json", false, "print each loop's result as one JSON line (the clusterd response shape)")
 	)
 	flag.Parse()
 
@@ -75,16 +84,25 @@ func main() {
 		}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	for _, l := range loops {
-		fmt.Printf("=== %s on %s ===\n", l.Name, m)
+		if !*jsonOut {
+			fmt.Printf("=== %s on %s ===\n", l.Name, m)
+		}
 		if *unroll > 1 {
 			l.Graph = l.Graph.Unroll(*unroll)
-			fmt.Printf("unrolled x%d: %d operations\n", *unroll, l.Graph.NumNodes())
+			if !*jsonOut {
+				fmt.Printf("unrolled x%d: %d operations\n", *unroll, l.Graph.NumNodes())
+			}
 		}
 		res, err := clustersched.Schedule(l.Graph, m,
 			clustersched.WithVariant(v), clustersched.WithScheduler(s))
 		if err != nil {
-			fmt.Printf("  no schedule: %v\n\n", err)
+			if *jsonOut {
+				enc.Encode(map[string]string{"name": l.Name, "machine": *machineSpec, "error": err.Error()})
+			} else {
+				fmt.Printf("  no schedule: %v\n\n", err)
+			}
 			continue
 		}
 		if err := res.Validate(); err != nil {
@@ -92,10 +110,18 @@ func main() {
 		}
 		if *stages {
 			moved := res.OptimizeStages()
-			fmt.Printf("stage scheduling moved %d operation(s)\n", moved)
+			if !*jsonOut {
+				fmt.Printf("stage scheduling moved %d operation(s)\n", moved)
+			}
 			if err := res.Validate(); err != nil {
 				fatal(fmt.Errorf("internal error: invalid after stage scheduling: %w", err))
 			}
+		}
+		if *jsonOut {
+			if err := enc.Encode(server.ResponseFor(l.Name, *machineSpec, res)); err != nil {
+				fatal(err)
+			}
+			continue
 		}
 		if *dotOut {
 			fmt.Print(res.DOT())

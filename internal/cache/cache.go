@@ -1,0 +1,374 @@
+// Package cache is the scheduling daemon's content-addressed result
+// cache. A request is identified by a canonical hash (Key) of its
+// data-dependence graph, machine configuration, and the pipeline
+// options that affect the outcome; identical requests — however they
+// were spelled — map to the same entry.
+//
+// The store is a sharded LRU with a byte budget: keys spread over
+// independently locked shards so concurrent requests rarely contend,
+// and each shard evicts from its cold end when its share of the budget
+// overflows. Computation is deduplicated per key (singleflight): while
+// one caller runs the pipeline for a key, every other caller for the
+// same key waits for that one result instead of running the pipeline
+// again. Hit, miss, coalesced-wait, and eviction counters are exposed
+// through Stats for the daemon's /statsz endpoint.
+package cache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+)
+
+// Key returns the canonical content hash of one scheduling request:
+// every node (kind and name), every edge (endpoints and distance),
+// every field of the machine configuration that can change the
+// schedule or its rendering, and the caller's extra strings (variant,
+// scheduler, budgets — anything else that selects a different result).
+// The encoding is injective — lengths are written before variable-size
+// parts — so two different requests cannot collide by concatenation.
+// Like the pipeline itself, it requires non-nil inputs.
+func Key(g *ddg.Graph, m *machine.Config, extra ...string) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	wInt := func(v int) {
+		n := binary.PutVarint(buf[:], int64(v))
+		h.Write(buf[:n])
+	}
+	wStr := func(s string) {
+		wInt(len(s))
+		io.WriteString(h, s)
+	}
+
+	wStr("clustersched-key-v1")
+
+	wInt(g.NumNodes())
+	for _, n := range g.Nodes {
+		wInt(int(n.Kind))
+		wStr(n.Name)
+	}
+	wInt(len(g.Edges))
+	for _, e := range g.Edges {
+		wInt(e.From)
+		wInt(e.To)
+		wInt(e.Distance)
+	}
+
+	wStr(m.Name)
+	wInt(int(m.Network))
+	wInt(m.Buses)
+	wInt(len(m.Clusters))
+	for i := range m.Clusters {
+		c := &m.Clusters[i]
+		wInt(len(c.FUs))
+		for _, fu := range c.FUs {
+			wInt(int(fu))
+		}
+		wInt(c.ReadPorts)
+		wInt(c.WritePorts)
+	}
+	wInt(len(m.Links))
+	for _, l := range m.Links {
+		wInt(l.A)
+		wInt(l.B)
+	}
+	for _, lat := range m.Latencies {
+		wInt(lat)
+	}
+	for _, np := range m.NonPipelined {
+		if np {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+
+	wInt(len(extra))
+	for _, s := range extra {
+		wStr(s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Source classifies how GetOrCompute produced its value.
+type Source int
+
+// Value sources.
+const (
+	// Miss: this caller ran the compute function.
+	Miss Source = iota
+	// Hit: the value came straight from the store.
+	Hit
+	// Coalesced: another caller was already computing the same key;
+	// this caller waited and shared that result.
+	Coalesced
+)
+
+// String returns the lower-case source name (the daemon's X-Cache
+// header value).
+func (s Source) String() string {
+	switch s {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache's counters, summed
+// over every shard.
+type Stats struct {
+	// Hits counts lookups served straight from the store.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran the compute function.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups that waited for an in-flight
+	// computation of the same key instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped to keep shards inside the byte
+	// budget.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe the current contents; MaxBytes is the
+	// configured budget.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+const numShards = 16
+
+// entryOverhead approximates the per-entry bookkeeping cost (list
+// element, map slot, entry header) charged against the byte budget on
+// top of the key and value lengths.
+const entryOverhead = 128
+
+// DefaultMaxBytes is the byte budget used when New is given a
+// non-positive one.
+const DefaultMaxBytes = 64 << 20
+
+// Cache is the sharded store. Create one with New; the zero value is
+// not usable.
+type Cache struct {
+	shards        [numShards]shard
+	maxShardBytes int64
+	maxBytes      int64
+}
+
+// New returns a cache bounded to roughly maxBytes of keys plus values
+// (DefaultMaxBytes when maxBytes <= 0). Entries larger than one
+// shard's share of the budget are returned to their caller but never
+// stored.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{maxBytes: maxBytes, maxShardBytes: maxBytes / numShards}
+	for i := range c.shards {
+		c.shards[i].init()
+	}
+	return c
+}
+
+type entry struct {
+	key        string
+	val        []byte
+	next, prev *entry // LRU list: next is colder, prev is hotter
+}
+
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+type shard struct {
+	mu     sync.Mutex
+	items  map[string]*entry
+	flight map[string]*call
+	// head is hottest, tail coldest; nil when empty.
+	head, tail *entry
+	bytes      int64
+
+	hits, misses, coalesced, evictions uint64
+}
+
+func (s *shard) init() {
+	s.items = make(map[string]*entry)
+	s.flight = make(map[string]*call)
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return &c.shards[h.Sum32()%numShards]
+}
+
+// GetOrCompute returns the cached value for key, or runs fn once to
+// produce it. Concurrent callers with the same key are coalesced: one
+// runs fn, the rest wait and share its result. Successful values are
+// stored (unless oversized); errors are never cached. A waiting
+// caller whose own ctx ends returns ctx.Err() immediately; a waiter
+// whose leader was canceled retries as the new leader, so one
+// disconnecting client cannot poison identical live requests.
+//
+// The returned slice is shared with the cache and must not be
+// modified.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, Source, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := c.shardFor(key)
+	for {
+		s.mu.Lock()
+		if e, ok := s.items[key]; ok {
+			s.moveToFrontLocked(e)
+			s.hits++
+			val := e.val
+			s.mu.Unlock()
+			return val, Hit, nil
+		}
+		if cl, ok := s.flight[key]; ok {
+			s.coalesced++
+			s.mu.Unlock()
+			select {
+			case <-cl.done:
+				if cl.err == nil {
+					return cl.val, Coalesced, nil
+				}
+				if errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded) {
+					if ctx.Err() == nil {
+						continue // leader was canceled, we are still live: take over
+					}
+					return nil, Coalesced, ctx.Err()
+				}
+				return nil, Coalesced, cl.err
+			case <-ctx.Done():
+				return nil, Coalesced, ctx.Err()
+			}
+		}
+		cl := &call{done: make(chan struct{})}
+		s.flight[key] = cl
+		s.misses++
+		s.mu.Unlock()
+
+		cl.val, cl.err = fn(ctx)
+
+		s.mu.Lock()
+		delete(s.flight, key)
+		if cl.err == nil {
+			s.insertLocked(key, cl.val, c.maxShardBytes)
+		}
+		s.mu.Unlock()
+		close(cl.done)
+		return cl.val, Miss, cl.err
+	}
+}
+
+// Get returns the cached value for key without computing anything.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
+		s.moveToFrontLocked(e)
+		s.hits++
+		return e.val, true
+	}
+	return nil, false
+}
+
+// Stats sums every shard's counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{MaxBytes: c.maxBytes}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Coalesced += s.coalesced
+		st.Evictions += s.evictions
+		st.Entries += len(s.items)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+func entryCost(key string, val []byte) int64 {
+	return int64(len(key)) + int64(len(val)) + entryOverhead
+}
+
+// insertLocked stores the value and evicts from the cold end until the
+// shard fits its budget again. Oversized values are not stored at all.
+func (s *shard) insertLocked(key string, val []byte, maxBytes int64) {
+	cost := entryCost(key, val)
+	if cost > maxBytes {
+		return
+	}
+	if e, ok := s.items[key]; ok { // racing leaders after a retry
+		s.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		s.moveToFrontLocked(e)
+	} else {
+		e = &entry{key: key, val: val}
+		s.items[key] = e
+		s.bytes += cost
+		s.pushFrontLocked(e)
+	}
+	for s.bytes > maxBytes && s.tail != nil {
+		s.evictLocked(s.tail)
+	}
+}
+
+func (s *shard) evictLocked(e *entry) {
+	s.unlinkLocked(e)
+	delete(s.items, e.key)
+	s.bytes -= entryCost(e.key, e.val)
+	s.evictions++
+}
+
+func (s *shard) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlinkLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFrontLocked(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
+}

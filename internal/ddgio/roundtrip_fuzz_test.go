@@ -1,0 +1,108 @@
+package ddgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clustersched/internal/ddg"
+)
+
+// nameAlphabet is the set of rune building blocks for fuzzed node
+// names. The format stores a name as the tail of a whitespace-split
+// line, so any single-space-separated token sequence must survive;
+// leading/trailing space and runs of spaces are canonicalized away by
+// the parser and are not representable.
+var nameAlphabet = []string{"a", "b[i]", "x+y", "s", "tmp_0", "#not-a-comment", "loop", "edge", "末"}
+
+// fuzzGraph deterministically grows a graph from the fuzz bytes:
+// every byte stream maps to some valid Write input, so the fuzzer
+// explores graph shapes rather than fighting the parser's syntax.
+func fuzzGraph(data []byte) (string, *ddg.Graph) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	kinds := []ddg.OpKind{
+		ddg.OpALU, ddg.OpShift, ddg.OpBranch, ddg.OpLoad, ddg.OpStore,
+		ddg.OpFAdd, ddg.OpFMul, ddg.OpFDiv, ddg.OpFSqrt, ddg.OpCopy,
+	}
+	g := ddg.NewGraph(8, 16)
+	numNodes := 1 + int(next())%12
+	for i := 0; i < numNodes; i++ {
+		kind := kinds[int(next())%len(kinds)]
+		var words []string
+		for n := int(next()) % 4; n > 0; n-- {
+			words = append(words, nameAlphabet[int(next())%len(nameAlphabet)])
+		}
+		g.AddNode(kind, strings.Join(words, " "))
+	}
+	numEdges := int(next()) % 16
+	for i := 0; i < numEdges; i++ {
+		from := int(next()) % numNodes
+		to := int(next()) % numNodes
+		dist := int(next()) % 4
+		g.AddEdge(from, to, dist)
+	}
+	name := "l" + strings.Repeat("x", int(next())%5)
+	return name, g
+}
+
+// FuzzWriteReadLax checks the inverse direction of FuzzRead: any graph
+// we can build survives Write -> ReadLax with its name, node kinds and
+// names, and edges (order, endpoints, distances) intact. ReadLax is
+// the right reader because fuzzed graphs may be semantically broken
+// (zero-distance cycles) yet must still round-trip textually.
+func FuzzWriteReadLax(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 5, 2, 9, 3, 3, 0, 1, 1, 1, 2, 0, 2})
+	f.Add([]byte("some unstructured seed bytes \x00\xff\x80"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, g := fuzzGraph(data)
+		var buf bytes.Buffer
+		if err := Write(&buf, name, g); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		text := buf.String()
+
+		back, err := ReadLax(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("ReadLax rejected Write output: %v\n%s", err, text)
+		}
+		if len(back) != 1 {
+			t.Fatalf("ReadLax returned %d loops, want 1", len(back))
+		}
+		if back[0].Name != name {
+			t.Errorf("name %q became %q", name, back[0].Name)
+		}
+		got := back[0].Graph
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("shape changed: %d/%d nodes, %d/%d edges\n%s",
+				got.NumNodes(), g.NumNodes(), got.NumEdges(), g.NumEdges(), text)
+		}
+		for i, n := range g.Nodes {
+			if got.Nodes[i].Kind != n.Kind || got.Nodes[i].Name != n.Name {
+				t.Errorf("node %d: %v %q became %v %q", i, n.Kind, n.Name, got.Nodes[i].Kind, got.Nodes[i].Name)
+			}
+		}
+		for i, e := range g.Edges {
+			if got.Edges[i] != e {
+				t.Errorf("edge %d: %+v became %+v", i, e, got.Edges[i])
+			}
+		}
+
+		// Write is canonical: re-rendering the parsed graph reproduces
+		// the text byte for byte.
+		var again bytes.Buffer
+		if err := Write(&again, back[0].Name, got); err != nil {
+			t.Fatalf("re-Write: %v", err)
+		}
+		if again.String() != text {
+			t.Errorf("Write is not canonical:\nfirst:\n%s\nsecond:\n%s", text, again.String())
+		}
+	})
+}

@@ -1,0 +1,532 @@
+// Package server implements clusterd's HTTP JSON API: a long-running
+// scheduling service in front of the clustersched facade, with a
+// content-addressed result cache (package cache), bounded concurrency
+// with 429 backpressure, and cancellation threaded from the client
+// connection all the way into the II-escalation loop.
+//
+// Routes (see docs/SERVICE.md for the full reference):
+//
+//	POST /v1/schedule   schedule one loop (ddg text or loop source)
+//	POST /v1/batch      schedule every loop of a multi-loop payload
+//	POST /v1/lint       static analysis without scheduling
+//	GET  /healthz       liveness probe
+//	GET  /statsz        cache, request, and search-effort counters
+//
+// Identical schedule requests are served from the cache byte-for-byte:
+// the cache stores the encoded response body, and the X-Cache response
+// header says whether a request was a miss (this request ran the
+// pipeline), a hit (served from the store), or coalesced (shared the
+// result of a concurrent identical request).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersched"
+	"clustersched/internal/cache"
+	"clustersched/internal/cli"
+	"clustersched/internal/ddgio"
+	"clustersched/internal/diag"
+	"clustersched/internal/frontend"
+	"clustersched/internal/lint"
+	"clustersched/internal/obs"
+	"clustersched/internal/pool"
+)
+
+// maxBodyBytes bounds every request body.
+const maxBodyBytes = 16 << 20
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// recorded when the client disconnected before its schedule finished.
+// The client never sees it — the connection is gone — but it keeps the
+// handler's accounting honest.
+const StatusClientClosedRequest = 499
+
+// Config tunes a Server. The zero value is usable: default cache
+// budget, no per-request timeout, GOMAXPROCS-derived concurrency.
+type Config struct {
+	// CacheBytes is the result cache budget (cache.DefaultMaxBytes
+	// when <= 0).
+	CacheBytes int64
+	// Timeout bounds each schedule's wall-clock time via the facade's
+	// WithTimeout; zero means the client connection is the only bound.
+	Timeout time.Duration
+	// MaxInflight caps concurrently admitted requests; excess requests
+	// are rejected with 429 (4 x GOMAXPROCS when <= 0).
+	MaxInflight int
+	// Workers is the batch fan-out width (GOMAXPROCS when <= 0).
+	Workers int
+	// Observer, when set, receives the trace events of every pipeline
+	// run the server executes. It is shared across concurrent runs and
+	// must be safe for concurrent use.
+	Observer obs.Observer
+}
+
+// Server is the daemon's http.Handler. Create one with New.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	requests  atomic.Int64
+	scheduled atomic.Int64
+	rejected  atomic.Int64
+
+	mu    sync.Mutex
+	sched obs.Stats
+}
+
+// New builds a Server ready to serve.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheBytes),
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc(apiPrefix+"/schedule", s.handleSchedule)
+	s.mux.HandleFunc(apiPrefix+"/batch", s.handleBatch)
+	s.mux.HandleFunc(apiPrefix+"/lint", s.handleLint)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// CacheStats exposes the result cache counters (also on /statsz).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// acquire admits a request into the bounded in-flight set, or reports
+// backpressure.
+func (s *Server) acquire() (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		s.rejected.Add(1)
+		return nil, false
+	}
+}
+
+func (s *Server) addSchedStats(st obs.Stats) {
+	s.mu.Lock()
+	s.sched.Add(st)
+	s.mu.Unlock()
+}
+
+// schedSnapshot returns the aggregated search-effort counters.
+func (s *Server) schedSnapshot() obs.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError renders err as a JSON error body, surfacing structured
+// lint findings when the error carries a *diag.List.
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	var list *diag.List
+	if errors.As(err, &list) {
+		resp.Diagnostics = list.Diags
+	}
+	writeJSON(w, status, resp)
+}
+
+// scheduleErrorStatus maps a failed schedule to its HTTP status:
+// cancellation from the client connection, deadline from the
+// per-request timeout, anything else is an unprocessable input (lint
+// findings, II search exhausted).
+func scheduleErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// scheduleJob is one resolved schedule request: the loop, the machine,
+// the facade options, and the cache identity.
+type scheduleJob struct {
+	name        string
+	machineSpec string
+	graph       *clustersched.Graph
+	machine     *clustersched.Machine
+	options     []clustersched.Option
+	key         string
+}
+
+// resolveCommon parses the machine spec and option names shared by
+// schedule and batch requests, returning the facade options and the
+// option part of the cache identity.
+func (s *Server) resolveCommon(machineSpec, variant, scheduler string, budget, slack int) (*clustersched.Machine, []clustersched.Option, []string, error) {
+	if machineSpec == "" {
+		return nil, nil, nil, errors.New("machine spec is required")
+	}
+	m, err := cli.ParseMachine(machineSpec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var opts []clustersched.Option
+	if variant == "" {
+		variant = "heuristic-iterative"
+	}
+	v, err := cli.ParseVariant(variant)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts = append(opts, clustersched.WithVariant(v))
+	if scheduler == "" {
+		scheduler = "ims"
+	}
+	sch, err := cli.ParseScheduler(scheduler)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts = append(opts, clustersched.WithScheduler(clustersched.Scheduler(sch)))
+	if budget > 0 {
+		opts = append(opts, clustersched.WithBudget(budget))
+	}
+	if slack > 0 {
+		opts = append(opts, clustersched.WithMaxIISlack(slack))
+	}
+	if s.cfg.Timeout > 0 {
+		opts = append(opts, clustersched.WithTimeout(s.cfg.Timeout))
+	}
+	if s.cfg.Observer != nil {
+		opts = append(opts, clustersched.WithObserver(s.cfg.Observer))
+	}
+	// The cache identity must cover everything that changes the
+	// response body; the timeout and observer do not.
+	id := []string{
+		strings.ToLower(variant),
+		strings.ToLower(scheduler),
+		fmt.Sprintf("budget=%d", budget),
+		fmt.Sprintf("slack=%d", slack),
+	}
+	return m, opts, id, nil
+}
+
+// parseLoops loads the request's loops from exactly one of the ddg
+// text or loop-language payloads.
+func parseLoops(ddgText, source string) ([]ddgio.NamedGraph, error) {
+	switch {
+	case ddgText != "" && source != "":
+		return nil, errors.New("give either ddg or source, not both")
+	case ddgText != "":
+		loops, err := ddgio.Read(strings.NewReader(ddgText))
+		if err != nil {
+			return nil, err
+		}
+		if len(loops) == 0 {
+			return nil, errors.New("ddg payload contains no loops")
+		}
+		return loops, nil
+	case source != "":
+		compiled, err := frontend.Compile(source)
+		if err != nil {
+			return nil, err
+		}
+		loops := make([]ddgio.NamedGraph, len(compiled))
+		for i, l := range compiled {
+			loops[i] = ddgio.NamedGraph{Name: l.Name, Graph: l.Graph}
+		}
+		return loops, nil
+	default:
+		return nil, errors.New("give a loop as ddg text or loop source")
+	}
+}
+
+// buildJob resolves one loop into a runnable, cacheable job.
+func (s *Server) buildJob(name, machineSpec string, loop ddgio.NamedGraph, m *clustersched.Machine, opts []clustersched.Option, optID []string) scheduleJob {
+	if name == "" {
+		name = loop.Name
+	}
+	if name == "" {
+		name = "loop"
+	}
+	id := append([]string{name}, optID...)
+	return scheduleJob{
+		name:        name,
+		machineSpec: machineSpec,
+		graph:       loop.Graph,
+		machine:     m,
+		options:     opts,
+		key:         cache.Key(loop.Graph, m, id...),
+	}
+}
+
+// ResponseFor flattens a finished schedule into the API response
+// shape. It is also what schedview -json prints, so offline and
+// service output stay field-compatible.
+func ResponseFor(name, machineSpec string, res *clustersched.Result) ScheduleResponse {
+	diags := res.Audit()
+	if diags == nil {
+		diags = []diag.Diagnostic{}
+	}
+	return ScheduleResponse{
+		Name:        name,
+		Machine:     machineSpec,
+		II:          res.II,
+		MII:         res.MII,
+		Copies:      res.Copies,
+		Stages:      res.Stages(),
+		ClusterOf:   res.ClusterOf,
+		CycleOf:     res.CycleOf,
+		Kernel:      res.Kernel(),
+		Stats:       res.Stats(),
+		Diagnostics: diags,
+	}
+}
+
+// runJob serves one job through the cache: on a miss it runs the full
+// pipeline under ctx (so a dead client connection aborts the II
+// search), audits the schedule, and stores the encoded response.
+func (s *Server) runJob(ctx context.Context, job scheduleJob) ([]byte, cache.Source, error) {
+	return s.cache.GetOrCompute(ctx, job.key, func(ctx context.Context) ([]byte, error) {
+		res, err := clustersched.ScheduleContext(ctx, job.graph, job.machine, job.options...)
+		if err != nil {
+			return nil, err
+		}
+		s.scheduled.Add(1)
+		s.addSchedStats(res.Stats())
+		return json.Marshal(ResponseFor(job.name, job.machineSpec, res))
+	})
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.requests.Add(1)
+	release, ok := s.acquire()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("server at max in-flight requests"))
+		return
+	}
+	defer release()
+
+	var req ScheduleRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, opts, optID, err := s.resolveCommon(req.Machine, req.Variant, req.Scheduler, req.BudgetPerNode, req.MaxIISlack)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	loops, err := parseLoops(req.DDG, req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if len(loops) != 1 {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("schedule takes exactly one loop, got %d (use /v1/batch)", len(loops)))
+		return
+	}
+	job := s.buildJob(req.Name, req.Machine, loops[0], m, opts, optID)
+	body, src, err := s.runJob(r.Context(), job)
+	if err != nil {
+		writeError(w, scheduleErrorStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", src.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.requests.Add(1)
+	release, ok := s.acquire()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("server at max in-flight requests"))
+		return
+	}
+	defer release()
+
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, opts, optID, err := s.resolveCommon(req.Machine, req.Variant, req.Scheduler, req.BudgetPerNode, req.MaxIISlack)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	loops, err := parseLoops(req.DDG, req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	items := make([]BatchItem, len(loops))
+	var hits atomic.Int64
+	ctx := r.Context()
+	perr := pool.ForEach(ctx, len(loops), s.cfg.Workers, func(i int) {
+		job := s.buildJob("", req.Machine, loops[i], m, opts, optID)
+		items[i].Name = job.name
+		body, src, err := s.runJob(ctx, job)
+		if err != nil {
+			items[i].Error = err.Error()
+			return
+		}
+		items[i].Result = json.RawMessage(body)
+		if src != cache.Miss {
+			items[i].Cached = true
+			hits.Add(1)
+		}
+	})
+	if perr != nil {
+		writeError(w, scheduleErrorStatus(perr), perr)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items, CacheHits: int(hits.Load())})
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.requests.Add(1)
+	var req LintRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.DDG == "" && req.Source == "" && req.Machine == "" {
+		writeError(w, http.StatusBadRequest, errors.New("nothing to lint: give ddg, source, or machine"))
+		return
+	}
+	diags := []diag.Diagnostic{}
+	if req.Source != "" {
+		diags = append(diags, lintSource("<source>", req.Source)...)
+	}
+	if req.DDG != "" {
+		loops, err := ddgio.ReadLax(strings.NewReader(req.DDG))
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		for _, l := range loops {
+			for _, d := range lint.Graph(l.Graph) {
+				d.File = "<ddg>"
+				if d.Subject == "" {
+					d.Subject = "loop " + l.Name
+				} else {
+					d.Subject = "loop " + l.Name + ", " + d.Subject
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	if req.Machine != "" {
+		for _, spec := range strings.Split(req.Machine, ",") {
+			m, err := cli.ParseMachine(strings.TrimSpace(spec))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			diags = append(diags, lint.Machine(m)...)
+		}
+	}
+	writeJSON(w, http.StatusOK, LintResponse{Diagnostics: diags, Errors: diag.CountErrors(diags)})
+}
+
+// lintSource mirrors clusterlint's loop-source pass: the AST lint
+// first, then the graph lint over every loop that compiles.
+func lintSource(path, src string) []diag.Diagnostic {
+	diags := lint.Source(path, src)
+	if diag.CountErrors(diags) > 0 {
+		return diags
+	}
+	loops, err := frontend.Compile(src)
+	if err != nil {
+		return append(diags, diag.Diagnostic{
+			Code: lint.CodeParseError, Severity: diag.Error,
+			File: path, Message: err.Error(),
+		})
+	}
+	for _, l := range loops {
+		for _, d := range lint.Graph(l.Graph) {
+			d.File = path
+			if d.Subject == "" {
+				d.Subject = "loop " + l.Name
+			} else {
+				d.Subject = "loop " + l.Name + ", " + d.Subject
+			}
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Scheduled:     s.scheduled.Load(),
+		Rejected:      s.rejected.Load(),
+		Inflight:      len(s.sem),
+		Cache:         s.cache.Stats(),
+		Sched:         s.schedSnapshot(),
+	})
+}

@@ -14,3 +14,23 @@ echo "bench: wrote $OUT"
 # The Go benchmarks for the zero-cost observer path; BenchmarkSchedule
 # (no observer) against BenchmarkScheduleObserved is the overhead.
 go test -run xxx -bench 'BenchmarkSchedule$|BenchmarkScheduleObserved$' -benchtime 300x .
+
+# Daemon benchmark: replay the suite against a freshly started
+# clusterd (cold pass, then a fully cached pass) and record the
+# cached-vs-uncached throughput in BENCH_server.json.
+SERVER_OUT="BENCH_server.json"
+SERVER_LOG="$(mktemp)"
+go build -o "${TMPDIR:-/tmp}/clusterd.bench" ./cmd/clusterd
+"${TMPDIR:-/tmp}/clusterd.bench" -addr 127.0.0.1:0 > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+URL=""
+for _ in $(seq 1 50); do
+    URL="$(sed -n 's/^clusterd: listening on \(http:.*\)$/\1/p' "$SERVER_LOG")"
+    [ -n "$URL" ] && break
+    sleep 0.1
+done
+[ -n "$URL" ] || { echo "bench: clusterd did not start"; cat "$SERVER_LOG"; exit 1; }
+go run ./cmd/clusterbench -server "$URL" -count "$COUNT" > "$SERVER_OUT"
+kill "$SERVER_PID"
+echo "bench: wrote $SERVER_OUT"

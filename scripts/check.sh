@@ -8,7 +8,8 @@ go build ./...
 go vet ./...
 go test ./...
 # Race pass over every package that runs goroutines (worker pools,
-# shared observers) plus the public API that feeds them.
-go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ .
+# shared observers, the daemon and its cache) plus the public API that
+# feeds them.
+go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ .
 sh scripts/lint.sh
 echo "check: OK"
