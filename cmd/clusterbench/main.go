@@ -12,6 +12,8 @@
 //	clusterbench -stats          # add search-effort statistics per row
 //	clusterbench -trace ev.json  # stream every pipeline event as JSON lines
 //	clusterbench -benchjson      # time the pipeline over the suite, emit JSON
+//	clusterbench -assignjson     # time cluster assignment alone, emit JSON
+//	clusterbench -cpuprofile p.out -assignjson   # profile a run with pprof
 //	clusterbench -server http://127.0.0.1:8425   # replay the suite against clusterd
 //
 // Ctrl-C cancels the run: in-flight loops finish, no new work starts,
@@ -25,7 +27,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"clustersched/internal/assign"
@@ -38,6 +43,7 @@ import (
 	livermorepkg "clustersched/internal/livermore"
 	"clustersched/internal/loopgen"
 	"clustersched/internal/machine"
+	"clustersched/internal/mii"
 	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
 	"clustersched/internal/report"
@@ -46,23 +52,31 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment ID to run (fig12..fig19, table3, grid); empty = all")
-		seed      = flag.Int64("seed", 1, "loop suite seed")
-		count     = flag.Int("count", loopgen.DefaultCount, "number of loops in the suite")
-		scheduler = flag.String("scheduler", "ims", "phase-two scheduler: ims or sms")
-		table1    = flag.Bool("table1", false, "print Table 1 loop statistics and exit")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		ext       = flag.Bool("ext", false, "run the extension experiments (ablations, ring topology) instead of the paper set")
-		registers = flag.Bool("registers", false, "run the register-pressure study and exit")
-		csv       = flag.Bool("csv", false, "emit results as CSV instead of tables")
-		livermore = flag.Bool("livermore", false, "run the real Livermore-kernel study and exit")
-		markdown  = flag.Bool("markdown", false, "emit a full Markdown reproduction report (-ext adds the extension sections)")
-		statsFlag = flag.Bool("stats", false, "collect search-effort statistics and print them per row (implied by -trace)")
-		trace     = flag.String("trace", "", "write a JSON-lines event stream of every pipeline run to this file (- for stderr)")
-		benchjson = flag.Bool("benchjson", false, "time the pipeline over the suite and emit a JSON summary (ns/op plus aggregated stats) on stdout")
-		serverURL = flag.String("server", "", "replay the suite against a running clusterd at this base URL (cold pass then cached pass) and emit a JSON summary")
+		exp        = flag.String("exp", "", "experiment ID to run (fig12..fig19, table3, grid); empty = all")
+		seed       = flag.Int64("seed", 1, "loop suite seed")
+		count      = flag.Int("count", loopgen.DefaultCount, "number of loops in the suite")
+		scheduler  = flag.String("scheduler", "ims", "phase-two scheduler: ims or sms")
+		table1     = flag.Bool("table1", false, "print Table 1 loop statistics and exit")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		ext        = flag.Bool("ext", false, "run the extension experiments (ablations, ring topology) instead of the paper set")
+		registers  = flag.Bool("registers", false, "run the register-pressure study and exit")
+		csv        = flag.Bool("csv", false, "emit results as CSV instead of tables")
+		livermore  = flag.Bool("livermore", false, "run the real Livermore-kernel study and exit")
+		markdown   = flag.Bool("markdown", false, "emit a full Markdown reproduction report (-ext adds the extension sections)")
+		statsFlag  = flag.Bool("stats", false, "collect search-effort statistics and print them per row (implied by -trace)")
+		trace      = flag.String("trace", "", "write a JSON-lines event stream of every pipeline run to this file (- for stderr)")
+		benchjson  = flag.Bool("benchjson", false, "time the pipeline over the suite and emit a JSON summary (ns/op plus aggregated stats) on stdout")
+		serverURL  = flag.String("server", "", "replay the suite against a running clusterd at this base URL (cold pass then cached pass) and emit a JSON summary")
+		assignjson = flag.Bool("assignjson", false, "time cluster assignment alone (no scheduling) over the suite on several machines and emit a JSON summary")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -105,6 +119,13 @@ func main() {
 
 	if *benchjson {
 		if err := benchJSON(ctx, loops, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *assignjson {
+		if err := assignJSON(ctx, loops); err != nil {
 			fatal(err)
 		}
 		return
@@ -353,7 +374,118 @@ func serverReplay(ctx context.Context, baseURL string, loops []*ddg.Graph, sched
 	return enc.Encode(summary)
 }
 
+// assignJSON times cluster assignment alone — no modulo scheduling —
+// over the synthetic suite at each loop's MII, on the machine shapes
+// the assignment benchmarks cover (broadcast 2- and 4-cluster, the
+// point-to-point grid). The per-machine rows include the incremental
+// engine's work counters: assign_deltas / assign_full_derives is the
+// measure of derive work saved. scripts/bench.sh redirects this into
+// BENCH_assign.json.
+func assignJSON(ctx context.Context, loops []*ddg.Graph) error {
+	type row struct {
+		Machine     string `json:"machine"`
+		Loops       int    `json:"loops"`
+		Assigned    int    `json:"assigned"`
+		TotalNS     int64  `json:"total_ns"`
+		NSPerOp     int64  `json:"ns_per_op"`
+		Commits     int    `json:"assign_commits"`
+		Evictions   int    `json:"evictions"`
+		Deltas      int    `json:"assign_deltas"`
+		FullDerives int    `json:"assign_full_derives"`
+	}
+	machines := []*machine.Config{
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedGP(4, 4, 2),
+		machine.NewGrid4(2),
+	}
+	summary := struct {
+		Name string `json:"name"`
+		Rows []row  `json:"rows"`
+	}{Name: "assign_suite"}
+	for _, m := range machines {
+		iis := make([]int, len(loops))
+		for i, g := range loops {
+			iis[i] = mii.MII(g, m)
+		}
+		tr := obs.New(ctx, nil, true)
+		assigned := 0
+		start := time.Now()
+		for i, g := range loops {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if _, ok := assign.Run(g, m, iis[i], assign.Options{
+				Variant: assign.HeuristicIterative, Trace: tr,
+			}); ok {
+				assigned++
+			}
+		}
+		elapsed := time.Since(start)
+		r := row{
+			Machine:     m.Name,
+			Loops:       len(loops),
+			Assigned:    assigned,
+			TotalNS:     elapsed.Nanoseconds(),
+			Commits:     tr.Stats.AssignCommits,
+			Evictions:   tr.Stats.Evictions,
+			Deltas:      tr.Stats.AssignDeltas,
+			FullDerives: tr.Stats.AssignFullDerives,
+		}
+		if assigned > 0 {
+			r.NSPerOp = elapsed.Nanoseconds() / int64(assigned)
+		}
+		summary.Rows = append(summary.Rows, r)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(summary)
+}
+
+// Profile teardown must also run on the fatal() paths, hence the
+// explicit hook instead of relying on main's defer alone.
+var (
+	profileOnce sync.Once
+	profileStop = func() {}
+)
+
+func startProfiles(cpu, mem string) error {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+	profileStop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	return nil
+}
+
+func stopProfiles() { profileOnce.Do(profileStop) }
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

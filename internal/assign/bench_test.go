@@ -41,6 +41,38 @@ func BenchmarkAssignGrid(b *testing.B) {
 	benchAssign(b, machine.NewGrid4(2), HeuristicIterative)
 }
 
+// BenchmarkAssignRing exercises the chained point-to-point path: a
+// six-cluster ring where remote values forward over multi-hop link
+// routes.
+func BenchmarkAssignRing(b *testing.B) {
+	benchAssign(b, machine.NewRing(6, 2), HeuristicIterative)
+}
+
+// BenchmarkAssignHighBacktracking starves the copy fabric (one bus,
+// single ports across four clusters) so forced placement and eviction
+// dominate — the worst case for the incremental engine, which must
+// resynchronize with a full rebuild after every forced placement.
+func BenchmarkAssignHighBacktracking(b *testing.B) {
+	benchAssign(b, machine.NewBusedGP(4, 1, 1), HeuristicIterative)
+}
+
+// BenchmarkAssign4ClusterReference runs the scratch-derive reference
+// implementation on the 4-cluster workload, quantifying in-tree what
+// the incremental engine saves.
+func BenchmarkAssign4ClusterReference(b *testing.B) {
+	m := machine.NewBusedGP(4, 4, 2)
+	loops := loopgen.Suite(loopgen.Options{Seed: 1, Count: 64})
+	iis := make([]int, len(loops))
+	for i, g := range loops {
+		iis[i] = mii.MII(g, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := loops[i%len(loops)]
+		Run(g, m, iis[i%len(loops)], Options{Variant: HeuristicIterative, scratchEval: true})
+	}
+}
+
 // BenchmarkAssignLargeLoop isolates the cost on the suite's biggest
 // graphs (around 160 operations).
 func BenchmarkAssignLargeLoop(b *testing.B) {

@@ -1,0 +1,421 @@
+package assign
+
+import (
+	"fmt"
+
+	"clustersched/internal/machine"
+	"clustersched/internal/mrt"
+)
+
+// engine is the incremental counterpart of derive(): it maintains the
+// capacity table, the copy structure, and the per-cluster PCR/PIC
+// aggregates as a function of the cluster vector, updating all of them
+// in O(degree) when a single node is assigned or removed instead of
+// replaying the whole graph.
+//
+// The central fact the engine exploits is that the copy structure is a
+// pure, deterministic function of the cluster vector: derive() visits
+// producers in ID order with target clusters ascending, and on
+// point-to-point machines routes over a fixed BFS tree per source
+// cluster (machine.Path is deterministic, so every cluster reached
+// from a given source is always reached over the same tree edge).
+// Changing node n's assignment therefore only changes the records of
+// producers in {n} ∪ Predecessors(n) — everyone else's remote-consumer
+// set is untouched — and a producer's record set only ever grows when
+// a consumer becomes assigned (hop sets are unions over target paths).
+// That monotonicity makes the remove-then-replace delta of apply()
+// component-wise non-negative, so the incremental placement succeeds
+// exactly when a scratch derive of the new vector would: feasibility,
+// copy counts, and record contents are byte-identical to the oracle,
+// which the differential tests assert.
+//
+// Invariants between calls (checked by the engine invariant test):
+//
+//	cap          == capacity table derive() would build
+//	recs/tgts[p] == derive()'s records for producer p, in order
+//	copies       == Σ len(recs[p])
+//	usc[n]       == distinct successors of n still unassigned
+//	contrib[n]   == n's term of pcr(): min(upperBound(rc), usc[n]),
+//	                0 when n is unassigned
+//	pcrSum[cl]   == pcr(cl)  (sum of contrib over nodes on cl)
+//	inRef[cl][q] == assigned nodes on cl having q as predecessor
+//	picCnt[cl]   == pic(cl)  (unassigned q with inRef[cl][q] > 0)
+type engine struct {
+	a   *assigner
+	cap *mrt.Capacity
+
+	copies int
+	recs   [][]eRecord
+	tgts   [][]int // backing store for record targets, per producer
+
+	usc     []int
+	contrib []int
+	pcrSum  []int
+	inRef   []int // [cl*numNodes+q]
+	picCnt  []int
+
+	// Epoch-stamped scratch (no clearing between uses).
+	tgtMark []int // per cluster: computeTargets dedup
+	tEpoch  int
+	avMark  []int // per cluster: copy-routing availability
+	avEpoch int
+	tBuf    []int // computeTargets result, capacity NumClusters
+}
+
+// eRecord is one reserved copy operation of a producer: sourced on
+// cluster src, writing to the record's targets, which live at
+// tgts[p][off:off+n]. link is -1 on broadcast machines.
+type eRecord struct {
+	src  int
+	link int
+	off  int
+	n    int
+}
+
+// newEngine builds an engine for a's (initially empty) assignment.
+func newEngine(a *assigner) *engine {
+	v := a.g.NumNodes()
+	c := a.m.NumClusters()
+	e := &engine{
+		a:       a,
+		cap:     mrt.NewCapacity(a.m, a.ii),
+		recs:    make([][]eRecord, v),
+		tgts:    make([][]int, v),
+		usc:     make([]int, v),
+		contrib: make([]int, v),
+		pcrSum:  make([]int, c),
+		inRef:   make([]int, c*v),
+		picCnt:  make([]int, c),
+		tgtMark: make([]int, c),
+		avMark:  make([]int, c),
+		tBuf:    make([]int, 0, c),
+	}
+	e.cap.EnableJournal()
+	if !e.rebuild() {
+		panic("assign: engine rebuild failed on empty assignment")
+	}
+	return e
+}
+
+// targets returns record r's target clusters (aliasing the engine's
+// backing store).
+func (e *engine) targets(p int, r eRecord) []int { return e.tgts[p][r.off : r.off+r.n] }
+
+// apply tentatively assigns node n to cluster cl, updating capacity,
+// copy records, and aggregates. It reports false — leaving every
+// structure exactly as before — when the operation or its implied
+// copies do not fit. Cost is O(deg(n) + Σ deg(affected producers)).
+func (e *engine) apply(n, cl int) bool {
+	a := e.a
+	e.cap.JournalReset()
+	if !e.cap.PlaceOp(cl, a.g.Nodes[n].Kind) {
+		return false
+	}
+	a.cluster[n] = cl
+	saved := e.copies
+	ok := e.replaceCopies(n)
+	if ok {
+		for _, q := range a.predsOf(n) {
+			if q == n || a.cluster[q] < 0 {
+				continue
+			}
+			if !e.replaceCopies(q) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		// Undo: the journal restores every capacity counter touched
+		// since JournalReset (including the op itself), and the
+		// records of the affected producers are recomputed from the
+		// restored vector — they are a pure function of it.
+		a.cluster[n] = -1
+		e.cap.JournalRollback(0)
+		e.copies = saved
+		e.fillRecords(n)
+		for _, q := range a.predsOf(n) {
+			if q != n && a.cluster[q] >= 0 {
+				e.fillRecords(q)
+			}
+		}
+		return false
+	}
+
+	// Aggregates. Order matters for self-edges: n first stops being an
+	// unassigned producer (pre-assignment refs), then contributes its
+	// own predecessor refs with cluster[n] already set, so a self-loop
+	// never re-counts n as unassigned.
+	v := a.g.NumNodes()
+	for c := 0; c < a.m.NumClusters(); c++ {
+		if e.inRef[c*v+n] > 0 {
+			e.picCnt[c]--
+		}
+	}
+	for _, q := range a.predsOf(n) {
+		idx := cl*v + q
+		e.inRef[idx]++
+		if e.inRef[idx] == 1 && a.cluster[q] < 0 {
+			e.picCnt[cl]++
+		}
+		e.usc[q]--
+	}
+	for _, q := range a.predsOf(n) {
+		if q != n && a.cluster[q] >= 0 {
+			e.refreshContrib(q)
+		}
+	}
+	e.refreshContrib(n)
+	return true
+}
+
+// remove unassigns node n (which must be assigned), the exact inverse
+// of apply. It cannot fail: the remaining copies are a subset of what
+// already fit.
+func (e *engine) remove(n int) {
+	a := e.a
+	cl := a.cluster[n]
+	v := a.g.NumNodes()
+
+	// Aggregates, mirroring apply in reverse order.
+	e.pcrSum[cl] -= e.contrib[n]
+	e.contrib[n] = 0
+	for _, q := range a.predsOf(n) {
+		idx := cl*v + q
+		e.inRef[idx]--
+		if e.inRef[idx] == 0 && a.cluster[q] < 0 {
+			e.picCnt[cl]--
+		}
+		e.usc[q]++
+	}
+	for c := 0; c < a.m.NumClusters(); c++ {
+		if e.inRef[c*v+n] > 0 {
+			e.picCnt[c]++
+		}
+	}
+
+	e.removeCopies(n)
+	for _, q := range a.predsOf(n) {
+		if q == n || a.cluster[q] < 0 {
+			continue
+		}
+		e.removeCopies(q)
+	}
+	e.cap.RemoveOp(cl, a.g.Nodes[n].Kind)
+	a.cluster[n] = -1
+	for _, q := range a.predsOf(n) {
+		if q == n || a.cluster[q] < 0 {
+			continue
+		}
+		added := e.walk(q, true)
+		if added < 0 {
+			panic("assign: engine re-place failed while removing a node")
+		}
+		e.copies += added
+		e.refreshContrib(q)
+	}
+}
+
+// replaceCopies re-derives producer p's copy records after one of its
+// consumers changed cluster: remove the old reservations, place the
+// new set. Reports false when the new set does not fit (the caller
+// rolls back via the journal).
+func (e *engine) replaceCopies(p int) bool {
+	e.removeCopies(p)
+	added := e.walk(p, true)
+	if added < 0 {
+		return false
+	}
+	e.copies += added
+	return true
+}
+
+// removeCopies releases and forgets all of p's copy records.
+func (e *engine) removeCopies(p int) {
+	if len(e.recs[p]) == 0 {
+		return
+	}
+	for _, r := range e.recs[p] {
+		if r.link < 0 {
+			e.cap.RemoveBroadcastCopy(r.src, e.targets(p, r))
+		} else {
+			e.cap.RemoveLinkCopy(r.src, e.tgts[p][r.off], r.link)
+		}
+	}
+	e.copies -= len(e.recs[p])
+	e.recs[p] = e.recs[p][:0]
+	e.tgts[p] = e.tgts[p][:0]
+}
+
+// fillRecords recomputes p's records from the cluster vector without
+// touching the capacity table, used to restore after a rollback.
+func (e *engine) fillRecords(p int) {
+	e.recs[p] = e.recs[p][:0]
+	e.tgts[p] = e.tgts[p][:0]
+	if e.a.cluster[p] < 0 {
+		return
+	}
+	if e.walk(p, false) < 0 {
+		panic("assign: engine record restore failed on consistent state")
+	}
+}
+
+// walk derives p's copy records exactly as derive() would — targets
+// ascending, routed over the precomputed BFS paths — appending to
+// recs[p]/tgts[p], which must be empty. With place set it also charges
+// the capacity table and reports -1 when a reservation fails (or a
+// target is unreachable); otherwise it returns the number of records
+// appended. The caller is responsible for adding that to e.copies.
+func (e *engine) walk(p int, place bool) int {
+	a := e.a
+	src := a.cluster[p]
+	targets := e.computeTargets(p)
+	if len(targets) == 0 {
+		return 0
+	}
+	if a.m.Network == machine.Broadcast {
+		if place && !e.cap.PlaceBroadcastCopy(src, targets) {
+			return -1
+		}
+		off := len(e.tgts[p])
+		e.tgts[p] = append(e.tgts[p], targets...)
+		e.recs[p] = append(e.recs[p], eRecord{src: src, link: -1, off: off, n: len(targets)})
+		return 1
+	}
+	e.avEpoch++
+	e.avMark[src] = e.avEpoch
+	added := 0
+	for _, t := range targets {
+		if e.avMark[t] == e.avEpoch {
+			continue
+		}
+		path := a.pathOf(src, t)
+		if path == nil {
+			return -1
+		}
+		for i := 0; i+1 < len(path); i++ {
+			u, w := path[i], path[i+1]
+			if e.avMark[w] == e.avEpoch {
+				continue
+			}
+			li := a.linkOf(u, w)
+			if place && !e.cap.PlaceLinkCopy(u, w, li) {
+				return -1
+			}
+			e.avMark[w] = e.avEpoch
+			off := len(e.tgts[p])
+			e.tgts[p] = append(e.tgts[p], w)
+			e.recs[p] = append(e.recs[p], eRecord{src: u, link: li, off: off, n: 1})
+			added++
+		}
+	}
+	return added
+}
+
+// computeTargets returns the distinct clusters (ascending) holding
+// assigned consumers of p, in a buffer valid until the next call.
+func (e *engine) computeTargets(p int) []int {
+	a := e.a
+	home := a.cluster[p]
+	e.tEpoch++
+	buf := e.tBuf[:0]
+	for _, s := range a.succsOf(p) {
+		c := a.cluster[s]
+		if c < 0 || c == home || e.tgtMark[c] == e.tEpoch {
+			continue
+		}
+		e.tgtMark[c] = e.tEpoch
+		buf = append(buf, c)
+	}
+	insertionSort(buf)
+	e.tBuf = buf
+	return buf
+}
+
+// refreshContrib recomputes assigned node v's PCR term after its copy
+// count or unassigned-successor count changed, folding the difference
+// into its cluster's aggregate.
+func (e *engine) refreshContrib(v int) {
+	cl := e.a.cluster[v]
+	if cl < 0 {
+		panic(fmt.Sprintf("assign: refreshContrib on unassigned node %d", v))
+	}
+	nc := 0
+	if e.usc[v] > 0 {
+		nc = e.a.upperBound(len(e.recs[v]))
+		if e.usc[v] < nc {
+			nc = e.usc[v]
+		}
+	}
+	e.pcrSum[cl] += nc - e.contrib[v]
+	e.contrib[v] = nc
+}
+
+// rebuild recomputes everything from the cluster vector, the engine's
+// own full derive. It runs at construction and after forced placement
+// rewrites the vector behind the engine's back, and reports false when
+// the vector is infeasible (callers only invoke it on consistent
+// state). Counted as a full derive by the work-saved counters.
+func (e *engine) rebuild() bool {
+	a := e.a
+	a.opts.Trace.AssignFullDerive()
+	e.cap.Reset()
+	e.copies = 0
+	for p := range e.recs {
+		e.recs[p] = e.recs[p][:0]
+		e.tgts[p] = e.tgts[p][:0]
+	}
+	v := a.g.NumNodes()
+	c := a.m.NumClusters()
+	for n := 0; n < v; n++ {
+		if cl := a.cluster[n]; cl >= 0 {
+			if !e.cap.PlaceOp(cl, a.g.Nodes[n].Kind) {
+				return false
+			}
+		}
+	}
+	for p := 0; p < v; p++ {
+		if a.cluster[p] < 0 {
+			continue
+		}
+		added := e.walk(p, true)
+		if added < 0 {
+			return false
+		}
+		e.copies += added
+	}
+	for i := range e.inRef {
+		e.inRef[i] = 0
+	}
+	for i := 0; i < c; i++ {
+		e.pcrSum[i], e.picCnt[i] = 0, 0
+	}
+	for n := 0; n < v; n++ {
+		e.usc[n], e.contrib[n] = 0, 0
+	}
+	for n := 0; n < v; n++ {
+		for _, s := range a.succsOf(n) {
+			if a.cluster[s] < 0 {
+				e.usc[n]++
+			}
+		}
+		if cl := a.cluster[n]; cl >= 0 {
+			for _, q := range a.predsOf(n) {
+				e.inRef[cl*v+q]++
+			}
+		}
+	}
+	for i := 0; i < c; i++ {
+		for q := 0; q < v; q++ {
+			if a.cluster[q] < 0 && e.inRef[i*v+q] > 0 {
+				e.picCnt[i]++
+			}
+		}
+	}
+	for n := 0; n < v; n++ {
+		if a.cluster[n] >= 0 {
+			e.refreshContrib(n)
+		}
+	}
+	return true
+}

@@ -84,6 +84,16 @@ type Options struct {
 	// assignment; the pipeline distinguishes cancellation by checking
 	// the context itself.
 	Trace *obs.Trace
+
+	// scratchEval disables the incremental engine and runs the whole
+	// assignment on the scratch-derive reference implementation. Test
+	// hook for the differential layer (engine_test.go), deliberately
+	// unexported: the engine is behavior-identical, so callers never
+	// need to choose.
+	scratchEval bool
+	// selfCheck runs both evaluators on every node and panics on the
+	// first candidate-metric disagreement. Test hook.
+	selfCheck bool
 }
 
 // DefaultBudgetPerNode is the eviction budget multiplier used when

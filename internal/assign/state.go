@@ -1,17 +1,25 @@
 package assign
 
 import (
-	"sort"
-
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 	"clustersched/internal/mrt"
 )
 
 // assigner carries the mutable state of one assignment run at a fixed
-// II. The single source of truth is the cluster[] vector; resource use
-// and copy structure are derived from it, which makes node removal
-// (Section 4.3) trivially consistent: unassign and re-derive.
+// II. The single source of truth is the cluster[] vector. Resource use
+// and copy structure are maintained two ways:
+//
+//   - The incremental engine (engine.go) keeps a journaled capacity
+//     table, per-producer copy records, and per-cluster PCR/PIC
+//     aggregates, all updated in O(degree) when one node's cluster
+//     changes. The main evaluate/commit loop runs on it exclusively.
+//   - derive() recomputes everything from scratch. It is the reference
+//     oracle: forced placement uses it to attribute resource
+//     violations to victim candidates (the one place that needs a
+//     deterministic first-violation scan of an inconsistent
+//     assignment), and the differential tests replay whole runs on it
+//     to prove the engine byte-identical.
 type assigner struct {
 	g    *ddg.Graph
 	m    *machine.Config
@@ -24,7 +32,112 @@ type assigner struct {
 	prevMask  []uint64 // per node: clusters previously tried (selection A)
 	sccOf     []int    // per node: non-trivial SCC index or -1
 	budget    int
+
+	eng *engine // nil in reference (scratch) mode and in Materialize
+
+	// Adjacency, precomputed once at construction: the distinct sorted
+	// neighbour IDs ddg.Graph.Successors/Predecessors would return,
+	// flattened CSR-style so the hot loops index instead of allocate.
+	succAdj, succOff []int
+	predAdj, predOff []int
+
+	// sccMembers lists, per non-trivial SCC, its member node IDs in
+	// ascending order; sccOf indexes into it. Replaces the O(V) scan
+	// the old per-evaluate sccMates performed.
+	sccMembers [][]int
+
+	// Machine topology precomputes (clustered machines): BFS paths and
+	// link indices between every cluster pair, and the links incident
+	// to each cluster.
+	pathTab [][]int // [src*C+dst]: machine.Path result, nil if unreachable
+	linkTab []int   // [src*C+dst]: link index or -1
+	linksAt [][]int // [cluster]: incident link indices
+
+	// Reusable evaluate/selection buffers (allocation-free hot loop).
+	cands   []candidate
+	listBuf []int
+	fpBuf   []int
+
+	// Reusable derive scratch: epoch-stamped marks replacing the
+	// per-call map[int]bool sets, and owner/victim buffers reused
+	// across derives. A buffer's content is valid only until the next
+	// derive call, which is how every caller uses it.
+	fuOwners   [][]int
+	chMark     []int // per cluster: chained-copy availability epoch
+	chEpoch    int
+	victimMark []int // per node: copyVictims dedup epoch
+	vEpoch     int
+	victimBuf  []int
+	consBuf    []int
 }
+
+// newAssigner builds the run state: cluster vector, SCC index, CSR
+// adjacency, SCC member lists, machine topology tables, and — unless
+// the run is in reference mode — the incremental engine.
+func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigner {
+	a := &assigner{
+		g:         g,
+		m:         m,
+		ii:        ii,
+		opts:      opts,
+		cluster:   make([]int, g.NumNodes()),
+		assignSeq: make([]int, g.NumNodes()),
+		prevMask:  make([]uint64, g.NumNodes()),
+		budget:    opts.budget(g.NumNodes()),
+	}
+	for i := range a.cluster {
+		a.cluster[i] = -1
+	}
+	comps := g.NonTrivialSCCs()
+	a.sccOf = ddg.SCCIndex(g.NumNodes(), comps)
+	a.sccMembers = make([][]int, len(comps))
+	for i, c := range comps {
+		a.sccMembers[i] = c.Nodes
+	}
+
+	v := g.NumNodes()
+	a.succOff = make([]int, v+1)
+	a.predOff = make([]int, v+1)
+	for n := 0; n < v; n++ {
+		succ := g.Successors(n)
+		pred := g.Predecessors(n)
+		a.succAdj = append(a.succAdj, succ...)
+		a.predAdj = append(a.predAdj, pred...)
+		a.succOff[n+1] = len(a.succAdj)
+		a.predOff[n+1] = len(a.predAdj)
+	}
+
+	c := m.NumClusters()
+	a.pathTab = make([][]int, c*c)
+	a.linkTab = make([]int, c*c)
+	a.linksAt = make([][]int, c)
+	for i := 0; i < c; i++ {
+		a.linksAt[i] = m.LinksAt(i)
+		for j := 0; j < c; j++ {
+			a.pathTab[i*c+j] = m.Path(i, j)
+			a.linkTab[i*c+j] = m.LinkBetween(i, j)
+		}
+	}
+
+	a.cands = make([]candidate, c)
+	a.listBuf = make([]int, 0, c)
+	a.fpBuf = make([]int, 0, c)
+	a.fuOwners = make([][]int, c*int(machine.NumFUClasses))
+	a.chMark = make([]int, c)
+	a.victimMark = make([]int, v)
+	a.victimBuf = make([]int, 0, v)
+	a.consBuf = make([]int, 0, v)
+
+	if !opts.scratchEval && m.Clustered() {
+		a.eng = newEngine(a)
+	}
+	return a
+}
+
+// succsOf and predsOf return the precomputed distinct sorted
+// neighbours of n; the slices are owned by the assigner.
+func (a *assigner) succsOf(n int) []int { return a.succAdj[a.succOff[n]:a.succOff[n+1]] }
+func (a *assigner) predsOf(n int) []int { return a.predAdj[a.predOff[n]:a.predOff[n+1]] }
 
 // violationKind labels which resource class ran out during a derive.
 type violationKind int
@@ -39,7 +152,9 @@ const (
 )
 
 // violation identifies the first over-subscribed resource found while
-// deriving, with the nodes whose removal could relieve it.
+// deriving, with the nodes whose removal could relieve it. The
+// candidates slice is backed by a reusable buffer, valid until the
+// next derive.
 type violation struct {
 	kind       violationKind
 	cluster    int // for FU and port violations
@@ -64,72 +179,116 @@ type derived struct {
 	rc      []int // per node: copy operations generated for its value
 	copies  int   // total copy operations
 	records []copyRecord
+	arena   []int // backing store for record target lists
 }
 
-// remoteConsumers returns the distinct target clusters that need node
-// p's value, plus the assigned consumer IDs, given the cluster vector.
-func (a *assigner) remoteConsumers(p int) (clusters []int, consumers []int) {
+// remoteTargets appends to d.arena the distinct target clusters that
+// need node p's value (ascending) and returns the slice. Records keep
+// sub-slices of the arena; append-driven regrowth leaves earlier
+// slices pointing at the old backing array, whose contents are never
+// mutated, so they stay valid.
+func (a *assigner) remoteTargets(d *derived, p int) []int {
 	home := a.cluster[p]
-	seen := map[int]bool{}
-	for _, s := range a.g.Successors(p) {
+	start := len(d.arena)
+	for _, s := range a.succsOf(p) {
 		c := a.cluster[s]
 		if c < 0 || c == home {
 			continue
 		}
-		consumers = append(consumers, s)
-		if !seen[c] {
-			seen[c] = true
-			clusters = append(clusters, c)
+		dup := false
+		for _, t := range d.arena[start:] {
+			if t == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			d.arena = append(d.arena, c)
 		}
 	}
-	sort.Ints(clusters)
-	return clusters, consumers
+	targets := d.arena[start:]
+	insertionSort(targets)
+	return targets
+}
+
+// assignedRemoteConsumers returns the assigned consumers of p living
+// on other clusters, in a buffer valid until the next call.
+func (a *assigner) assignedRemoteConsumers(p int) []int {
+	home := a.cluster[p]
+	out := a.consBuf[:0]
+	for _, s := range a.succsOf(p) {
+		c := a.cluster[s]
+		if c >= 0 && c != home {
+			out = append(out, s)
+		}
+	}
+	a.consBuf = out
+	return out
+}
+
+// insertionSort sorts the (small: at most one entry per cluster) slice
+// ascending without allocating.
+func insertionSort(x []int) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
 }
 
 // derive recomputes resource usage and copy structure from scratch.
 // Operations are placed in node-ID order and producers visited in ID
 // order with target clusters ascending, the same deterministic order
 // used when materializing the annotated graph, so the capacity
-// accounting and the final graph always agree.
+// accounting and the final graph always agree. This is the reference
+// the incremental engine is differentially tested against, and the
+// attribution path forced placement uses on inconsistent assignments.
 func (a *assigner) derive() *derived {
+	a.opts.Trace.AssignFullDerive()
 	d := &derived{
 		cap: mrt.NewCapacity(a.m, a.ii),
 		rc:  make([]int, a.g.NumNodes()),
 	}
 	// Victims for a function-unit violation share the charge class of
-	// the failing operation (on GP clusters every kind shares one pool).
-	type fuKey struct {
-		cl  int
-		cls machine.FUClass
+	// the failing operation (on GP clusters every kind shares one
+	// pool). fuOwners is keyed cluster*NumFUClasses+class.
+	for i := range a.fuOwners {
+		a.fuOwners[i] = a.fuOwners[i][:0]
 	}
-	fuOwners := map[fuKey][]int{}
 	for n := 0; n < a.g.NumNodes(); n++ {
 		cl := a.cluster[n]
 		if cl < 0 {
 			continue
 		}
 		k := a.g.Nodes[n].Kind
-		key := fuKey{cl: cl, cls: d.cap.ChargeClass(cl, k)}
+		key := -1
+		if cls := d.cap.ChargeClass(cl, k); cls >= 0 {
+			key = cl*int(machine.NumFUClasses) + int(cls)
+		}
 		if !d.cap.PlaceOp(cl, k) {
-			d.viol = violation{kind: violFU, cluster: cl, candidates: fuOwners[key]}
+			var owners []int
+			if key >= 0 {
+				owners = a.fuOwners[key]
+			}
+			d.viol = violation{kind: violFU, cluster: cl, candidates: owners}
 			return d
 		}
-		fuOwners[key] = append(fuOwners[key], n)
+		a.fuOwners[key] = append(a.fuOwners[key], n)
 	}
 
 	for p := 0; p < a.g.NumNodes(); p++ {
 		if a.cluster[p] < 0 {
 			continue
 		}
-		targets, consumers := a.remoteConsumers(p)
+		targets := a.remoteTargets(d, p)
 		if len(targets) == 0 {
 			continue
 		}
 		var ok bool
 		if a.m.Network == machine.Broadcast {
-			ok = a.placeBroadcast(d, p, targets, consumers)
+			ok = a.placeBroadcast(d, p, targets)
 		} else {
-			ok = a.placeChained(d, p, targets, consumers)
+			ok = a.placeChained(d, p, targets)
 		}
 		if !ok {
 			return d
@@ -142,7 +301,7 @@ func (a *assigner) derive() *derived {
 // placeBroadcast reserves a single broadcast copy of p's value to all
 // target clusters. On failure it fills in the violation with victim
 // candidates and reports false.
-func (a *assigner) placeBroadcast(d *derived, p int, targets, consumers []int) bool {
+func (a *assigner) placeBroadcast(d *derived, p int, targets []int) bool {
 	src := a.cluster[p]
 	if d.cap.PlaceBroadcastCopy(src, targets) {
 		d.rc[p] = 1
@@ -151,6 +310,7 @@ func (a *assigner) placeBroadcast(d *derived, p int, targets, consumers []int) b
 		return true
 	}
 	// Attribute the failure to a specific resource for victim selection.
+	consumers := a.assignedRemoteConsumers(p)
 	switch {
 	case d.cap.FreeReadPortSlots(src) <= 0:
 		d.viol = violation{kind: violReadPort, cluster: src,
@@ -174,40 +334,50 @@ func (a *assigner) placeBroadcast(d *derived, p int, targets, consumers []int) b
 // available on every target cluster, forwarding through intermediate
 // clusters along shortest link paths when the target is not adjacent
 // (the grid machine of Section 2.1).
-func (a *assigner) placeChained(d *derived, p int, targets, consumers []int) bool {
+func (a *assigner) placeChained(d *derived, p int, targets []int) bool {
 	home := a.cluster[p]
-	avail := map[int]bool{home: true}
+	a.chEpoch++
+	avail := a.chMark
+	avail[home] = a.chEpoch
 	for _, t := range targets {
-		if avail[t] {
+		if avail[t] == a.chEpoch {
 			continue
 		}
-		path := a.m.Path(home, t)
+		path := a.pathOf(home, t)
 		if path == nil {
 			d.viol = violation{kind: violLink, candidates: nil}
 			return false
 		}
 		for i := 0; i+1 < len(path); i++ {
 			u, v := path[i], path[i+1]
-			if avail[v] {
+			if avail[v] == a.chEpoch {
 				continue
 			}
-			li := a.m.LinkBetween(u, v)
+			li := a.linkOf(u, v)
 			if !d.cap.PlaceLinkCopy(u, v, li) {
-				d.viol = a.linkViolation(d, p, consumers, u, v, li)
+				d.viol = a.linkViolation(d, p, u, v, li)
 				return false
 			}
-			avail[v] = true
+			avail[v] = a.chEpoch
+			d.arena = append(d.arena, v)
 			d.rc[p]++
 			d.copies++
-			d.records = append(d.records, copyRecord{producer: p, src: u, targets: []int{v}, link: li})
+			d.records = append(d.records, copyRecord{producer: p, src: u,
+				targets: d.arena[len(d.arena)-1:], link: li})
 		}
 	}
 	return true
 }
 
+// pathOf and linkOf are the precomputed forms of machine.Path and
+// machine.LinkBetween.
+func (a *assigner) pathOf(u, v int) []int { return a.pathTab[u*a.m.NumClusters()+v] }
+func (a *assigner) linkOf(u, v int) int   { return a.linkTab[u*a.m.NumClusters()+v] }
+
 // linkViolation attributes a failed point-to-point copy to its scarce
 // resource and gathers victim candidates.
-func (a *assigner) linkViolation(d *derived, p int, consumers []int, u, v, li int) violation {
+func (a *assigner) linkViolation(d *derived, p int, u, v, li int) violation {
+	consumers := a.assignedRemoteConsumers(p)
 	switch {
 	case d.cap.FreeReadPortSlots(u) <= 0:
 		return violation{kind: violReadPort, cluster: u,
@@ -233,13 +403,14 @@ func hasTarget(r copyRecord, t int) bool {
 // copyVictims gathers nodes whose removal could relieve a copy-resource
 // violation: the producers of every reserved copy that touches the
 // resource (selected by match), their assigned remote consumers, plus
-// the failing producer p and its consumers.
+// the failing producer p and its consumers. The result is backed by a
+// reusable buffer, valid until the next derive.
 func (a *assigner) copyVictims(d *derived, p int, consumers []int, match func(copyRecord) bool) []int {
-	seen := map[int]bool{}
-	var out []int
+	a.vEpoch++
+	out := a.victimBuf[:0]
 	add := func(n int) {
-		if !seen[n] {
-			seen[n] = true
+		if a.victimMark[n] != a.vEpoch {
+			a.victimMark[n] = a.vEpoch
 			out = append(out, n)
 		}
 	}
@@ -248,21 +419,25 @@ func (a *assigner) copyVictims(d *derived, p int, consumers []int, match func(co
 			continue
 		}
 		add(r.producer)
-		_, cs := a.remoteConsumers(r.producer)
-		for _, c := range cs {
-			add(c)
+		home := a.cluster[r.producer]
+		for _, s := range a.succsOf(r.producer) {
+			if c := a.cluster[s]; c >= 0 && c != home {
+				add(s)
+			}
 		}
 	}
 	add(p)
 	for _, c := range consumers {
 		add(c)
 	}
+	a.victimBuf = out
 	return out
 }
 
 // pcr computes the paper's Predicted Copy Requests for cluster cl:
 // the sum over operations already assigned there of
-// min(UpperBound(N), UnassignedSuccessors(N)).
+// min(UpperBound(N), UnassignedSuccessors(N)). Reference form; the
+// engine maintains the same quantity as a per-cluster aggregate.
 func (a *assigner) pcr(d *derived, cl int) int {
 	total := 0
 	for n := 0; n < a.g.NumNodes(); n++ {
@@ -294,6 +469,8 @@ func (a *assigner) pcr(d *derived, cl int) int {
 // line 6 predicts only source-side (read-port) pressure; with single
 // write ports the target side binds just as often, so the full
 // heuristic checks both directions against their reservable room.
+// Reference form; the engine keeps a refcounted distinct-predecessor
+// count per cluster instead.
 func (a *assigner) pic(cl int) int {
 	producers := map[int]bool{}
 	for n := 0; n < a.g.NumNodes(); n++ {
@@ -314,13 +491,17 @@ func (a *assigner) pic(cl int) int {
 // the source side — the free slot-cycles of the shared fabric each
 // arriving copy also consumes.
 func (a *assigner) maxReservableIncoming(d *derived, cl int) int {
-	free := d.cap.FreeWritePortSlots(cl)
+	return a.maxReservableIncomingCap(d.cap, cl)
+}
+
+func (a *assigner) maxReservableIncomingCap(cap *mrt.Capacity, cl int) int {
+	free := cap.FreeWritePortSlots(cl)
 	var fabric int
 	if a.m.Network == machine.Broadcast {
-		fabric = d.cap.FreeBusSlots()
+		fabric = cap.FreeBusSlots()
 	} else {
-		for _, li := range a.m.LinksAt(cl) {
-			fabric += d.cap.FreeLinkSlots(li)
+		for _, li := range a.linksAt[cl] {
+			fabric += cap.FreeLinkSlots(li)
 		}
 	}
 	if fabric < free {

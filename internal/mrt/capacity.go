@@ -30,6 +30,79 @@ type Capacity struct {
 	writeUsed []int   // [cluster]
 	busUsed   int
 	linkUsed  []int // [link]
+
+	journaling bool
+	journal    []capDelta
+}
+
+// capDelta is one journaled counter mutation. The pointer targets a
+// fixed-size backing array (or the busUsed field), so entries stay
+// valid for the table's lifetime.
+type capDelta struct {
+	counter *int
+	delta   int
+}
+
+// EnableJournal turns on mutation journaling: every subsequent counter
+// change is recorded so a span of tentative placements can be undone
+// with JournalRollback. Journaling is off by default; tables that
+// never enable it pay one predictable branch per mutation.
+func (c *Capacity) EnableJournal() {
+	c.journaling = true
+	c.journal = c.journal[:0]
+}
+
+// JournalMark returns the current journal position, to be passed to
+// JournalRollback to undo everything recorded after this point.
+func (c *Capacity) JournalMark() int { return len(c.journal) }
+
+// JournalRollback undoes, in reverse order, every mutation recorded
+// after mark, restoring the table to its state at JournalMark time.
+func (c *Capacity) JournalRollback(mark int) {
+	for i := len(c.journal) - 1; i >= mark; i-- {
+		e := c.journal[i]
+		*e.counter -= e.delta
+	}
+	c.journal = c.journal[:mark]
+}
+
+// JournalReset discards the journal without undoing anything, making
+// all mutations recorded so far permanent. The backing array is kept,
+// so a reset-mutate-rollback cycle settles into zero allocations.
+func (c *Capacity) JournalReset() {
+	c.journal = c.journal[:0]
+}
+
+// bump applies a counter mutation, journaling it when enabled. Every
+// mutator below routes its writes through bump so rollback sees a
+// complete record.
+func (c *Capacity) bump(counter *int, delta int) {
+	*counter += delta
+	if c.journaling {
+		c.journal = append(c.journal, capDelta{counter, delta})
+	}
+}
+
+// Reset clears all usage counters (capacities are untouched) and
+// discards the journal, returning the table to its freshly constructed
+// state without reallocating.
+func (c *Capacity) Reset() {
+	for i := range c.fuUsed {
+		for j := range c.fuUsed[i] {
+			c.fuUsed[i][j] = 0
+		}
+	}
+	for i := range c.readUsed {
+		c.readUsed[i] = 0
+	}
+	for i := range c.writeUsed {
+		c.writeUsed[i] = 0
+	}
+	c.busUsed = 0
+	for i := range c.linkUsed {
+		c.linkUsed[i] = 0
+	}
+	c.journal = c.journal[:0]
 }
 
 // NewCapacity returns an empty capacity table for machine m at the
@@ -99,7 +172,7 @@ func (c *Capacity) PlaceOp(cl int, k ddg.OpKind) bool {
 	if !c.CanPlaceOp(cl, k) {
 		return false
 	}
-	c.fuUsed[cl][c.chargeClass(cl, k)] += c.m.Occupancy(k)
+	c.bump(&c.fuUsed[cl][c.chargeClass(cl, k)], c.m.Occupancy(k))
 	return true
 }
 
@@ -110,7 +183,7 @@ func (c *Capacity) RemoveOp(cl int, k ddg.OpKind) {
 	if cls < 0 || c.fuUsed[cl][cls] < occ {
 		panic(fmt.Sprintf("mrt: RemoveOp(%d, %s) underflow", cl, k))
 	}
-	c.fuUsed[cl][cls] -= occ
+	c.bump(&c.fuUsed[cl][cls], -occ)
 }
 
 // FreeOpSlots returns the remaining FU slot-cycles usable by kind k on
@@ -167,10 +240,10 @@ func (c *Capacity) PlaceBroadcastCopy(src int, targets []int) bool {
 	if !c.CanPlaceBroadcastCopy(src, targets) {
 		return false
 	}
-	c.readUsed[src]++
-	c.busUsed++
+	c.bump(&c.readUsed[src], 1)
+	c.bump(&c.busUsed, 1)
 	for _, t := range targets {
-		c.writeUsed[t]++
+		c.bump(&c.writeUsed[t], 1)
 	}
 	return true
 }
@@ -187,7 +260,7 @@ func (c *Capacity) AddCopyTarget(target int) bool {
 	if !c.CanAddCopyTarget(target) {
 		return false
 	}
-	c.writeUsed[target]++
+	c.bump(&c.writeUsed[target], 1)
 	return true
 }
 
@@ -196,13 +269,13 @@ func (c *Capacity) RemoveBroadcastCopy(src int, targets []int) {
 	if c.readUsed[src] <= 0 || c.busUsed <= 0 {
 		panic("mrt: RemoveBroadcastCopy underflow")
 	}
-	c.readUsed[src]--
-	c.busUsed--
+	c.bump(&c.readUsed[src], -1)
+	c.bump(&c.busUsed, -1)
 	for _, t := range targets {
 		if c.writeUsed[t] <= 0 {
 			panic("mrt: RemoveBroadcastCopy target underflow")
 		}
-		c.writeUsed[t]--
+		c.bump(&c.writeUsed[t], -1)
 	}
 }
 
@@ -212,7 +285,7 @@ func (c *Capacity) RemoveCopyTarget(target int) {
 	if c.writeUsed[target] <= 0 {
 		panic("mrt: RemoveCopyTarget underflow")
 	}
-	c.writeUsed[target]--
+	c.bump(&c.writeUsed[target], -1)
 }
 
 // Point-to-point copy accounting -------------------------------------------
@@ -235,9 +308,9 @@ func (c *Capacity) PlaceLinkCopy(src, dst, li int) bool {
 	if !c.CanPlaceLinkCopy(src, dst, li) {
 		return false
 	}
-	c.readUsed[src]++
-	c.linkUsed[li]++
-	c.writeUsed[dst]++
+	c.bump(&c.readUsed[src], 1)
+	c.bump(&c.linkUsed[li], 1)
+	c.bump(&c.writeUsed[dst], 1)
 	return true
 }
 
@@ -246,9 +319,9 @@ func (c *Capacity) RemoveLinkCopy(src, dst, li int) {
 	if c.readUsed[src] <= 0 || c.linkUsed[li] <= 0 || c.writeUsed[dst] <= 0 {
 		panic("mrt: RemoveLinkCopy underflow")
 	}
-	c.readUsed[src]--
-	c.linkUsed[li]--
-	c.writeUsed[dst]--
+	c.bump(&c.readUsed[src], -1)
+	c.bump(&c.linkUsed[li], -1)
+	c.bump(&c.writeUsed[dst], -1)
 }
 
 // Copy headroom -------------------------------------------------------------
@@ -293,7 +366,8 @@ func (c *Capacity) FreeWritePortSlots(cl int) int {
 func (c *Capacity) FreeBusSlots() int { return c.m.Buses*c.ii - c.busUsed }
 
 // Clone returns an independent deep copy, used for tentative
-// assignments that may be discarded.
+// assignments that may be discarded. The clone's journal starts empty
+// and disabled regardless of the receiver's journaling state.
 func (c *Capacity) Clone() *Capacity {
 	n := &Capacity{
 		m:         c.m,

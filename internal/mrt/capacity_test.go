@@ -216,3 +216,115 @@ func TestNewCapacityPanicsOnBadII(t *testing.T) {
 	}()
 	NewCapacity(machine.NewBusedGP(2, 2, 1), 0)
 }
+
+// snapshot captures every externally visible counter of a table, for
+// comparing states across journal rollbacks.
+func snapshot(c *Capacity, m *machine.Config) []int {
+	var s []int
+	for cl := 0; cl < m.NumClusters(); cl++ {
+		s = append(s, c.FreeSlots(cl), c.FreeReadPortSlots(cl), c.FreeWritePortSlots(cl))
+	}
+	s = append(s, c.FreeBusSlots())
+	for li := range m.Links {
+		s = append(s, c.FreeLinkSlots(li))
+	}
+	return s
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJournalRollbackRestoresState(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	c := NewCapacity(m, 2)
+	c.EnableJournal()
+
+	if !c.PlaceOp(0, ddg.OpALU) || !c.PlaceBroadcastCopy(0, []int{1}) {
+		t.Fatal("committed placements should fit")
+	}
+	c.JournalReset() // make them permanent
+	base := snapshot(c, m)
+
+	mark := c.JournalMark()
+	if !c.PlaceOp(1, ddg.OpFMul) {
+		t.Fatal("tentative op should fit")
+	}
+	if !c.PlaceBroadcastCopy(1, []int{0}) {
+		t.Fatal("tentative copy should fit")
+	}
+	c.RemoveBroadcastCopy(0, []int{1}) // mixed direction: removal is journaled too
+	if equalInts(snapshot(c, m), base) {
+		t.Fatal("tentative mutations should have changed the counters")
+	}
+	c.JournalRollback(mark)
+	if got := snapshot(c, m); !equalInts(got, base) {
+		t.Errorf("rollback state %v, want %v", got, base)
+	}
+}
+
+func TestJournalNestedMarks(t *testing.T) {
+	m := machine.NewGrid4(2)
+	c := NewCapacity(m, 3)
+	c.EnableJournal()
+
+	s0 := snapshot(c, m)
+	m1 := c.JournalMark()
+	c.PlaceLinkCopy(0, 1, m.LinkBetween(0, 1))
+	s1 := snapshot(c, m)
+	m2 := c.JournalMark()
+	c.PlaceLinkCopy(1, 3, m.LinkBetween(1, 3))
+	c.PlaceOp(3, ddg.OpALU)
+
+	c.JournalRollback(m2)
+	if got := snapshot(c, m); !equalInts(got, s1) {
+		t.Errorf("inner rollback state %v, want %v", got, s1)
+	}
+	c.JournalRollback(m1)
+	if got := snapshot(c, m); !equalInts(got, s0) {
+		t.Errorf("outer rollback state %v, want %v", got, s0)
+	}
+}
+
+func TestResetClearsUsageAndJournal(t *testing.T) {
+	m := machine.NewGrid4(1)
+	c := NewCapacity(m, 2)
+	c.EnableJournal()
+	fresh := snapshot(c, m)
+
+	c.PlaceOp(0, ddg.OpALU)
+	c.PlaceLinkCopy(0, 1, m.LinkBetween(0, 1))
+	c.Reset()
+	if got := snapshot(c, m); !equalInts(got, fresh) {
+		t.Errorf("post-Reset state %v, want fresh %v", got, fresh)
+	}
+	if c.JournalMark() != 0 {
+		t.Errorf("JournalMark after Reset = %d, want 0", c.JournalMark())
+	}
+}
+
+func TestCloneDoesNotInheritJournal(t *testing.T) {
+	m := machine.NewBusedGP(2, 1, 1)
+	c := NewCapacity(m, 1)
+	c.EnableJournal()
+	c.PlaceOp(0, ddg.OpALU)
+
+	n := c.Clone()
+	if n.JournalMark() != 0 {
+		t.Errorf("clone journal mark = %d, want 0 (fresh journal)", n.JournalMark())
+	}
+	// Mutating the clone must not journal into (or disturb) the parent.
+	n.PlaceOp(1, ddg.OpALU)
+	c.JournalRollback(0)
+	if !n.CanPlaceOp(0, ddg.OpALU) {
+		t.Error("parent rollback leaked into the clone")
+	}
+}

@@ -170,6 +170,17 @@ type Stats struct {
 	// SchedDisplacements counts modulo-scheduler displacements (nodes
 	// unscheduled for resource conflicts or violated dependences).
 	SchedDisplacements int `json:"sched_displacements"`
+	// AssignDeltas counts degree-proportional incremental updates
+	// (tentative placement, revert, commit, removal) applied by the
+	// assignment engine. Each one replaces a from-scratch derive the
+	// pre-incremental engine would have performed, so the ratio
+	// AssignDeltas : AssignFullDerives is the derive work saved.
+	AssignDeltas int `json:"assign_deltas"`
+	// AssignFullDerives counts the from-scratch resource derives the
+	// assignment phase still performs: forced-placement violation
+	// attribution, engine resynchronization after evictions, and the
+	// reference-oracle paths.
+	AssignFullDerives int `json:"assign_full_derives"`
 	// MIITime, AssignTime, and SchedTime attribute wall-clock time to
 	// the phases; AssignTime and SchedTime sum over all II candidates.
 	MIITime    time.Duration `json:"mii_ns"`
@@ -189,6 +200,8 @@ func (s *Stats) Add(o Stats) {
 	s.AssignRejects += o.AssignRejects
 	s.SchedRejects += o.SchedRejects
 	s.SchedDisplacements += o.SchedDisplacements
+	s.AssignDeltas += o.AssignDeltas
+	s.AssignFullDerives += o.AssignFullDerives
 	s.MIITime += o.MIITime
 	s.AssignTime += o.AssignTime
 	s.SchedTime += o.SchedTime
@@ -202,6 +215,7 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, " displacements=%d rejects=%d/%d budget_out=%d/%d",
 		s.SchedDisplacements, s.AssignRejects, s.SchedRejects,
 		s.AssignBudgetExhausted, s.SchedBudgetExhausted)
+	fmt.Fprintf(&b, " deltas=%d full_derives=%d", s.AssignDeltas, s.AssignFullDerives)
 	fmt.Fprintf(&b, " t_mii=%s t_assign=%s t_sched=%s",
 		s.MIITime.Round(time.Microsecond), s.AssignTime.Round(time.Microsecond),
 		s.SchedTime.Round(time.Microsecond))
@@ -361,6 +375,27 @@ func (t *Trace) BudgetExhausted(phase string, ii, node int) {
 		t.Stats.SchedBudgetExhausted++
 	}
 	t.emit(Event{Kind: KindBudgetExhausted, Phase: phase, II: ii, Node: node, Cluster: -1, Victim: -1})
+}
+
+// AssignDeltas records n degree-proportional incremental updates
+// applied by the assignment engine. It is a stats-only hook: delta
+// applications are far too frequent (several per candidate cluster per
+// node) to stream as events, so no Event is emitted and callers batch
+// one call per evaluation round.
+func (t *Trace) AssignDeltas(n int) {
+	if t == nil {
+		return
+	}
+	t.Stats.AssignDeltas += n
+}
+
+// AssignFullDerive records one from-scratch resource derive performed
+// by the assignment phase. Stats-only, like AssignDeltas.
+func (t *Trace) AssignFullDerive() {
+	if t == nil {
+		return
+	}
+	t.Stats.AssignFullDerives++
 }
 
 // SchedDisplace records the modulo scheduler unscheduling victim on

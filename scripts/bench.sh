@@ -11,6 +11,12 @@ OUT="BENCH_pipeline.json"
 go run ./cmd/clusterbench -benchjson -count "$COUNT" > "$OUT"
 echo "bench: wrote $OUT"
 
+# Assignment-only benchmark: the incremental-engine suite (ns/op per
+# machine plus the deltas/full-derives work counters).
+ASSIGN_OUT="BENCH_assign.json"
+go run ./cmd/clusterbench -assignjson -count "$COUNT" > "$ASSIGN_OUT"
+echo "bench: wrote $ASSIGN_OUT"
+
 # The Go benchmarks for the zero-cost observer path; BenchmarkSchedule
 # (no observer) against BenchmarkScheduleObserved is the overhead.
 go test -run xxx -bench 'BenchmarkSchedule$|BenchmarkScheduleObserved$' -benchtime 300x .

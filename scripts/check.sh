@@ -9,7 +9,11 @@ go vet ./...
 go test ./...
 # Race pass over every package that runs goroutines (worker pools,
 # shared observers, the daemon and its cache) plus the public API that
-# feeds them.
-go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ .
+# feeds them, and the assignment engine's differential/fuzz-seed tests.
+go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ ./internal/assign/ .
+# Short benchmark smoke pass: the assignment benchmarks must still run
+# (allocation regressions fail in the test pass above; this catches
+# benchmarks broken by API drift).
+go test -run xxx -bench . -benchtime 2x ./internal/assign/
 sh scripts/lint.sh
 echo "check: OK"
