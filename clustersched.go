@@ -267,6 +267,30 @@ func WithTimeout(d time.Duration) Option {
 	return func(po *pipeline.Options) { po.Timeout = d }
 }
 
+// WithWarmStart turns warm-started II escalation on or off (default
+// on): when on, each escalated II candidate is seeded from the failed
+// candidate's last consistent partial assignment, falling back to a
+// scratch run at the same II when the warm attempt fails. Off exists
+// for ablation and A/B measurement.
+func WithWarmStart(on bool) Option {
+	return func(po *pipeline.Options) { po.DisableWarmStart = !on }
+}
+
+// WithSpeculation configures the speculative II search: window is the
+// number of candidate IIs grouped into one probe round after the MII
+// candidate fails (0 keeps the default), and workers bounds the
+// goroutines probing one round concurrently (<= 1, the default, keeps
+// the search sequential). Speculation never changes the result — the
+// lowest feasible II is committed either way — only the wall-clock
+// time to find it; see docs/OBSERVABILITY.md for the determinism
+// contract.
+func WithSpeculation(window, workers int) Option {
+	return func(po *pipeline.Options) {
+		po.SpeculativeWindow = window
+		po.SpeculativeWorkers = workers
+	}
+}
+
 // Result is a complete clustered modulo schedule.
 type Result struct {
 	// II is the achieved initiation interval; MII its lower bound.
@@ -305,6 +329,14 @@ func Schedule(g *Graph, m *Machine, options ...Option) (*Result, error) {
 // and the returned error wraps ctx.Err() (check it with
 // errors.Is(err, context.Canceled) or context.DeadlineExceeded).
 func ScheduleContext(ctx context.Context, g *Graph, m *Machine, options ...Option) (*Result, error) {
+	out, err := pipeline.RunContext(ctx, g, m, buildOptions(options))
+	if err != nil {
+		return nil, err
+	}
+	return resultFromOutcome(m, out), nil
+}
+
+func buildOptions(options []Option) pipeline.Options {
 	opts := pipeline.Options{
 		Assign:       assign.Options{Variant: assign.HeuristicIterative},
 		CollectStats: true,
@@ -312,10 +344,10 @@ func ScheduleContext(ctx context.Context, g *Graph, m *Machine, options ...Optio
 	for _, o := range options {
 		o(&opts)
 	}
-	out, err := pipeline.RunContext(ctx, g, m, opts)
-	if err != nil {
-		return nil, err
-	}
+	return opts
+}
+
+func resultFromOutcome(m *Machine, out *pipeline.Outcome) *Result {
 	in := sched.Input{
 		Graph:       out.Assignment.Graph,
 		Machine:     m,
@@ -334,7 +366,38 @@ func ScheduleContext(ctx context.Context, g *Graph, m *Machine, options ...Optio
 		input:     in,
 		sch:       out.Schedule,
 		stats:     out.Stats,
-	}, nil
+	}
+}
+
+// Session is a reusable scheduling context for one machine: the
+// machine lint verdict, the resource lower-bound tables, and the
+// schedulers' working buffers are computed once and reused across
+// loops, so scheduling a stream of loops on one machine skips the
+// per-call setup ScheduleContext pays. Results are byte-identical to
+// per-call ScheduleContext with the same options.
+//
+// A Session may be used by one goroutine at a time; for loop-level
+// parallelism give each worker its own (see pipeline.RunBatch for the
+// internal sharded form).
+type Session struct {
+	m *Machine
+	s *pipeline.Session
+}
+
+// NewSession builds a reusable scheduling session for machine m with
+// the same options ScheduleContext accepts.
+func NewSession(m *Machine, options ...Option) *Session {
+	return &Session{m: m, s: pipeline.NewSession(m, buildOptions(options))}
+}
+
+// Schedule software-pipelines loop g, like ScheduleContext but reusing
+// the session's precomputed state.
+func (s *Session) Schedule(ctx context.Context, g *Graph) (*Result, error) {
+	out, err := s.s.Schedule(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromOutcome(s.m, out), nil
 }
 
 // Kernel renders the steady-state kernel as text.

@@ -97,6 +97,18 @@ func newEngine(a *assigner) *engine {
 	return e
 }
 
+// reset returns the engine to its freshly built state at a new II: the
+// capacity table is re-sized in place and every derived structure
+// recomputed for the (empty) cluster vector, which the caller must
+// have cleared first. Counted as a full derive, exactly like the
+// rebuild newEngine performs.
+func (e *engine) reset(ii int) {
+	e.cap.ResetII(ii)
+	if !e.rebuild() {
+		panic("assign: engine rebuild failed on empty assignment")
+	}
+}
+
 // targets returns record r's target clusters (aliasing the engine's
 // backing store).
 func (e *engine) targets(p int, r eRecord) []int { return e.tgts[p][r.off : r.off+r.n] }

@@ -4,6 +4,7 @@ import (
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 	"clustersched/internal/mrt"
+	"clustersched/internal/order"
 )
 
 // assigner carries the mutable state of one assignment run at a fixed
@@ -32,6 +33,17 @@ type assigner struct {
 	prevMask  []uint64 // per node: clusters previously tried (selection A)
 	sccOf     []int    // per node: non-trivial SCC index or -1
 	budget    int
+
+	// prio is the II-invariant assignment order (Section 4.1, or plain
+	// node IDs with Options.NaiveOrdering), computed once per problem
+	// and reused across candidate IIs. Empty for unified machines.
+	prio []int
+
+	// partial holds the consistent partial assignment captured when a
+	// run fails, the warm seed for the next candidate II; hasPartial
+	// gates it (a canceled run leaves no seed).
+	partial    []int
+	hasPartial bool
 
 	eng *engine // nil in reference (scratch) mode and in Materialize
 
@@ -69,6 +81,11 @@ type assigner struct {
 	vEpoch     int
 	victimBuf  []int
 	consBuf    []int
+
+	// scratchD is the reusable derived for call sites that hold at
+	// most one derived at a time (deriveScratch). Sites that compare
+	// two deriveds or let records escape allocate fresh via derive().
+	scratchD *derived
 }
 
 // newAssigner builds the run state: cluster vector, SCC index, CSR
@@ -76,17 +93,11 @@ type assigner struct {
 // the run is in reference mode — the incremental engine.
 func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigner {
 	a := &assigner{
-		g:         g,
-		m:         m,
-		ii:        ii,
-		opts:      opts,
-		cluster:   make([]int, g.NumNodes()),
-		assignSeq: make([]int, g.NumNodes()),
-		prevMask:  make([]uint64, g.NumNodes()),
-		budget:    opts.budget(g.NumNodes()),
-	}
-	for i := range a.cluster {
-		a.cluster[i] = -1
+		g:      g,
+		m:      m,
+		ii:     ii,
+		opts:   opts,
+		budget: opts.budget(g.NumNodes()),
 	}
 	comps := g.NonTrivialSCCs()
 	a.sccOf = ddg.SCCIndex(g.NumNodes(), comps)
@@ -95,21 +106,45 @@ func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigne
 		a.sccMembers[i] = c.Nodes
 	}
 
+	// Every []int working array is carved out of one slab, so building
+	// an assigner costs a handful of allocations rather than one per
+	// field.
 	v := g.NumNodes()
-	a.succOff = make([]int, v+1)
-	a.predOff = make([]int, v+1)
+	c := m.NumClusters()
+	adjTotal := 0
 	for n := 0; n < v; n++ {
-		succ := g.Successors(n)
-		pred := g.Predecessors(n)
-		a.succAdj = append(a.succAdj, succ...)
-		a.predAdj = append(a.predAdj, pred...)
-		a.succOff[n+1] = len(a.succAdj)
-		a.predOff[n+1] = len(a.predAdj)
+		adjTotal += len(g.Successors(n)) + len(g.Predecessors(n))
+	}
+	slab := make([]int, 5*v+2+adjTotal+c*c+c+2*v)
+	carve := func(n int) []int {
+		s := slab[:n:n]
+		slab = slab[n:]
+		return s
+	}
+	a.cluster = carve(v)
+	a.assignSeq = carve(v)
+	a.prevMask = make([]uint64, v)
+	for i := range a.cluster {
+		a.cluster[i] = -1
 	}
 
-	c := m.NumClusters()
+	a.succOff = carve(v + 1)
+	a.predOff = carve(v + 1)
+	a.succAdj = slab[:0]
+	for n := 0; n < v; n++ {
+		a.succAdj = append(a.succAdj, g.Successors(n)...)
+		a.succOff[n+1] = len(a.succAdj)
+	}
+	slab = slab[len(a.succAdj):]
+	a.predAdj = slab[:0]
+	for n := 0; n < v; n++ {
+		a.predAdj = append(a.predAdj, g.Predecessors(n)...)
+		a.predOff[n+1] = len(a.predAdj)
+	}
+	slab = slab[len(a.predAdj):]
+
 	a.pathTab = make([][]int, c*c)
-	a.linkTab = make([]int, c*c)
+	a.linkTab = carve(c * c)
 	a.linksAt = make([][]int, c)
 	for i := 0; i < c; i++ {
 		a.linksAt[i] = m.LinksAt(i)
@@ -123,15 +158,104 @@ func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigne
 	a.listBuf = make([]int, 0, c)
 	a.fpBuf = make([]int, 0, c)
 	a.fuOwners = make([][]int, c*int(machine.NumFUClasses))
-	a.chMark = make([]int, c)
-	a.victimMark = make([]int, v)
-	a.victimBuf = make([]int, 0, v)
-	a.consBuf = make([]int, 0, v)
+	a.chMark = carve(c)
+	a.victimMark = carve(v)
+	a.victimBuf = slab[0:0:v]
+	slab = slab[v:]
+	a.consBuf = slab[0:0:v]
+	slab = slab[v:]
+
+	if m.Clustered() {
+		if opts.NaiveOrdering {
+			a.prio = make([]int, v)
+			for i := range a.prio {
+				a.prio[i] = i
+			}
+		} else {
+			a.prio = order.Compute(g, m.Latency)
+		}
+	}
 
 	if !opts.scratchEval && m.Clustered() {
 		a.eng = newEngine(a)
 	}
 	return a
+}
+
+// reset returns the assigner to its freshly constructed state at a new
+// candidate II, reusing every precomputed table and buffer — this is
+// what makes an escalation step pay only the II-dependent work.
+func (a *assigner) reset(ii int) {
+	a.ii = ii
+	for i := range a.cluster {
+		a.cluster[i] = -1
+		a.assignSeq[i] = 0
+		a.prevMask[i] = 0
+	}
+	a.seq = 0
+	a.budget = a.opts.budget(a.g.NumNodes())
+	if a.eng != nil {
+		a.eng.reset(ii)
+	}
+}
+
+// seedFrom warm-starts the run by pre-committing the node→cluster
+// pairs of seed, a consistent partial assignment captured from a
+// failed run at a lower II. Every per-resource budget is units × II,
+// so capacity grows monotonically with II and a placement that fit at
+// II-1 almost always re-applies verbatim; a node that nonetheless
+// fails to fit is simply left unassigned for the normal selection
+// loop (an eviction of the stale seed entry), never failing the run.
+// Nodes are applied in ascending ID order so the committed state —
+// including the assignSeq stamps the victim policy reads — is a pure
+// function of the seed, which the determinism of speculative II
+// probing relies on.
+func (a *assigner) seedFrom(seed []int) {
+	if a.eng != nil {
+		deltas := 0
+		for n, cl := range seed {
+			if cl < 0 || cl >= a.m.NumClusters() {
+				continue
+			}
+			if a.eng.apply(n, cl) {
+				a.commit(n, cl)
+				deltas++
+			}
+		}
+		a.opts.Trace.AssignDeltas(deltas)
+		return
+	}
+	// Reference mode: one scratch derive per seed entry. The engine's
+	// apply succeeds exactly when a scratch derive of the same vector
+	// would (the invariant the differential tests enforce), so this
+	// commits the identical node set in the identical order.
+	for n, cl := range seed {
+		if cl < 0 || cl >= a.m.NumClusters() {
+			continue
+		}
+		a.cluster[n] = cl
+		if d := a.deriveScratch(); !d.ok {
+			a.cluster[n] = -1
+			continue
+		}
+		a.commit(n, cl)
+	}
+}
+
+// capturePartial snapshots the current cluster vector as the warm seed
+// for the next candidate II. skip, when >= 0, is a node whose forced
+// placement made the vector inconsistent and is excluded; the
+// remainder is a subset of the last consistent assignment and — since
+// removing nodes only ever releases resources — consistent itself.
+func (a *assigner) capturePartial(skip int) {
+	if a.partial == nil {
+		a.partial = make([]int, len(a.cluster))
+	}
+	copy(a.partial, a.cluster)
+	if skip >= 0 {
+		a.partial[skip] = -1
+	}
+	a.hasPartial = true
 }
 
 // succsOf and predsOf return the precomputed distinct sorted
@@ -244,11 +368,45 @@ func insertionSort(x []int) {
 // the incremental engine is differentially tested against, and the
 // attribution path forced placement uses on inconsistent assignments.
 func (a *assigner) derive() *derived {
-	a.opts.Trace.AssignFullDerive()
 	d := &derived{
 		cap: mrt.NewCapacity(a.m, a.ii),
 		rc:  make([]int, a.g.NumNodes()),
 	}
+	return a.deriveInto(d)
+}
+
+// deriveScratch is derive into a per-assigner reusable buffer. The
+// result is valid only until the next deriveScratch call; it is for
+// the call sites that inspect one derived and drop it (seeding,
+// forced-placement attribution, the unified-machine check). Sites
+// that hold two deriveds at once (evaluateScratch) or whose records
+// escape into the result (finalRecords) must use derive instead.
+func (a *assigner) deriveScratch() *derived {
+	d := a.scratchD
+	if d == nil {
+		d = &derived{
+			cap: mrt.NewCapacity(a.m, a.ii),
+			rc:  make([]int, a.g.NumNodes()),
+		}
+		a.scratchD = d
+	} else {
+		d.cap.ResetII(a.ii)
+		for i := range d.rc {
+			d.rc[i] = 0
+		}
+		d.records = d.records[:0]
+		d.arena = d.arena[:0]
+		d.copies = 0
+		d.viol = violation{}
+		d.ok = false
+	}
+	return a.deriveInto(d)
+}
+
+// deriveInto fills d (assumed zeroed/reset) from the current cluster
+// vector and returns it.
+func (a *assigner) deriveInto(d *derived) *derived {
+	a.opts.Trace.AssignFullDerive()
 	// Victims for a function-unit violation share the charge class of
 	// the failing operation (on GP clusters every kind shares one
 	// pool). fuOwners is keyed cluster*NumFUClasses+class.

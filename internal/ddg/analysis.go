@@ -15,13 +15,13 @@ type LatencyFunc func(OpKind) int
 func (g *Graph) EarliestStart(lat LatencyFunc, ii int) (estart []int, ok bool) {
 	n := len(g.Nodes)
 	estart = make([]int, n)
+	w := g.edgeWeights(lat, ii)
 	// Bellman-Ford over all edges. At most n rounds are needed when no
 	// positive cycle exists; one extra round detects non-convergence.
 	for round := 0; round <= n; round++ {
 		changed := false
-		for _, e := range g.Edges {
-			w := lat(g.Nodes[e.From].Kind) - ii*e.Distance
-			if t := estart[e.From] + w; t > estart[e.To] {
+		for i, e := range g.Edges {
+			if t := estart[e.From] + w[i]; t > estart[e.To] {
 				estart[e.To] = t
 				changed = true
 			}
@@ -31,6 +31,17 @@ func (g *Graph) EarliestStart(lat LatencyFunc, ii int) (estart []int, ok bool) {
 		}
 	}
 	return estart, false
+}
+
+// edgeWeights materializes the per-edge relaxation weight
+// latency(from) - II*distance, hoisting the latency lookups out of the
+// Bellman-Ford rounds.
+func (g *Graph) edgeWeights(lat LatencyFunc, ii int) []int {
+	w := make([]int, len(g.Edges))
+	for i, e := range g.Edges {
+		w[i] = lat(g.Nodes[e.From].Kind) - ii*e.Distance
+	}
+	return w
 }
 
 // LatestStart computes the latest start times against the schedule-length
@@ -53,11 +64,11 @@ func (g *Graph) LatestStart(lat LatencyFunc, ii int) (lstart []int, ok bool) {
 	for i := range lstart {
 		lstart[i] = horizon - lat(g.Nodes[i].Kind)
 	}
+	w := g.edgeWeights(lat, ii)
 	for round := 0; round <= n; round++ {
 		changed := false
-		for _, e := range g.Edges {
-			w := lat(g.Nodes[e.From].Kind) - ii*e.Distance
-			if t := lstart[e.To] - w; t < lstart[e.From] {
+		for i, e := range g.Edges {
+			if t := lstart[e.To] - w[i]; t < lstart[e.From] {
 				lstart[e.From] = t
 				changed = true
 			}
@@ -77,10 +88,10 @@ func (g *Graph) Height(lat LatencyFunc) []int {
 	n := len(g.Nodes)
 	height := make([]int, n)
 	order := g.reverseTopoAcyclic()
+	adj := g.adjacencyCache()
 	for _, v := range order {
 		h := 0
-		for _, ei := range g.succ[v] {
-			e := g.Edges[ei]
+		for _, e := range adj.out[v] {
 			if e.Distance != 0 {
 				continue
 			}
@@ -113,12 +124,12 @@ func (g *Graph) reverseTopoAcyclic() []int {
 		}
 	}
 	topo := make([]int, 0, n)
+	adj := g.adjacencyCache()
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		topo = append(topo, v)
-		for _, ei := range g.succ[v] {
-			e := g.Edges[ei]
+		for _, e := range adj.out[v] {
 			if e.Distance != 0 {
 				continue
 			}

@@ -11,6 +11,7 @@ package ddg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"clustersched/internal/diag"
 )
@@ -90,26 +91,137 @@ type Graph struct {
 	Nodes []*Node
 	Edges []Edge
 
-	succ [][]int // indices into Edges, keyed by From
-	pred [][]int // indices into Edges, keyed by To
+	// adj caches the materialized per-node edge and neighbor lists the
+	// accessors below hand out. Built lazily on first query, discarded
+	// by AddNode/AddEdge. An atomic pointer because read-only graphs are
+	// queried from concurrent goroutines (speculative II probes, batch
+	// workers); racing builders compute identical caches and the losing
+	// store is merely wasted work.
+	adj atomic.Pointer[adjacency]
+
+	// scc caches the Tarjan decomposition under the same contract as
+	// adj: lazy, invalidated by mutation, safe to rebuild racily.
+	scc atomic.Pointer[sccCache]
+
+	// nodeArena chunk-allocates the Node values Nodes points into, so
+	// building a graph does not pay one allocation per operation. A
+	// chunk is abandoned (not copied) when full, which keeps previously
+	// returned *Node pointers valid.
+	nodeArena []Node
+}
+
+// sccCache holds the component decomposition shared by every caller of
+// StronglyConnectedComponents/NonTrivialSCCs.
+type sccCache struct {
+	all        []*SCC
+	nonTrivial []*SCC
+}
+
+// adjacency holds the flat adjacency caches: per-node edge lists and
+// distinct sorted neighbor lists, all sub-slices of four shared arrays.
+type adjacency struct {
+	out, in      [][]Edge
+	succs, preds [][]int
+}
+
+// adjacencyCache returns the cache, building it on first use.
+func (g *Graph) adjacencyCache() *adjacency {
+	if a := g.adj.Load(); a != nil {
+		return a
+	}
+	n := len(g.Nodes)
+	ne := len(g.Edges)
+	a := &adjacency{
+		out:   make([][]Edge, n),
+		in:    make([][]Edge, n),
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+	}
+	// Counting sort of the edge list into per-node out/in runs of two
+	// flat arrays, preserving insertion order within each node.
+	outOff := make([]int, n+1)
+	inOff := make([]int, n+1)
+	for _, e := range g.Edges {
+		outOff[e.From+1]++
+		inOff[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		outOff[i+1] += outOff[i]
+		inOff[i+1] += inOff[i]
+	}
+	flatOut := make([]Edge, ne)
+	flatIn := make([]Edge, ne)
+	ocur := make([]int, 2*n)
+	icur := ocur[n:]
+	copy(ocur[:n], outOff[:n])
+	copy(icur, inOff[:n])
+	for _, e := range g.Edges {
+		flatOut[ocur[e.From]] = e
+		ocur[e.From]++
+		flatIn[icur[e.To]] = e
+		icur[e.To]++
+	}
+	// Distinct-neighbor dedup via stamps: seen[v] == id marks v as a
+	// recorded successor of id, id+n as a recorded predecessor. The
+	// flats are capped at NumEdges, so the appends never reallocate and
+	// the capped sub-slices stay valid.
+	succFlat := make([]int, 0, ne)
+	predFlat := make([]int, 0, ne)
+	seen := make([]int, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for id := 0; id < n; id++ {
+		a.out[id] = flatOut[outOff[id]:outOff[id+1]:outOff[id+1]]
+		a.in[id] = flatIn[inOff[id]:inOff[id+1]:inOff[id+1]]
+
+		ss := len(succFlat)
+		for _, e := range a.out[id] {
+			if seen[e.To] != id {
+				seen[e.To] = id
+				succFlat = append(succFlat, e.To)
+			}
+		}
+		sort.Ints(succFlat[ss:])
+		a.succs[id] = succFlat[ss:len(succFlat):len(succFlat)]
+
+		ps := len(predFlat)
+		for _, e := range a.in[id] {
+			if seen[e.From] != id+n {
+				seen[e.From] = id + n
+				predFlat = append(predFlat, e.From)
+			}
+		}
+		sort.Ints(predFlat[ps:])
+		a.preds[id] = predFlat[ps:len(predFlat):len(predFlat)]
+	}
+	g.adj.Store(a)
+	return a
 }
 
 // NewGraph returns an empty graph with capacity hints.
 func NewGraph(nodeHint, edgeHint int) *Graph {
 	return &Graph{
-		Nodes: make([]*Node, 0, nodeHint),
-		Edges: make([]Edge, 0, edgeHint),
-		succ:  make([][]int, 0, nodeHint),
-		pred:  make([][]int, 0, nodeHint),
+		Nodes:     make([]*Node, 0, nodeHint),
+		Edges:     make([]Edge, 0, edgeHint),
+		nodeArena: make([]Node, 0, nodeHint),
 	}
 }
 
 // AddNode appends an operation of the given kind and returns its ID.
 func (g *Graph) AddNode(kind OpKind, name string) int {
 	id := len(g.Nodes)
-	g.Nodes = append(g.Nodes, &Node{ID: id, Kind: kind, Name: name})
-	g.succ = append(g.succ, nil)
-	g.pred = append(g.pred, nil)
+	if len(g.nodeArena) == cap(g.nodeArena) {
+		c := 2 * cap(g.nodeArena)
+		if c < 16 {
+			c = 16
+		}
+		g.nodeArena = make([]Node, 0, c)
+	}
+	g.nodeArena = append(g.nodeArena, Node{ID: id, Kind: kind, Name: name})
+	g.Nodes = append(g.Nodes, &g.nodeArena[len(g.nodeArena)-1])
+	g.adj.Store(nil)
+	g.scc.Store(nil)
 	return id
 }
 
@@ -123,10 +235,9 @@ func (g *Graph) AddEdge(from, to, distance int) {
 	if distance < 0 {
 		panic(fmt.Sprintf("ddg: edge (%d,%d) has negative distance %d", from, to, distance))
 	}
-	idx := len(g.Edges)
 	g.Edges = append(g.Edges, Edge{From: from, To: to, Distance: distance})
-	g.succ[from] = append(g.succ[from], idx)
-	g.pred[to] = append(g.pred[to], idx)
+	g.adj.Store(nil)
+	g.scc.Store(nil)
 }
 
 // NumNodes returns the number of operations.
@@ -138,49 +249,25 @@ func (g *Graph) NumEdges() int { return len(g.Edges) }
 // OutEdges returns the dependences produced by node id.
 // The returned slice is owned by the graph; callers must not modify it.
 func (g *Graph) OutEdges(id int) []Edge {
-	out := make([]Edge, len(g.succ[id]))
-	for i, e := range g.succ[id] {
-		out[i] = g.Edges[e]
-	}
-	return out
+	return g.adjacencyCache().out[id]
 }
 
 // InEdges returns the dependences consumed by node id.
+// The returned slice is owned by the graph; callers must not modify it.
 func (g *Graph) InEdges(id int) []Edge {
-	in := make([]Edge, len(g.pred[id]))
-	for i, e := range g.pred[id] {
-		in[i] = g.Edges[e]
-	}
-	return in
+	return g.adjacencyCache().in[id]
 }
 
 // Successors returns the distinct successor node IDs of id, sorted.
+// The returned slice is owned by the graph; callers must not modify it.
 func (g *Graph) Successors(id int) []int {
-	return g.distinctNeighbors(g.succ[id], false)
+	return g.adjacencyCache().succs[id]
 }
 
 // Predecessors returns the distinct predecessor node IDs of id, sorted.
+// The returned slice is owned by the graph; callers must not modify it.
 func (g *Graph) Predecessors(id int) []int {
-	return g.distinctNeighbors(g.pred[id], true)
-}
-
-func (g *Graph) distinctNeighbors(edgeIdx []int, usePred bool) []int {
-	seen := make(map[int]bool, len(edgeIdx))
-	out := make([]int, 0, len(edgeIdx))
-	for _, e := range edgeIdx {
-		var n int
-		if usePred {
-			n = g.Edges[e].From
-		} else {
-			n = g.Edges[e].To
-		}
-		if !seen[n] {
-			seen[n] = true
-			out = append(out, n)
-		}
-	}
-	sort.Ints(out)
-	return out
+	return g.adjacencyCache().preds[id]
 }
 
 // Clone returns a deep copy of the graph. Annotated passes (cluster
@@ -227,18 +314,20 @@ func (g *Graph) Lint() []diag.Diagnostic {
 		}
 	}
 	for i, e := range g.Edges {
-		subject := fmt.Sprintf("edge %d", i)
+		// Lint runs on the hot scheduling path; format the subject only
+		// for edges that actually have findings.
+		subject := func() string { return fmt.Sprintf("edge %d", i) }
 		if e.From < 0 || e.From >= len(g.Nodes) {
-			r.Errorf(CodeDanglingEdge, subject, "edge %d has invalid source %d (have %d nodes)", i, e.From, len(g.Nodes))
+			r.Errorf(CodeDanglingEdge, subject(), "edge %d has invalid source %d (have %d nodes)", i, e.From, len(g.Nodes))
 		}
 		if e.To < 0 || e.To >= len(g.Nodes) {
-			r.Errorf(CodeDanglingEdge, subject, "edge %d has invalid sink %d (have %d nodes)", i, e.To, len(g.Nodes))
+			r.Errorf(CodeDanglingEdge, subject(), "edge %d has invalid sink %d (have %d nodes)", i, e.To, len(g.Nodes))
 		}
 		if e.Distance < 0 {
-			r.Errorf(CodeNegativeDist, subject, "edge %d has negative distance %d", i, e.Distance)
+			r.Errorf(CodeNegativeDist, subject(), "edge %d has negative distance %d", i, e.Distance)
 		}
 		if e.From == e.To && e.From >= 0 && e.From < len(g.Nodes) && e.Distance == 0 {
-			r.Errorf(CodeZeroSelfEdge, subject,
+			r.Errorf(CodeZeroSelfEdge, subject(),
 				"edge %d is a self-dependence of node %d at distance 0 (an operation cannot precede itself within one iteration)",
 				i, e.From)
 		}

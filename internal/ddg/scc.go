@@ -13,12 +13,33 @@ type SCC struct {
 // NonTrivial reports whether the component forms a recurrence cycle.
 func (s *SCC) NonTrivial() bool { return len(s.Nodes) > 1 || s.Self }
 
-// StronglyConnectedComponents computes all SCCs using Tarjan's
+// StronglyConnectedComponents returns all SCCs, computed with Tarjan's
 // algorithm (iterative, so deep graphs cannot overflow the goroutine
 // stack). Components are returned in reverse topological order of the
 // condensation, which callers typically re-rank by criticality anyway.
+// The decomposition is cached on the graph until the next mutation; the
+// returned components are shared and must not be modified.
 func (g *Graph) StronglyConnectedComponents() []*SCC {
+	return g.sccs().all
+}
+
+func (g *Graph) sccs() *sccCache {
+	if c := g.scc.Load(); c != nil {
+		return c
+	}
+	c := &sccCache{all: g.computeSCCs()}
+	for _, s := range c.all {
+		if s.NonTrivial() {
+			c.nonTrivial = append(c.nonTrivial, s)
+		}
+	}
+	g.scc.Store(c)
+	return c
+}
+
+func (g *Graph) computeSCCs() []*SCC {
 	n := len(g.Nodes)
+	adj := g.adjacencyCache()
 	index := make([]int, n)
 	low := make([]int, n)
 	onStack := make([]bool, n)
@@ -50,8 +71,8 @@ func (g *Graph) StronglyConnectedComponents() []*SCC {
 		for len(work) > 0 {
 			f := &work[len(work)-1]
 			v := f.v
-			if f.ei < len(g.succ[v]) {
-				e := g.Edges[g.succ[v][f.ei]]
+			if f.ei < len(adj.out[v]) {
+				e := adj.out[v][f.ei]
 				f.ei++
 				w := e.To
 				if index[w] == -1 {
@@ -87,8 +108,8 @@ func (g *Graph) StronglyConnectedComponents() []*SCC {
 				sort.Ints(comp)
 				scc := &SCC{Nodes: comp}
 				if len(comp) == 1 {
-					for _, ei := range g.succ[comp[0]] {
-						if g.Edges[ei].To == comp[0] {
+					for _, e := range adj.out[comp[0]] {
+						if e.To == comp[0] {
 							scc.Self = true
 							break
 						}
@@ -102,15 +123,10 @@ func (g *Graph) StronglyConnectedComponents() []*SCC {
 }
 
 // NonTrivialSCCs filters StronglyConnectedComponents down to the
-// recurrences, which is what cluster assignment cares about.
+// recurrences, which is what cluster assignment cares about. Like
+// StronglyConnectedComponents, the result is cached and shared.
 func (g *Graph) NonTrivialSCCs() []*SCC {
-	var out []*SCC
-	for _, s := range g.StronglyConnectedComponents() {
-		if s.NonTrivial() {
-			out = append(out, s)
-		}
-	}
-	return out
+	return g.sccs().nonTrivial
 }
 
 // SCCIndex returns, for every node, the position of its component in

@@ -16,7 +16,6 @@ import (
 	"clustersched/internal/machine"
 	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
-	"clustersched/internal/pool"
 	"clustersched/internal/stats"
 )
 
@@ -90,6 +89,9 @@ type Options struct {
 	// (implies CollectStats). It is shared across worker goroutines and
 	// must be safe for concurrent use.
 	Observer obs.Observer
+	// DisableWarmStart forces every candidate II of every clustered run
+	// to assign from scratch (ablation; see pipeline.Options).
+	DisableWarmStart bool
 }
 
 // pipelineOptions resolves the per-run pipeline options for one loop of
@@ -100,10 +102,11 @@ func (o Options) pipelineOptions(row Row) pipeline.Options {
 		scheduler = *row.Scheduler
 	}
 	return pipeline.Options{
-		Assign:       row.assignOptions(),
-		Scheduler:    scheduler,
-		Observer:     o.Observer,
-		CollectStats: o.CollectStats || o.Observer != nil,
+		Assign:           row.assignOptions(),
+		Scheduler:        scheduler,
+		Observer:         o.Observer,
+		CollectStats:     o.CollectStats || o.Observer != nil,
+		DisableWarmStart: o.DisableWarmStart,
 	}
 }
 
@@ -132,49 +135,32 @@ func runRow(ctx context.Context, row Row, loops []*ddg.Graph, opts Options) (Row
 	start := time.Now()
 	unified := row.Machine.Unified()
 
-	type outcome struct {
-		delta  int
-		copies int
-		ii     int
-		failed bool
-		stats  obs.Stats
-	}
-	outcomes := make([]outcome, len(loops))
 	popts := opts.pipelineOptions(row)
 	uopts := pipeline.Options{Scheduler: popts.Scheduler}
-	err := pool.ForEach(ctx, len(loops), opts.Parallelism, func(i int) {
-		g := loops[i]
-		uo, uerr := pipeline.RunContext(ctx, g, unified, uopts)
-		co, cerr := pipeline.RunContext(ctx, g, row.Machine, popts)
-		if uerr != nil || cerr != nil {
-			outcomes[i] = outcome{failed: true}
-			return
-		}
-		outcomes[i] = outcome{
-			delta:  co.II - uo.II,
-			copies: co.Assignment.Copies,
-			ii:     co.II,
-			stats:  co.Stats,
-		}
-	})
+	// Two batches — the unified baseline and the clustered machine —
+	// each sharded over per-worker reusable Sessions, so the per-machine
+	// precomputation is paid once per worker instead of once per loop.
+	uouts := pipeline.RunBatch(ctx, loops, unified, uopts, opts.Parallelism)
+	couts := pipeline.RunBatch(ctx, loops, row.Machine, popts, opts.Parallelism)
 
 	r := RowResult{Label: row.Label, PaperMatch: row.PaperMatch}
-	if err != nil {
-		// Canceled: the outcomes are a mix of completed and zero
+	if err := ctx.Err(); err != nil {
+		// Canceled: the outcomes are a mix of completed and canceled
 		// entries; report nothing rather than a misleading partial row.
 		r.Elapsed = time.Since(start)
 		return r, err
 	}
 	var copies, iis int
-	for _, o := range outcomes {
-		if o.failed {
+	for i := range loops {
+		uo, co := uouts[i].Outcome, couts[i].Outcome
+		if uo == nil || co == nil {
 			r.Hist.AddFailure()
 			continue
 		}
-		r.Hist.Add(o.delta)
-		copies += o.copies
-		iis += o.ii
-		r.Stats.Add(o.stats)
+		r.Hist.Add(co.II - uo.II)
+		copies += co.Assignment.Copies
+		iis += co.II
+		r.Stats.Add(co.Stats)
 	}
 	if n := r.Hist.Total() - r.Hist.Failed; n > 0 {
 		r.AvgCopies = float64(copies) / float64(n)

@@ -26,17 +26,24 @@ func Graph(g *ddg.Graph) []diag.Diagnostic {
 	// Two identical edges are idiomatic — one value feeding both
 	// operands of a consumer (x*x). Three or more identical records
 	// cannot all be operand uses and indicate a redundant dependence.
-	seen := make(map[ddg.Edge][]int, len(g.Edges))
-	for i, e := range g.Edges {
-		seen[e] = append(seen[e], i)
+	count := make(map[ddg.Edge]int, len(g.Edges))
+	for _, e := range g.Edges {
+		count[e]++
 	}
 	for i, e := range g.Edges {
-		if dups := seen[e]; len(dups) > 2 && dups[0] == i {
+		if c := count[e]; c > 2 {
+			count[e] = -1 // report each offending dependence once, at its first edge
+			dups := make([]int, 0, c)
+			for j, e2 := range g.Edges {
+				if e2 == e {
+					dups = append(dups, j)
+				}
+			}
 			r.Report(diag.Diagnostic{
 				Code: CodeDuplicateEdge, Severity: diag.Warning,
 				Subject: fmt.Sprintf("edge %d", i),
 				Message: fmt.Sprintf("dependence n%d -> n%d dist=%d is recorded %d times (edges %v)",
-					e.From, e.To, e.Distance, len(dups), dups),
+					e.From, e.To, e.Distance, c, dups),
 				Fix: "record a dependence once per operand use; drop the redundant edges",
 			})
 		}

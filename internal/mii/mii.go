@@ -4,6 +4,8 @@
 package mii
 
 import (
+	"sort"
+
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 )
@@ -17,14 +19,24 @@ import (
 // the machine has such units, otherwise to the general-purpose pool;
 // copies use no function unit and are excluded.
 func ResMII(g *ddg.Graph, m *machine.Config) int {
-	counts := g.KindCounts()
-	charged := make([]int, machine.NumFUClasses)
+	return resMII(g, m, unitTotalsOf(m))
+}
+
+// unitTotalsOf counts the machine's function units per class, the only
+// machine-dependent input of ResMII.
+func unitTotalsOf(m *machine.Config) []int {
 	unitTotals := make([]int, machine.NumFUClasses)
 	for i := range m.Clusters {
 		for _, fu := range m.Clusters[i].FUs {
 			unitTotals[fu]++
 		}
 	}
+	return unitTotals
+}
+
+func resMII(g *ddg.Graph, m *machine.Config, unitTotals []int) int {
+	counts := g.KindCounts()
+	charged := make([]int, machine.NumFUClasses)
 	res := 1
 	for k := 0; k < ddg.NumOpKinds; k++ {
 		kind := ddg.OpKind(k)
@@ -61,19 +73,93 @@ func ResMII(g *ddg.Graph, m *machine.Config) int {
 
 // RecMII returns the recurrence-constrained lower bound: the maximum
 // over all dependence cycles of ceil(total latency / total distance).
-// It is computed by binary search on II, testing each candidate with a
-// Bellman-Ford positive-cycle check (a cycle is violated at II exactly
-// when its edges, weighted latency - II*distance, sum positive).
-// A graph without recurrences yields 1.
+// Every dependence cycle lies wholly inside one strongly connected
+// component, so the bound is the maximum over the non-trivial SCCs of
+// a per-component binary search on II, each candidate tested with a
+// Bellman-Ford positive-cycle check restricted to the component's
+// edges (a cycle is violated at II exactly when its edges, weighted
+// latency - II*distance, sum positive). A graph without recurrences
+// yields 1.
 func RecMII(g *ddg.Graph, lat ddg.LatencyFunc) int {
-	hi := 1
-	for _, n := range g.Nodes {
-		hi += lat(n.Kind)
+	rec := 1
+	comps := g.NonTrivialSCCs()
+	if len(comps) == 0 {
+		return rec
 	}
-	lo := 1
+	var sc recScratch
+	sc.est = make([]int, g.NumNodes())
+	for _, comp := range comps {
+		rec = sccRecMII(g, comp, lat, rec, &sc)
+	}
+	return rec
+}
+
+// SCCRecMIIs returns SCCRecMII for every component, sharing the
+// Bellman-Ford scratch buffers across them.
+func SCCRecMIIs(g *ddg.Graph, comps []*ddg.SCC, lat ddg.LatencyFunc) []int {
+	out := make([]int, len(comps))
+	var sc recScratch
+	sc.est = make([]int, g.NumNodes())
+	for i, comp := range comps {
+		out[i] = sccRecMII(g, comp, lat, 1, &sc)
+	}
+	return out
+}
+
+// recScratch holds the working buffers of sccRecMII: the estart vector
+// (indexed by parent-graph node ID) and the flattened component-local
+// edge arrays.
+type recScratch struct {
+	est                []int
+	from, to, w0, dist []int
+}
+
+// sccRecMII returns max(floor, the smallest II at which comp carries no
+// positive cycle). Only the component's slots of sc.est are read or
+// written; the edge buffers are overwritten.
+func sccRecMII(g *ddg.Graph, comp *ddg.SCC, lat ddg.LatencyFunc, floor int, sc *recScratch) int {
+	// Flatten the component-local edges once; edges leaving the
+	// component cannot belong to a cycle and are skipped.
+	est := sc.est
+	from, to, w0, dist := sc.from[:0], sc.to[:0], sc.w0[:0], sc.dist[:0]
+	hi := 1
+	for _, n := range comp.Nodes {
+		hi += lat(g.Nodes[n].Kind)
+		for _, e := range g.OutEdges(n) {
+			i := sort.SearchInts(comp.Nodes, e.To)
+			if i < len(comp.Nodes) && comp.Nodes[i] == e.To {
+				from = append(from, e.From)
+				to = append(to, e.To)
+				w0 = append(w0, lat(g.Nodes[e.From].Kind))
+				dist = append(dist, e.Distance)
+			}
+		}
+	}
+	sc.from, sc.to, sc.w0, sc.dist = from, to, w0, dist
+	feasible := func(ii int) bool {
+		for _, n := range comp.Nodes {
+			est[n] = 0
+		}
+		// At most len(comp.Nodes) rounds are needed when no positive
+		// cycle exists; one extra round detects non-convergence.
+		for round := 0; round <= len(comp.Nodes); round++ {
+			changed := false
+			for i, f := range from {
+				if t := est[f] + w0[i] - ii*dist[i]; t > est[to[i]] {
+					est[to[i]] = t
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		return false
+	}
+	lo := floor
 	for lo < hi {
 		mid := lo + (hi-lo)/2
-		if _, ok := g.EarliestStart(lat, mid); ok {
+		if feasible(mid) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -85,8 +171,34 @@ func RecMII(g *ddg.Graph, lat ddg.LatencyFunc) int {
 // MII returns max(ResMII, RecMII), the schedule lower bound used to
 // seed the assignment/scheduling loop.
 func MII(g *ddg.Graph, m *machine.Config) int {
-	res := ResMII(g, m)
-	rec := RecMII(g, m.Latency)
+	return NewMachine(m).MII(g)
+}
+
+// Machine caches the per-machine inputs of the bound computations —
+// today the per-class function-unit totals ResMII divides by — so a
+// session scheduling many loops against one machine configuration
+// derives them once instead of per loop. Immutable after construction
+// and therefore safe for concurrent use.
+type Machine struct {
+	m          *machine.Config
+	unitTotals []int
+}
+
+// NewMachine builds the cached resource view of m.
+func NewMachine(m *machine.Config) *Machine {
+	return &Machine{m: m, unitTotals: unitTotalsOf(m)}
+}
+
+// Config returns the machine configuration the cache was built from.
+func (mc *Machine) Config() *machine.Config { return mc.m }
+
+// ResMII is the package-level ResMII against the cached unit totals.
+func (mc *Machine) ResMII(g *ddg.Graph) int { return resMII(g, mc.m, mc.unitTotals) }
+
+// MII returns max(ResMII, RecMII) for g on the cached machine.
+func (mc *Machine) MII(g *ddg.Graph) int {
+	res := mc.ResMII(g)
+	rec := RecMII(g, mc.m.Latency)
 	if rec > res {
 		return rec
 	}
@@ -98,22 +210,7 @@ func MII(g *ddg.Graph, m *machine.Config) int {
 // ordering. The subgraph induced by the component keeps only edges with
 // both endpoints inside it.
 func SCCRecMII(g *ddg.Graph, comp *ddg.SCC, lat ddg.LatencyFunc) int {
-	in := make(map[int]int, len(comp.Nodes))
-	for i, n := range comp.Nodes {
-		in[n] = i
-	}
-	sub := ddg.NewGraph(len(comp.Nodes), len(comp.Nodes)*2)
-	for _, n := range comp.Nodes {
-		sub.AddNode(g.Nodes[n].Kind, g.Nodes[n].Name)
-	}
-	for _, e := range g.Edges {
-		fi, okF := in[e.From]
-		ti, okT := in[e.To]
-		if okF && okT {
-			sub.AddEdge(fi, ti, e.Distance)
-		}
-	}
-	return RecMII(sub, lat)
+	return sccRecMII(g, comp, lat, 1, &recScratch{est: make([]int, g.NumNodes())})
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -105,28 +105,59 @@ func (c *Capacity) Reset() {
 	c.journal = c.journal[:0]
 }
 
+// ResetII clears the table like Reset and re-sizes every capacity for
+// a new initiation interval, so II-escalation loops can reuse one
+// table instead of allocating per candidate. It must not be called on
+// a table with live Clones: clones share the capacity array this
+// rewrites. Journaling state is preserved.
+func (c *Capacity) ResetII(ii int) {
+	if ii <= 0 {
+		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
+	}
+	c.ii = ii
+	for i := range c.m.Clusters {
+		for cls := range c.fuCap[i] {
+			c.fuCap[i][cls] = 0
+		}
+		for _, fu := range c.m.Clusters[i].FUs {
+			c.fuCap[i][fu] += ii
+		}
+	}
+	c.Reset()
+}
+
 // NewCapacity returns an empty capacity table for machine m at the
 // given II.
 func NewCapacity(m *machine.Config, ii int) *Capacity {
 	if ii <= 0 {
 		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
 	}
+	// All counters live in one slab; capDelta pointers into it stay
+	// valid for the table's lifetime.
+	nc := m.NumClusters()
+	k := int(machine.NumFUClasses)
+	slab := make([]int, 2*nc*k+2*nc+len(m.Links))
+	carve := func(n int) []int {
+		s := slab[:n:n]
+		slab = slab[n:]
+		return s
+	}
 	c := &Capacity{
-		m:         m,
-		ii:        ii,
-		fuUsed:    make([][]int, m.NumClusters()),
-		fuCap:     make([][]int, m.NumClusters()),
-		readUsed:  make([]int, m.NumClusters()),
-		writeUsed: make([]int, m.NumClusters()),
-		linkUsed:  make([]int, len(m.Links)),
+		m:      m,
+		ii:     ii,
+		fuUsed: make([][]int, nc),
+		fuCap:  make([][]int, nc),
 	}
 	for i := range m.Clusters {
-		c.fuUsed[i] = make([]int, machine.NumFUClasses)
-		c.fuCap[i] = make([]int, machine.NumFUClasses)
+		c.fuUsed[i] = carve(k)
+		c.fuCap[i] = carve(k)
 		for _, fu := range m.Clusters[i].FUs {
 			c.fuCap[i][fu] += ii
 		}
 	}
+	c.readUsed = carve(nc)
+	c.writeUsed = carve(nc)
+	c.linkUsed = carve(len(m.Links))
 	return c
 }
 

@@ -27,6 +27,7 @@ type Cycle struct {
 	link  [][]int   // [link][slot]
 
 	placed map[int]*Placement
+	arena  []Placement // chunked backing store for placements
 }
 
 // Placement records exactly which slots a scheduled node occupies, so
@@ -56,26 +57,50 @@ func NewCycle(m *machine.Config, ii int) *Cycle {
 		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
 	}
 	c := &Cycle{m: m, ii: ii, placed: make(map[int]*Placement)}
-	mk := func(n int) [][]int {
-		rows := make([][]int, n)
-		for i := range rows {
-			row := make([]int, ii)
-			for j := range row {
-				row[j] = empty
-			}
-			rows[i] = row
-		}
-		return rows
-	}
+	// All resource rows live in one slab and one shared header array, so
+	// building the table costs a handful of allocations instead of one
+	// per row.
+	rows := m.Buses + len(m.Links)
 	for i := range m.Clusters {
 		cl := &m.Clusters[i]
-		c.fu = append(c.fu, mk(len(cl.FUs)))
-		c.read = append(c.read, mk(cl.ReadPorts))
-		c.write = append(c.write, mk(cl.WritePorts))
+		rows += len(cl.FUs) + cl.ReadPorts + cl.WritePorts
 	}
-	c.bus = mk(m.Buses)
-	c.link = mk(len(m.Links))
+	slab := make([]int, rows*ii)
+	for i := range slab {
+		slab[i] = empty
+	}
+	hdr := make([][]int, rows)
+	for i := range hdr {
+		hdr[i] = slab[i*ii : (i+1)*ii : (i+1)*ii]
+	}
+	take := func(n int) [][]int {
+		h := hdr[:n:n]
+		hdr = hdr[n:]
+		return h
+	}
+	c.fu = make([][][]int, len(m.Clusters))
+	c.read = make([][][]int, len(m.Clusters))
+	c.write = make([][][]int, len(m.Clusters))
+	for i := range m.Clusters {
+		cl := &m.Clusters[i]
+		c.fu[i] = take(len(cl.FUs))
+		c.read[i] = take(cl.ReadPorts)
+		c.write[i] = take(cl.WritePorts)
+	}
+	c.bus = take(m.Buses)
+	c.link = take(len(m.Links))
 	return c
+}
+
+// newPlacement stores p in the arena and returns its address. Entries
+// are never reused, so placement pointers handed out stay valid after
+// later placements or Unplace.
+func (c *Cycle) newPlacement(p Placement) *Placement {
+	if len(c.arena) == cap(c.arena) {
+		c.arena = make([]Placement, 0, 16)
+	}
+	c.arena = append(c.arena, p)
+	return &c.arena[len(c.arena)-1]
 }
 
 // II returns the initiation interval of the table.
@@ -146,10 +171,10 @@ func (c *Cycle) PlaceOp(node, cl int, k ddg.OpKind, cycle int) bool {
 	for d := 0; d < occ; d++ {
 		c.fu[cl][u][(s+d)%c.ii] = node
 	}
-	c.placed[node] = &Placement{
+	c.placed[node] = c.newPlacement(Placement{
 		Node: node, Cycle: cycle, Cluster: cl,
 		fuUnit: u, occupancy: occ, readPort: -1, busIndex: -1, linkIndex: -1,
-	}
+	})
 	return true
 }
 
@@ -178,19 +203,32 @@ func (c *Cycle) CanPlaceCopy(src int, targets []int, cycle int) bool {
 		}
 	}
 	// Multiple targets may not collapse onto one write-port pool unless
-	// the pool has room for all of them.
-	need := map[int]int{}
-	for _, t := range targets {
-		need[t]++
-	}
-	for t, n := range need {
+	// the pool has room for all of them. Targets number at most one per
+	// cluster, so counting duplicates by scanning beats a map.
+	for i, t := range targets {
+		need := 1
+		dup := false
+		for _, u := range targets[:i] {
+			if u == t {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		for _, u := range targets[i+1:] {
+			if u == t {
+				need++
+			}
+		}
 		free := 0
 		for _, row := range c.write[t] {
 			if row[s] == empty {
 				free++
 			}
 		}
-		if free < n {
+		if free < need {
 			return false
 		}
 	}
@@ -207,10 +245,10 @@ func (c *Cycle) PlaceCopy(node, src int, targets []int, cycle int) bool {
 		return false
 	}
 	s := c.slot(cycle)
-	p := &Placement{
+	p := c.newPlacement(Placement{
 		Node: node, Cycle: cycle, Cluster: src,
 		fuUnit: -1, busIndex: -1, linkIndex: -1,
-	}
+	})
 	p.readPort = freeIn(c.read[src], s)
 	c.read[src][p.readPort][s] = node
 	switch c.m.Network {
@@ -275,14 +313,12 @@ func (c *Cycle) ConflictsAt(cl int, k ddg.OpKind, cycle int) []int {
 		occ = c.ii
 	}
 	var out []int
-	seen := map[int]bool{}
 	for i, fu := range c.m.Clusters[cl].FUs {
 		if !fu.CanExecute(k) {
 			continue
 		}
 		for d := 0; d < occ; d++ {
-			if n := c.fu[cl][i][(s+d)%c.ii]; n != empty && !seen[n] {
-				seen[n] = true
+			if n := c.fu[cl][i][(s+d)%c.ii]; n != empty && !containsInt(out, n) {
 				out = append(out, n)
 			}
 		}
@@ -290,16 +326,25 @@ func (c *Cycle) ConflictsAt(cl int, k ddg.OpKind, cycle int) []int {
 	return out
 }
 
+// containsInt reports whether xs contains v; the conflict lists it
+// dedups are at most a handful of entries.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // CopyConflictsAt returns the nodes occupying resources a copy from src
 // to targets would need at the given cycle.
 func (c *Cycle) CopyConflictsAt(src int, targets []int, cycle int) []int {
 	s := c.slot(cycle)
-	seen := map[int]bool{}
 	var out []int
 	add := func(rows [][]int) {
 		for _, row := range rows {
-			if n := row[s]; n != empty && !seen[n] {
-				seen[n] = true
+			if n := row[s]; n != empty && !containsInt(out, n) {
 				out = append(out, n)
 			}
 		}
@@ -311,8 +356,7 @@ func (c *Cycle) CopyConflictsAt(src int, targets []int, cycle int) []int {
 	case machine.PointToPoint:
 		if len(targets) == 1 {
 			if li := c.m.LinkBetween(src, targets[0]); li >= 0 {
-				if n := c.link[li][s]; n != empty && !seen[n] {
-					seen[n] = true
+				if n := c.link[li][s]; n != empty && !containsInt(out, n) {
 					out = append(out, n)
 				}
 			}

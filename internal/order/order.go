@@ -25,8 +25,9 @@ func Sets(g *ddg.Graph, lat ddg.LatencyFunc) [][]int {
 		rec   int
 	}
 	rankedComps := make([]ranked, len(comps))
+	recs := mii.SCCRecMIIs(g, comps, lat)
 	for i, c := range comps {
-		rankedComps[i] = ranked{nodes: c.Nodes, rec: mii.SCCRecMII(g, c, lat)}
+		rankedComps[i] = ranked{nodes: c.Nodes, rec: recs[i]}
 	}
 	sort.SliceStable(rankedComps, func(i, j int) bool {
 		a, b := rankedComps[i], rankedComps[j]
@@ -88,18 +89,25 @@ func Compute(g *ddg.Graph, lat ddg.LatencyFunc) []int {
 	ordered := make([]int, 0, g.NumNodes())
 	placed := make([]bool, g.NumNodes())
 
-	for _, set := range Sets(g, lat) {
-		inSet := make(map[int]bool, len(set))
+	// Set membership by stamp and the candidate frontier as a flagged
+	// slice: the sweep is allocation-free after these four buffers.
+	inSet := make([]int, g.NumNodes())
+	inR := make([]bool, g.NumNodes())
+	rbuf := make([]int, 0, g.NumNodes())
+	for si, set := range Sets(g, lat) {
 		for _, n := range set {
-			inSet[n] = true
+			inSet[n] = si + 1
 		}
-		orderSet(g, set, inSet, depth, height, &ordered, placed)
+		orderSet(g, set, inSet, si+1, depth, height, &ordered, placed, &rbuf, inR)
 	}
 	return ordered
 }
 
 // orderSet runs the swing alternating sweep over one priority set.
-func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, ordered *[]int, placed []bool) {
+// inSet[n] == setID marks membership; rbuf and inR are the reusable
+// candidate frontier (inR must be all-false on entry and is all-false
+// on return, since the sweep always drains the frontier).
+func orderSet(g *ddg.Graph, set []int, inSet []int, setID int, depth, height []int, ordered *[]int, placed []bool, rbuf *[]int, inR []bool) {
 	const (
 		topDown  = 0
 		bottomUp = 1
@@ -112,10 +120,18 @@ func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, 
 		}
 	}
 
-	// candidates gathers the unplaced members of the set adjacent to the
-	// already ordered nodes, in the given direction.
-	candidates := func(dir int) map[int]bool {
-		r := map[int]bool{}
+	r := (*rbuf)[:0]
+	defer func() { *rbuf = r }()
+	add := func(n int) {
+		if inSet[n] == setID && !placed[n] && !inR[n] {
+			inR[n] = true
+			r = append(r, n)
+		}
+	}
+
+	// candidates refills r with the unplaced members of the set adjacent
+	// to the already ordered nodes, in the given direction.
+	candidates := func(dir int) {
 		for _, o := range *ordered {
 			var neigh []int
 			if dir == topDown {
@@ -124,19 +140,16 @@ func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, 
 				neigh = g.Predecessors(o)
 			}
 			for _, n := range neigh {
-				if inSet[n] && !placed[n] {
-					r[n] = true
-				}
+				add(n)
 			}
 		}
-		return r
 	}
 
 	for remaining > 0 {
 		dir := topDown
-		r := candidates(topDown)
+		candidates(topDown)
 		if len(r) == 0 {
-			r = candidates(bottomUp)
+			candidates(bottomUp)
 			if len(r) > 0 {
 				dir = bottomUp
 			}
@@ -153,14 +166,18 @@ func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, 
 					best = n
 				}
 			}
-			r = map[int]bool{best: true}
+			inR[best] = true
+			r = append(r, best)
 		}
 
 		for len(r) > 0 {
 			// Drain r in the current direction, expanding within the set.
 			for len(r) > 0 {
-				v := pick(r, dir, depth, height)
-				delete(r, v)
+				i := pick(r, dir, depth, height)
+				v := r[i]
+				r[i] = r[len(r)-1]
+				r = r[:len(r)-1]
+				inR[v] = false
 				if placed[v] {
 					continue
 				}
@@ -174,9 +191,7 @@ func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, 
 					neigh = g.Predecessors(v)
 				}
 				for _, n := range neigh {
-					if inSet[n] && !placed[n] {
-						r[n] = true
-					}
+					add(n)
 				}
 			}
 			// Swing: continue from the other side of the ordered nodes.
@@ -185,22 +200,19 @@ func orderSet(g *ddg.Graph, set []int, inSet map[int]bool, depth, height []int, 
 			} else {
 				dir = topDown
 			}
-			r = candidates(dir)
+			candidates(dir)
 		}
 	}
 }
 
-// pick selects the next node from r: top-down prefers the deepest node
-// (longest path from a source), bottom-up the highest (longest path to
-// a sink); ties fall to the other metric, then to the smaller ID for
-// determinism.
-func pick(r map[int]bool, dir int, depth, height []int) int {
-	best := -1
-	for n := range r {
-		if best == -1 {
-			best = n
-			continue
-		}
+// pick selects the index in r of the next node: top-down prefers the
+// deepest node (longest path from a source), bottom-up the highest
+// (longest path to a sink); ties fall to the other metric, then to the
+// smaller ID for determinism.
+func pick(r []int, dir int, depth, height []int) int {
+	bi := 0
+	for i := 1; i < len(r); i++ {
+		n, best := r[i], r[bi]
 		var p1, p2, b1, b2 int
 		if dir == 0 {
 			p1, p2 = depth[n], height[n]
@@ -211,14 +223,14 @@ func pick(r map[int]bool, dir int, depth, height []int) int {
 		}
 		switch {
 		case p1 > b1:
-			best = n
+			bi = i
 		case p1 == b1 && p2 > b2:
-			best = n
+			bi = i
 		case p1 == b1 && p2 == b2 && n < best:
-			best = n
+			bi = i
 		}
 	}
-	return best
+	return bi
 }
 
 // moreCritical ranks seed candidates: smaller slack first (depth+height

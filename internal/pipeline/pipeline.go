@@ -1,8 +1,23 @@
 // Package pipeline drives the paper's two-phase process (Figure 5):
 // compute the unified-machine MII, run cluster assignment at a
 // candidate II, hand the annotated graph to a traditional modulo
-// scheduler, and escalate II — re-running assignment from scratch —
-// until a valid schedule emerges.
+// scheduler, and escalate II until a valid schedule emerges.
+//
+// Unlike the paper's formulation — which restarts assignment from
+// scratch on every failure — the search here runs on a reusable
+// Session: all II-invariant precomputation (SCC decomposition,
+// adjacency and machine path tables, engine arenas, scheduler
+// buffers, per-machine ResMII totals) is hoisted out of the per-II
+// loop, and each escalated candidate is warm-started from the failed
+// candidate's last consistent partial assignment, falling back to a
+// scratch run at the same II when the warm attempt fails. After the
+// first failure, candidate IIs are probed in windows that can be
+// evaluated speculatively in parallel (Options.SpeculativeWorkers);
+// the lowest feasible candidate is committed either way, so outcomes
+// are byte-identical to the sequential search (see
+// docs/OBSERVABILITY.md for the determinism contract). RunBatch
+// shards whole loop sets over a worker pool with one Session per
+// worker.
 //
 // The search is observable and cancelable: RunContext threads a
 // context.Context and an optional obs.Observer through the
@@ -19,10 +34,7 @@ import (
 
 	"clustersched/internal/assign"
 	"clustersched/internal/ddg"
-	"clustersched/internal/diag"
-	"clustersched/internal/lint"
 	"clustersched/internal/machine"
-	"clustersched/internal/mii"
 	"clustersched/internal/obs"
 	"clustersched/internal/sched"
 )
@@ -73,6 +85,27 @@ type Options struct {
 	// timeout. It composes with whatever deadline the caller's context
 	// already carries (the earlier one wins).
 	Timeout time.Duration
+	// DisableWarmStart makes every II probe run from scratch instead
+	// of seeding from the previous failed candidate's partial
+	// assignment. Exists for ablation; warm starts never raise the
+	// achieved II (a failed warm attempt falls back to a scratch run
+	// at the same II).
+	DisableWarmStart bool
+	// SpeculativeWindow is the number of candidate IIs grouped into
+	// one probe round after the MII candidate fails; every probe in a
+	// round shares the same warm seed, which is what lets the round
+	// run speculatively without changing its outcome. Zero selects
+	// DefaultSpeculativeWindow. The window shapes the search (seeds
+	// advance per round, not per candidate) and must therefore be
+	// identical when comparing sequential and speculative runs.
+	SpeculativeWindow int
+	// SpeculativeWorkers bounds the goroutines evaluating one probe
+	// round concurrently. <= 1 (the default) evaluates rounds
+	// sequentially with early exit; higher values overlap candidate
+	// IIs and commit the lowest feasible one, byte-identical to the
+	// sequential result. Batch callers normally leave this at 1 and
+	// parallelize across loops instead (see RunBatch).
+	SpeculativeWorkers int
 }
 
 // DefaultMaxIISlack is the default II search headroom above MII.
@@ -117,79 +150,10 @@ func Run(g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
 // Cancellation is honoured mid-search: between II candidates, between
 // node placements inside assignment backtracking, and between
 // placements inside the modulo schedulers.
+//
+// RunContext is the one-shot form of Session.Schedule; callers
+// scheduling many loops on one machine should build a Session (or use
+// RunBatch) so the per-machine precomputation is paid once.
 func RunContext(ctx context.Context, g *ddg.Graph, m *machine.Config, opts Options) (*Outcome, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-		defer cancel()
-	}
-	if err := diag.AsError(lint.Graph(g)); err != nil {
-		return nil, fmt.Errorf("pipeline: invalid graph: %w", err)
-	}
-	if err := diag.AsError(lint.Machine(m)); err != nil {
-		return nil, fmt.Errorf("pipeline: invalid machine: %w", err)
-	}
-	slack := opts.MaxIISlack
-	if slack <= 0 {
-		slack = DefaultMaxIISlack
-	}
-	tr := obs.New(ctx, opts.Observer, opts.CollectStats)
-	opts.Assign.Trace = tr
-
-	tm := tr.BeginPhase(obs.PhaseMII, 0)
-	out := &Outcome{MII: mii.MII(g, m)}
-	tr.EndPhase(obs.PhaseMII, out.MII, tm, true)
-
-	for ii := out.MII; ii <= out.MII+slack; ii++ {
-		if err := tr.Err(); err != nil {
-			return nil, fmt.Errorf("pipeline: search canceled at II %d (MII %d): %w", ii, out.MII, err)
-		}
-		tr.IICandidate(ii)
-		ta := tr.BeginPhase(obs.PhaseAssign, ii)
-		res, ok := assign.Run(g, m, ii, opts.Assign)
-		tr.EndPhase(obs.PhaseAssign, ii, ta, ok)
-		if !ok {
-			out.AssignFailures++
-			continue
-		}
-		in := sched.Input{
-			Graph:       res.Graph,
-			Machine:     m,
-			ClusterOf:   res.ClusterOf,
-			CopyTargets: res.CopyTargets,
-			II:          ii,
-			Trace:       tr,
-		}
-		var (
-			s  *sched.Schedule
-			sk bool
-		)
-		ts := tr.BeginPhase(obs.PhaseSched, ii)
-		switch opts.Scheduler {
-		case SMS:
-			s, sk = sched.SMS(in, opts.SchedBudgetRatio)
-		default:
-			s, sk = sched.IMS(in, opts.SchedBudgetRatio)
-		}
-		tr.EndPhase(obs.PhaseSched, ii, ts, sk)
-		if !sk {
-			out.SchedFailures++
-			continue
-		}
-		out.II = ii
-		out.Assignment = res
-		out.Schedule = s
-		if tr != nil {
-			out.Stats = tr.Stats
-		}
-		return out, nil
-	}
-	if err := tr.Err(); err != nil {
-		return nil, fmt.Errorf("pipeline: search canceled (MII %d): %w", out.MII, err)
-	}
-	return nil, fmt.Errorf("pipeline: no schedule for %q within II <= %d (MII %d)",
-		m.Name, out.MII+slack, out.MII)
+	return NewSession(m, opts).Schedule(ctx, g)
 }

@@ -1,0 +1,407 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/diag"
+	"clustersched/internal/lint"
+	"clustersched/internal/machine"
+	"clustersched/internal/mii"
+	"clustersched/internal/obs"
+	"clustersched/internal/pool"
+	"clustersched/internal/sched"
+)
+
+// DefaultSpeculativeWindow is the number of candidate IIs evaluated
+// per probe round once the search has left the MII (see
+// Options.SpeculativeWindow).
+const DefaultSpeculativeWindow = 4
+
+// Session is a reusable scheduling context for one machine
+// configuration: it hoists everything the II search would otherwise
+// recompute per call — the machine lint verdict, the per-machine
+// ResMII resource totals, and the schedulers' working buffers — and
+// runs the warm-started, optionally speculative II search described in
+// the package comment. Scheduling many loops on one Session is
+// equivalent to (and byte-identical with) calling RunContext per loop;
+// it is just faster.
+//
+// A Session may be used from one goroutine at a time. Probe workers
+// spawned internally never outlive a Schedule call.
+type Session struct {
+	m    *machine.Config
+	opts Options
+	mc   *mii.Machine
+	mErr error
+
+	slack   int
+	window  int
+	workers int
+
+	// scratches is the free list of scheduler buffer sets, shared
+	// across loops and probe workers of this session.
+	scratches chan *sched.Scratch
+}
+
+// NewSession builds a session for machine m. The machine is linted
+// once, here; a machine with Error-severity diagnostics makes every
+// Schedule call fail with the same wrapped *diag.List error RunContext
+// reports.
+func NewSession(m *machine.Config, opts Options) *Session {
+	s := &Session{
+		m:       m,
+		opts:    opts,
+		mc:      mii.NewMachine(m),
+		slack:   opts.MaxIISlack,
+		window:  opts.SpeculativeWindow,
+		workers: opts.SpeculativeWorkers,
+	}
+	if err := diag.AsError(lint.Machine(m)); err != nil {
+		s.mErr = fmt.Errorf("pipeline: invalid machine: %w", err)
+	}
+	if s.slack <= 0 {
+		s.slack = DefaultMaxIISlack
+	}
+	if s.window <= 0 {
+		s.window = DefaultSpeculativeWindow
+	}
+	if s.workers <= 0 {
+		s.workers = 1
+	}
+	s.scratches = make(chan *sched.Scratch, s.workers)
+	return s
+}
+
+// takeScratch and putScratch manage the scheduler-buffer free list.
+func (s *Session) takeScratch() *sched.Scratch {
+	select {
+	case sc := <-s.scratches:
+		return sc
+	default:
+		return new(sched.Scratch)
+	}
+}
+
+func (s *Session) putScratch(sc *sched.Scratch) {
+	select {
+	case s.scratches <- sc:
+	default:
+	}
+}
+
+// Schedule runs the II search for loop g. It is the session form of
+// RunContext: same contract, same errors, same Outcome.
+func (s *Session) Schedule(ctx context.Context, g *ddg.Graph) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		defer cancel()
+	}
+	if err := diag.AsError(lint.Graph(g)); err != nil {
+		return nil, fmt.Errorf("pipeline: invalid graph: %w", err)
+	}
+	if s.mErr != nil {
+		return nil, s.mErr
+	}
+
+	tr := obs.New(ctx, s.opts.Observer, s.opts.CollectStats)
+	tm := tr.BeginPhase(obs.PhaseMII, 0)
+	out := &Outcome{MII: s.mc.MII(g)}
+	tr.EndPhase(obs.PhaseMII, out.MII, tm, true)
+
+	sr := &search{
+		s:       s,
+		g:       g,
+		ctx:     ctx,
+		collect: tr != nil,
+		probs:   make(chan *assign.Problem, s.workers),
+	}
+
+	finish := func(po probeOut) (*Outcome, error) {
+		out.II = po.ii
+		out.Assignment = po.res
+		out.Schedule = po.sch
+		if tr != nil {
+			out.Stats = tr.Stats
+		}
+		return out, nil
+	}
+	// consume folds a probe the sequential search would also have run
+	// into the run totals; wasted speculative probes never get here.
+	consume := func(po probeOut) {
+		if po.collected && tr != nil {
+			tr.Stats.Add(po.stats)
+		}
+		out.AssignFailures += po.assignFail
+		out.SchedFailures += po.schedFail
+	}
+
+	// First candidate: the MII, probed alone and never warm (there is
+	// no earlier failure to seed from).
+	if err := tr.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: search canceled at II %d (MII %d): %w", out.MII, out.MII, err)
+	}
+	po := sr.probe(out.MII, nil)
+	consume(po)
+	if po.ok {
+		return finish(po)
+	}
+	seed := po.partial
+
+	// Escalation: probe windows of candidate IIs, every probe in a
+	// window warm-started from the same seed — the partial assignment
+	// left by the previous round's highest candidate. The sequential
+	// and speculative executions of a window differ only in overlap:
+	// probes are pure functions of (graph, II, seed), the sequential
+	// walk stops at the first success, and the speculative walk runs
+	// the whole window and commits the lowest success, so both commit
+	// the identical probe.
+	maxII := out.MII + s.slack
+	for base := out.MII + 1; base <= maxII; base += s.window {
+		if err := tr.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: search canceled at II %d (MII %d): %w", base, out.MII, err)
+		}
+		w := s.window
+		if base+w-1 > maxII {
+			w = maxII - base + 1
+		}
+		outs := make([]probeOut, 0, w)
+		speculated := s.workers > 1 && w > 1
+		if speculated {
+			all := make([]probeOut, w)
+			_ = pool.ForEach(sr.ctx, w, s.workers, func(i int) {
+				all[i] = sr.probe(base+i, seed)
+			})
+			outs = all
+		} else {
+			for i := 0; i < w; i++ {
+				po := sr.probe(base+i, seed)
+				outs = append(outs, po)
+				if po.ok {
+					break
+				}
+			}
+		}
+		winner := -1
+		for i := range outs {
+			if outs[i].ok {
+				winner = i
+				break
+			}
+		}
+		if winner >= 0 {
+			for i := 0; i <= winner; i++ {
+				consume(outs[i])
+			}
+			if speculated {
+				if winner > 0 {
+					tr.SpeculativeWin()
+				}
+				tr.SpeculativeWasted(len(outs) - winner - 1)
+			}
+			return finish(outs[winner])
+		}
+		for i := range outs {
+			consume(outs[i])
+		}
+		seed = outs[len(outs)-1].partial
+	}
+	if err := tr.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: search canceled (MII %d): %w", out.MII, err)
+	}
+	return nil, fmt.Errorf("pipeline: no schedule for %q within II <= %d (MII %d)",
+		s.m.Name, maxII, out.MII)
+}
+
+// search is the per-loop state of one Schedule call: the assignment
+// problem free list (problems are graph-specific, scratches are not).
+type search struct {
+	s       *Session
+	g       *ddg.Graph
+	ctx     context.Context
+	collect bool
+	probs   chan *assign.Problem
+}
+
+func (sr *search) takeProb() *assign.Problem {
+	select {
+	case p := <-sr.probs:
+		return p
+	default:
+		return assign.NewProblem(sr.g, sr.s.m, sr.s.opts.Assign)
+	}
+}
+
+func (sr *search) putProb(p *assign.Problem) {
+	select {
+	case sr.probs <- p:
+	default:
+	}
+}
+
+// probeOut is the result of one candidate-II probe.
+type probeOut struct {
+	ii  int
+	ok  bool
+	res *assign.Result
+	sch *sched.Schedule
+	// partial is the warm seed this failed probe leaves behind (an
+	// owned copy; nil when the probe succeeded, was canceled, or ran
+	// on a unified machine).
+	partial []int
+	// stats are the probe's counters when collection was on; wasted
+	// speculative probes' stats are dropped by the caller so the
+	// surviving totals match the sequential search exactly.
+	stats      obs.Stats
+	collected  bool
+	assignFail int
+	schedFail  int
+}
+
+// probe evaluates one candidate II: a warm-started attempt when a seed
+// is available (and warm starts are enabled), falling back to a
+// scratch attempt at the same II when the warm attempt fails, so a
+// warm probe succeeds whenever a scratch probe would. Probes are pure
+// functions of (graph, machine, options, ii, seed) — they share no
+// mutable state — which is what makes speculative execution commit
+// byte-identical outcomes to the sequential walk.
+func (sr *search) probe(ii int, seed []int) (po probeOut) {
+	po.ii = ii
+	ptr := obs.New(sr.ctx, sr.s.opts.Observer, sr.collect)
+	p := sr.takeProb()
+	sc := sr.s.takeScratch()
+	defer func() {
+		sr.putProb(p)
+		sr.s.putScratch(sc)
+		if ptr != nil {
+			po.stats = ptr.Stats
+			po.collected = true
+		}
+	}()
+	ptr.IICandidate(ii)
+
+	if len(seed) > 0 && !sr.s.opts.DisableWarmStart {
+		ptr.WarmStart()
+		res, sch, _, ok := sr.attempt(p, sc, ii, seed, ptr)
+		if ok {
+			po.ok, po.res, po.sch = true, res, sch
+			return po
+		}
+		if ptr.Canceled() {
+			return po
+		}
+		ptr.WarmFallback()
+	}
+	res, sch, partial, ok := sr.attempt(p, sc, ii, nil, ptr)
+	if ok {
+		po.ok, po.res, po.sch = true, res, sch
+		return po
+	}
+	po.assignFail, po.schedFail = boolInt(sch == nil && res == nil), boolInt(res != nil)
+	if partial != nil && !ptr.Canceled() {
+		po.partial = append([]int(nil), partial...)
+	}
+	return po
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// attempt is one assignment+scheduling pass at ii. On failure it
+// returns the warm seed the pass leaves behind: the assignment's
+// consistent partial on an assignment failure, or the full committed
+// assignment when the scheduler was the phase that rejected the II.
+// The returned partial aliases p or res and must be copied before p
+// is reused.
+func (sr *search) attempt(p *assign.Problem, sc *sched.Scratch, ii int, seed []int, ptr *obs.Trace) (*assign.Result, *sched.Schedule, []int, bool) {
+	ta := ptr.BeginPhase(obs.PhaseAssign, ii)
+	res, aok := p.RunAt(ii, seed, ptr)
+	ptr.EndPhase(obs.PhaseAssign, ii, ta, aok)
+	if !aok {
+		return nil, nil, p.Partial(), false
+	}
+	in := sched.Input{
+		Graph:       res.Graph,
+		Machine:     sr.s.m,
+		ClusterOf:   res.ClusterOf,
+		CopyTargets: res.CopyTargets,
+		II:          ii,
+		Trace:       ptr,
+		Scratch:     sc,
+	}
+	var (
+		sch *sched.Schedule
+		sok bool
+	)
+	ts := ptr.BeginPhase(obs.PhaseSched, ii)
+	switch sr.s.opts.Scheduler {
+	case SMS:
+		sch, sok = sched.SMS(in, sr.s.opts.SchedBudgetRatio)
+	default:
+		sch, sok = sched.IMS(in, sr.s.opts.SchedBudgetRatio)
+	}
+	ptr.EndPhase(obs.PhaseSched, ii, ts, sok)
+	if !sok {
+		return res, nil, res.ClusterOf[:res.NumOriginal], false
+	}
+	return res, sch, nil, true
+}
+
+// BatchResult is one loop's result within RunBatch, in input order.
+type BatchResult struct {
+	Outcome *Outcome
+	Err     error
+}
+
+// RunBatch schedules every loop of loops on machine m, sharding the
+// batch over a bounded worker pool with one reusable Session per
+// worker. Results come back in input order and are byte-identical to
+// calling RunContext(ctx, loop, m, opts) per loop — worker count
+// changes only wall-clock time. workers <= 0 selects GOMAXPROCS.
+//
+// Speculative probing and batch sharding compose but multiply
+// goroutines; batch callers normally leave Options.SpeculativeWorkers
+// at 1 and let loop-level parallelism fill the machine.
+func RunBatch(ctx context.Context, loops []*ddg.Graph, m *machine.Config, opts Options, workers int) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]BatchResult, len(loops))
+	sessions := make(chan *Session, workers)
+	err := pool.ForEach(ctx, len(loops), workers, func(i int) {
+		var s *Session
+		select {
+		case s = <-sessions:
+		default:
+			s = NewSession(m, opts)
+		}
+		o, e := s.Schedule(ctx, loops[i])
+		out[i] = BatchResult{Outcome: o, Err: e}
+		select {
+		case sessions <- s:
+		default:
+		}
+	})
+	if err != nil {
+		for i := range out {
+			if out[i].Outcome == nil && out[i].Err == nil {
+				out[i].Err = fmt.Errorf("pipeline: batch canceled: %w", err)
+			}
+		}
+	}
+	return out
+}

@@ -37,15 +37,17 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 	}
 	budget := budgetRatio * n
 
+	s := in.Scratch
+	if s == nil {
+		s = new(Scratch)
+	}
 	table := mrt.NewCycle(in.Machine, in.II)
-	cycleOf := make([]int, n)
-	scheduled := make([]bool, n)
-	everTried := make([]bool, n)
-	lastCycle := make([]int, n)
+	cycleOf, scheduled, everTried, lastCycle := s.prep(n)
 
 	// Priority: most critical first — smallest latest-start time, ties
 	// by node ID for determinism.
-	pq := &nodeHeap{prio: lstart}
+	pq := &nodeHeap{items: s.heapItems[:0], prio: lstart}
+	defer func() { s.heapItems = pq.items[:0] }()
 	for i := 0; i < n; i++ {
 		heap.Push(pq, i)
 	}
@@ -124,7 +126,7 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 		}
 	}
 
-	return &Schedule{II: in.II, CycleOf: cycleOf, Table: table}, true
+	return &Schedule{II: in.II, CycleOf: copyOut(cycleOf), Table: table}, true
 }
 
 // nodeHeap orders node IDs by ascending priority value (critical

@@ -28,6 +28,10 @@ type Input struct {
 	// context (see internal/obs); nil disables both. A canceled
 	// context makes the scheduler return not-ok between placements.
 	Trace *obs.Trace
+	// Scratch, when non-nil, supplies reusable working buffers so
+	// repeated scheduling attempts (the II-escalation loop) stop
+	// allocating per candidate. Results never alias it.
+	Scratch *Scratch
 }
 
 func (in *Input) clusterOf(n int) int {

@@ -1,0 +1,54 @@
+package sched
+
+// Scratch holds the per-run working buffers of both schedulers so an
+// II-escalation loop or a batch runner can reuse them across calls
+// instead of reallocating per candidate II. The zero value is ready to
+// use; buffers grow to the largest graph seen and are re-zeroed per
+// run. A Scratch is single-threaded — parallel probes each need their
+// own — and a successful Schedule copies its cycle vector out, so
+// results never alias the scratch.
+type Scratch struct {
+	cycleOf   []int
+	scheduled []bool
+	everTried []bool
+	lastCycle []int
+	heapItems []int
+	rank      []int
+}
+
+// prep returns the zeroed run buffers sized for n nodes.
+func (s *Scratch) prep(n int) (cycleOf []int, scheduled, everTried []bool, lastCycle []int) {
+	if cap(s.cycleOf) < n {
+		s.cycleOf = make([]int, n)
+		s.scheduled = make([]bool, n)
+		s.everTried = make([]bool, n)
+		s.lastCycle = make([]int, n)
+	}
+	s.cycleOf = s.cycleOf[:n]
+	s.scheduled = s.scheduled[:n]
+	s.everTried = s.everTried[:n]
+	s.lastCycle = s.lastCycle[:n]
+	for i := 0; i < n; i++ {
+		s.cycleOf[i] = 0
+		s.scheduled[i] = false
+		s.everTried[i] = false
+		s.lastCycle[i] = 0
+	}
+	return s.cycleOf, s.scheduled, s.everTried, s.lastCycle
+}
+
+// rankBuf returns an n-sized int buffer (contents unspecified; callers
+// overwrite every slot).
+func (s *Scratch) rankBuf(n int) []int {
+	if cap(s.rank) < n {
+		s.rank = make([]int, n)
+	}
+	return s.rank[:n]
+}
+
+// copyOut materializes a result cycle vector from a scratch-backed one.
+func copyOut(cycleOf []int) []int {
+	out := make([]int, len(cycleOf))
+	copy(out, cycleOf)
+	return out
+}

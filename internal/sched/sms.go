@@ -36,20 +36,22 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 	}
 	budget := budgetRatio * n
 
+	s := in.Scratch
+	if s == nil {
+		s = new(Scratch)
+	}
 	prio := order.Compute(g, lat)
-	rank := make([]int, n)
+	rank := s.rankBuf(n)
 	for i, v := range prio {
 		rank[v] = i
 	}
 
 	table := newTableFor(in)
-	cycleOf := make([]int, n)
-	scheduled := make([]bool, n)
-	lastCycle := make([]int, n)
-	everTried := make([]bool, n)
+	cycleOf, scheduled, everTried, lastCycle := s.prep(n)
 
 	// Work list ordered by swing rank; displaced nodes re-enter it.
-	pq := &nodeHeap{prio: rank}
+	pq := &nodeHeap{items: s.heapItems[:0], prio: rank}
+	defer func() { s.heapItems = pq.items[:0] }()
 	for _, v := range prio {
 		heap.Push(pq, v)
 	}
@@ -173,7 +175,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 	}
 
 	normalize(cycleOf, in.II)
-	return &Schedule{II: in.II, CycleOf: cycleOf, Table: table}, true
+	return &Schedule{II: in.II, CycleOf: copyOut(cycleOf), Table: table}, true
 }
 
 // normalize shifts all cycles by a multiple of II so the earliest is

@@ -321,12 +321,18 @@ func ResponseFor(name, machineSpec string, res *clustersched.Result) ScheduleRes
 	}
 }
 
+// scheduleFunc runs one loop through the pipeline. The single-shot
+// handler uses the facade directly; the batch handler substitutes a
+// session free-list so per-machine precomputation is shared across the
+// request's loops.
+type scheduleFunc func(ctx context.Context, g *clustersched.Graph) (*clustersched.Result, error)
+
 // runJob serves one job through the cache: on a miss it runs the full
 // pipeline under ctx (so a dead client connection aborts the II
 // search), audits the schedule, and stores the encoded response.
-func (s *Server) runJob(ctx context.Context, job scheduleJob) ([]byte, cache.Source, error) {
+func (s *Server) runJob(ctx context.Context, job scheduleJob, schedule scheduleFunc) ([]byte, cache.Source, error) {
 	return s.cache.GetOrCompute(ctx, job.key, func(ctx context.Context) ([]byte, error) {
-		res, err := clustersched.ScheduleContext(ctx, job.graph, job.machine, job.options...)
+		res, err := schedule(ctx, job.graph)
 		if err != nil {
 			return nil, err
 		}
@@ -334,6 +340,37 @@ func (s *Server) runJob(ctx context.Context, job scheduleJob) ([]byte, cache.Sou
 		s.addSchedStats(res.Stats())
 		return json.Marshal(ResponseFor(job.name, job.machineSpec, res))
 	})
+}
+
+// sessionPool is a bounded free list of facade sessions for one batch
+// request's (machine, options) pair: at most `workers` sessions exist,
+// each used by one goroutine at a time.
+type sessionPool struct {
+	m       *clustersched.Machine
+	options []clustersched.Option
+	free    chan *clustersched.Session
+}
+
+func newSessionPool(m *clustersched.Machine, options []clustersched.Option, workers int) *sessionPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &sessionPool{m: m, options: options, free: make(chan *clustersched.Session, workers)}
+}
+
+func (p *sessionPool) schedule(ctx context.Context, g *clustersched.Graph) (*clustersched.Result, error) {
+	var sess *clustersched.Session
+	select {
+	case sess = <-p.free:
+	default:
+		sess = clustersched.NewSession(p.m, p.options...)
+	}
+	res, err := sess.Schedule(ctx, g)
+	select {
+	case p.free <- sess:
+	default:
+	}
+	return res, err
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +408,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := s.buildJob(req.Name, req.Machine, loops[0], m, opts, optID)
-	body, src, err := s.runJob(r.Context(), job)
+	body, src, err := s.runJob(r.Context(), job, func(ctx context.Context, g *clustersched.Graph) (*clustersched.Result, error) {
+		return clustersched.ScheduleContext(ctx, g, job.machine, job.options...)
+	})
 	if err != nil {
 		writeError(w, scheduleErrorStatus(err), err)
 		return
@@ -415,10 +454,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items := make([]BatchItem, len(loops))
 	var hits atomic.Int64
 	ctx := r.Context()
+	sessions := newSessionPool(m, opts, s.cfg.Workers)
 	perr := pool.ForEach(ctx, len(loops), s.cfg.Workers, func(i int) {
 		job := s.buildJob("", req.Machine, loops[i], m, opts, optID)
 		items[i].Name = job.name
-		body, src, err := s.runJob(ctx, job)
+		body, src, err := s.runJob(ctx, job, sessions.schedule)
 		if err != nil {
 			items[i].Error = err.Error()
 			return

@@ -1,14 +1,23 @@
 #!/bin/sh
 # Pipeline benchmark: times the full scheduling pipeline over the
-# synthetic suite and writes BENCH_pipeline.json (ns/op plus the
-# aggregated search-effort statistics).
+# synthetic suite via pipeline.RunBatch (per-worker reusable sessions,
+# warm-started II search) and writes BENCH_pipeline.json — batch
+# throughput as ns/op plus the aggregated search-effort statistics,
+# including the ii_warm_starts / ii_warm_fallbacks warm-start counters.
+# The workers, warm_start and reps fields of the JSON say how the
+# number was produced; -workers 1 -warmstart=off reproduces the
+# pre-session sequential baseline. ns_per_op is the fastest of
+# -benchreps passes over the suite: the bench hosts are time-shared,
+# a single pass is hostage to whatever else holds the CPU, and the
+# minimum is the least-interfered estimate (scheduling outcomes are
+# deterministic, so repetition changes timing only).
 # Run from the repository root:  sh scripts/bench.sh [count]
 set -eu
 
 COUNT="${1:-400}"
 OUT="BENCH_pipeline.json"
 
-go run ./cmd/clusterbench -benchjson -count "$COUNT" > "$OUT"
+go run ./cmd/clusterbench -benchjson -benchreps 10 -count "$COUNT" > "$OUT"
 echo "bench: wrote $OUT"
 
 # Assignment-only benchmark: the incremental-engine suite (ns/op per

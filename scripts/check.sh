@@ -8,12 +8,14 @@ go build ./...
 go vet ./...
 go test ./...
 # Race pass over every package that runs goroutines (worker pools,
-# shared observers, the daemon and its cache) plus the public API that
-# feeds them, and the assignment engine's differential/fuzz-seed tests.
-go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ ./internal/assign/ .
-# Short benchmark smoke pass: the assignment benchmarks must still run
-# (allocation regressions fail in the test pass above; this catches
-# benchmarks broken by API drift).
+# shared observers, the daemon and its cache, the speculative II
+# search and batch sharding) plus the public API that feeds them, and
+# the assignment engine's differential/fuzz-seed tests.
+go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ ./internal/assign/ ./internal/pipeline/ .
+# Short benchmark smoke pass: the assignment benchmarks and the
+# session/batch benchmarks must still run (allocation regressions fail
+# in the test pass above; this catches benchmarks broken by API drift).
 go test -run xxx -bench . -benchtime 2x ./internal/assign/
+go test -run xxx -bench 'BenchmarkRunBatch|BenchmarkSessionSchedule' -benchtime 1x ./internal/pipeline/
 sh scripts/lint.sh
 echo "check: OK"
