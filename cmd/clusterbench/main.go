@@ -75,6 +75,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject flag combinations whose extra flags would be silently
+	// ignored by the mode dispatch below.
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if conflicts := flagConflicts(setFlags); len(conflicts) > 0 {
+		diag.Text(os.Stderr, conflicts)
+		os.Exit(2)
+	}
+
 	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
 		fatal(err)
 	}

@@ -77,6 +77,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		diags = append(diags, machineDiags...)
 	}
 
+	diag.Sort(diags)
 	if *jsonOut {
 		if err := diag.JSON(stdout, diags); err != nil {
 			fmt.Fprintf(stderr, "clusterlint: %v\n", err)
@@ -88,14 +89,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "clusterlint: no findings")
 		}
 	}
-
-	if diag.CountErrors(diags) > 0 {
-		return 1
-	}
-	if *werror && len(diag.Filter(diags, diag.Warning)) > 0 {
-		return 1
-	}
-	return 0
+	return diag.ExitCode(diags, *werror)
 }
 
 // lintFile dispatches one input file on its format: ".ddg" is the DDG

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -57,6 +58,37 @@ func TestZeroCycleFixtureJSONMode(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("JSON findings %v missing an error-severity DDG006", diags)
+	}
+}
+
+// TestGoldenJSON pins the exact -json bytes for the zero-cycle
+// fixture: stable codes and stable ordering, so diagnostic output is
+// itself deterministic. The golden file is regenerated with:
+//
+//	go run ./cmd/clusterlint -json testdata/zerocycle.ddg \
+//	    > testdata/zerocycle.golden.json
+func TestGoldenJSON(t *testing.T) {
+	code, out, stderr := runLint(t, []string{"-json", "testdata/zerocycle.ddg"}, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	want, err := os.ReadFile("testdata/zerocycle.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("-json output drifted from golden file\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	var diags []diag.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	resorted := append([]diag.Diagnostic(nil), diags...)
+	diag.Sort(resorted)
+	for i := range diags {
+		if diags[i] != resorted[i] {
+			t.Fatalf("JSON findings not in canonical order at %d", i)
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"clustersched/internal/diag"
+)
+
+// runVet drives the CLI exactly as main does, capturing the streams.
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+const allocbadDir = "../../internal/schedvet/testdata/src/allocbad"
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, stderr := runVet(t, "../../internal/diag")
+	if code != 0 {
+		t.Fatalf("exit %d on internal/diag, want 0\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "no findings") {
+		t.Errorf("stdout = %q, want the no-findings notice", out)
+	}
+}
+
+func TestSeededFixtureTextMode(t *testing.T) {
+	code, out, _ := runVet(t, allocbadDir)
+	if code != 1 {
+		t.Fatalf("exit %d on the seeded fixture, want 1\nstdout: %s", code, out)
+	}
+	for _, want := range []string{"VET010", "VET011", "VET012", "VET013", "VET014"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %s:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "internal/schedvet/testdata/src/allocbad/allocbad.go") {
+		t.Errorf("stdout does not use module-relative paths:\n%s", out)
+	}
+}
+
+// TestGoldenJSON pins the exact -json bytes for the seeded fixture:
+// stable codes, stable module-relative paths, stable ordering. The
+// golden file is regenerated with:
+//
+//	go run ./cmd/schedvet -json internal/schedvet/testdata/src/allocbad \
+//	    > cmd/schedvet/testdata/allocbad.golden.json
+func TestGoldenJSON(t *testing.T) {
+	code, out, stderr := runVet(t, "-json", allocbadDir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	want, err := os.ReadFile("testdata/allocbad.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("-json output drifted from golden file\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	var diags []diag.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	resorted := append([]diag.Diagnostic(nil), diags...)
+	diag.Sort(resorted)
+	for i := range diags {
+		if diags[i] != resorted[i] {
+			t.Fatalf("JSON findings not in canonical order at %d", i)
+		}
+	}
+}
+
+func TestUnknownFlagExitsTwo(t *testing.T) {
+	code, _, stderr := runVet(t, "-bogus")
+	if code != 2 {
+		t.Fatalf("exit %d on unknown flag, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage") && !strings.Contains(stderr, "flag") {
+		t.Errorf("stderr = %q, want a usage message", stderr)
+	}
+}
+
+func TestMissingDirExitsTwo(t *testing.T) {
+	code, _, stderr := runVet(t, "no/such/dir")
+	if code != 2 {
+		t.Fatalf("exit %d on a missing directory, want 2\nstderr: %s", code, stderr)
+	}
+}

@@ -117,6 +117,8 @@ func (e *engine) targets(p int, r eRecord) []int { return e.tgts[p][r.off : r.of
 // copy records, and aggregates. It reports false — leaving every
 // structure exactly as before — when the operation or its implied
 // copies do not fit. Cost is O(deg(n) + Σ deg(affected producers)).
+//
+//schedvet:alloc-free
 func (e *engine) apply(n, cl int) bool {
 	a := e.a
 	e.cap.JournalReset()
@@ -184,6 +186,8 @@ func (e *engine) apply(n, cl int) bool {
 // remove unassigns node n (which must be assigned), the exact inverse
 // of apply. It cannot fail: the remaining copies are a subset of what
 // already fit.
+//
+//schedvet:alloc-free
 func (e *engine) remove(n int) {
 	a := e.a
 	cl := a.cluster[n]
@@ -232,6 +236,8 @@ func (e *engine) remove(n int) {
 // consumers changed cluster: remove the old reservations, place the
 // new set. Reports false when the new set does not fit (the caller
 // rolls back via the journal).
+//
+//schedvet:alloc-free
 func (e *engine) replaceCopies(p int) bool {
 	e.removeCopies(p)
 	added := e.walk(p, true)
@@ -243,6 +249,8 @@ func (e *engine) replaceCopies(p int) bool {
 }
 
 // removeCopies releases and forgets all of p's copy records.
+//
+//schedvet:alloc-free
 func (e *engine) removeCopies(p int) {
 	if len(e.recs[p]) == 0 {
 		return
@@ -261,6 +269,8 @@ func (e *engine) removeCopies(p int) {
 
 // fillRecords recomputes p's records from the cluster vector without
 // touching the capacity table, used to restore after a rollback.
+//
+//schedvet:alloc-free
 func (e *engine) fillRecords(p int) {
 	e.recs[p] = e.recs[p][:0]
 	e.tgts[p] = e.tgts[p][:0]
@@ -278,6 +288,8 @@ func (e *engine) fillRecords(p int) {
 // the capacity table and reports -1 when a reservation fails (or a
 // target is unreachable); otherwise it returns the number of records
 // appended. The caller is responsible for adding that to e.copies.
+//
+//schedvet:alloc-free
 func (e *engine) walk(p int, place bool) int {
 	a := e.a
 	src := a.cluster[p]
@@ -326,6 +338,8 @@ func (e *engine) walk(p int, place bool) int {
 
 // computeTargets returns the distinct clusters (ascending) holding
 // assigned consumers of p, in a buffer valid until the next call.
+//
+//schedvet:alloc-free
 func (e *engine) computeTargets(p int) []int {
 	a := e.a
 	home := a.cluster[p]
@@ -347,6 +361,8 @@ func (e *engine) computeTargets(p int) []int {
 // refreshContrib recomputes assigned node v's PCR term after its copy
 // count or unassigned-successor count changed, folding the difference
 // into its cluster's aggregate.
+//
+//schedvet:alloc-free
 func (e *engine) refreshContrib(v int) {
 	cl := e.a.cluster[v]
 	if cl < 0 {

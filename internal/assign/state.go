@@ -185,6 +185,8 @@ func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigne
 // reset returns the assigner to its freshly constructed state at a new
 // candidate II, reusing every precomputed table and buffer — this is
 // what makes an escalation step pay only the II-dependent work.
+//
+//schedvet:alloc-free
 func (a *assigner) reset(ii int) {
 	a.ii = ii
 	for i := range a.cluster {
@@ -210,6 +212,8 @@ func (a *assigner) reset(ii int) {
 // including the assignSeq stamps the victim policy reads — is a pure
 // function of the seed, which the determinism of speculative II
 // probing relies on.
+//
+//schedvet:alloc-free
 func (a *assigner) seedFrom(seed []int) {
 	if a.eng != nil {
 		deltas := 0
@@ -260,7 +264,11 @@ func (a *assigner) capturePartial(skip int) {
 
 // succsOf and predsOf return the precomputed distinct sorted
 // neighbours of n; the slices are owned by the assigner.
+//
+//schedvet:alloc-free
 func (a *assigner) succsOf(n int) []int { return a.succAdj[a.succOff[n]:a.succOff[n+1]] }
+
+//schedvet:alloc-free
 func (a *assigner) predsOf(n int) []int { return a.predAdj[a.predOff[n]:a.predOff[n+1]] }
 
 // violationKind labels which resource class ran out during a derive.
@@ -311,6 +319,8 @@ type derived struct {
 // sub-slices of the arena; append-driven regrowth leaves earlier
 // slices pointing at the old backing array, whose contents are never
 // mutated, so they stay valid.
+//
+//schedvet:alloc-free
 func (a *assigner) remoteTargets(d *derived, p int) []int {
 	home := a.cluster[p]
 	start := len(d.arena)
@@ -337,6 +347,8 @@ func (a *assigner) remoteTargets(d *derived, p int) []int {
 
 // assignedRemoteConsumers returns the assigned consumers of p living
 // on other clusters, in a buffer valid until the next call.
+//
+//schedvet:alloc-free
 func (a *assigner) assignedRemoteConsumers(p int) []int {
 	home := a.cluster[p]
 	out := a.consBuf[:0]
@@ -352,6 +364,8 @@ func (a *assigner) assignedRemoteConsumers(p int) []int {
 
 // insertionSort sorts the (small: at most one entry per cluster) slice
 // ascending without allocating.
+//
+//schedvet:alloc-free
 func insertionSort(x []int) {
 	for i := 1; i < len(x); i++ {
 		for j := i; j > 0 && x[j] < x[j-1]; j-- {
@@ -405,6 +419,8 @@ func (a *assigner) deriveScratch() *derived {
 
 // deriveInto fills d (assumed zeroed/reset) from the current cluster
 // vector and returns it.
+//
+//schedvet:alloc-free
 func (a *assigner) deriveInto(d *derived) *derived {
 	a.opts.Trace.AssignFullDerive()
 	// Victims for a function-unit violation share the charge class of
@@ -492,6 +508,8 @@ func (a *assigner) placeBroadcast(d *derived, p int, targets []int) bool {
 // available on every target cluster, forwarding through intermediate
 // clusters along shortest link paths when the target is not adjacent
 // (the grid machine of Section 2.1).
+//
+//schedvet:alloc-free
 func (a *assigner) placeChained(d *derived, p int, targets []int) bool {
 	home := a.cluster[p]
 	a.chEpoch++
@@ -529,8 +547,12 @@ func (a *assigner) placeChained(d *derived, p int, targets []int) bool {
 
 // pathOf and linkOf are the precomputed forms of machine.Path and
 // machine.LinkBetween.
+//
+//schedvet:alloc-free
 func (a *assigner) pathOf(u, v int) []int { return a.pathTab[u*a.m.NumClusters()+v] }
-func (a *assigner) linkOf(u, v int) int   { return a.linkTab[u*a.m.NumClusters()+v] }
+
+//schedvet:alloc-free
+func (a *assigner) linkOf(u, v int) int { return a.linkTab[u*a.m.NumClusters()+v] }
 
 // linkViolation attributes a failed point-to-point copy to its scarce
 // resource and gathers victim candidates.
@@ -549,6 +571,7 @@ func (a *assigner) linkViolation(d *derived, p int, u, v, li int) violation {
 	}
 }
 
+//schedvet:alloc-free
 func hasTarget(r copyRecord, t int) bool {
 	for _, x := range r.targets {
 		if x == t {
@@ -596,6 +619,8 @@ func (a *assigner) copyVictims(d *derived, p int, consumers []int, match func(co
 // the sum over operations already assigned there of
 // min(UpperBound(N), UnassignedSuccessors(N)). Reference form; the
 // engine maintains the same quantity as a per-cluster aggregate.
+//
+//schedvet:alloc-free
 func (a *assigner) pcr(d *derived, cl int) int {
 	total := 0
 	for n := 0; n < a.g.NumNodes(); n++ {
@@ -648,10 +673,13 @@ func (a *assigner) pic(cl int) int {
 // cl: write-port slot-cycles there, and — like MaxReservableCopies on
 // the source side — the free slot-cycles of the shared fabric each
 // arriving copy also consumes.
+//
+//schedvet:alloc-free
 func (a *assigner) maxReservableIncoming(d *derived, cl int) int {
 	return a.maxReservableIncomingCap(d.cap, cl)
 }
 
+//schedvet:alloc-free
 func (a *assigner) maxReservableIncomingCap(cap *mrt.Capacity, cl int) int {
 	free := cap.FreeWritePortSlots(cl)
 	var fabric int
@@ -675,6 +703,8 @@ func (a *assigner) maxReservableIncomingCap(cap *mrt.Capacity, cl int) int {
 // additional copies an operation could still require. On a broadcast
 // machine a value is communicated at most once; otherwise at most once
 // per other cluster.
+//
+//schedvet:alloc-free
 func (a *assigner) upperBound(rc int) int {
 	var ub int
 	if a.m.Network == machine.Broadcast {

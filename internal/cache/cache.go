@@ -242,6 +242,10 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, fn func(context.Co
 		if cl, ok := s.flight[key]; ok {
 			s.coalesced++
 			s.mu.Unlock()
+			// The race between the leader finishing and our context
+			// expiring only decides who reports cancellation; the
+			// cached bytes are identical on every outcome.
+			//schedvet:allow nondet follower wakeup order does not affect results
 			select {
 			case <-cl.done:
 				if cl.err == nil {

@@ -12,6 +12,8 @@
 //	MACHnnn   machine-configuration validation
 //	LOOPnnn   loop-language (frontend AST) lint
 //	SCHEDnnn  schedule audit (package verify)
+//	VETnnn    static determinism/allocation checks (package schedvet)
+//	CLInnn    command-line usage (flag-combination conflicts)
 //
 // docs/DIAGNOSTICS.md catalogues every code.
 package diag
@@ -176,6 +178,21 @@ func Sort(diags []Diagnostic) {
 		}
 		return a.Code < b.Code
 	})
+}
+
+// ExitCode maps a finding list to the conventional linter exit
+// status shared by clusterlint and schedvet: 1 when any
+// Error-severity finding was reported (or any Warning when werror is
+// set), 0 otherwise. Usage and I/O failures (exit 2) are the caller's
+// to report; they are not diagnostics.
+func ExitCode(diags []Diagnostic, werror bool) int {
+	if CountErrors(diags) > 0 {
+		return 1
+	}
+	if werror && len(Filter(diags, Warning)) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // List is an error holding every diagnostic of a failed analysis, so

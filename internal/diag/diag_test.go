@@ -100,6 +100,66 @@ func TestSortOrdersByLocationThenSeverity(t *testing.T) {
 	}
 }
 
+func TestExitCode(t *testing.T) {
+	errOnly := []Diagnostic{{Code: "E", Severity: Error}}
+	warnOnly := []Diagnostic{{Code: "W", Severity: Warning}}
+	infoOnly := []Diagnostic{{Code: "I", Severity: Info}}
+	cases := []struct {
+		name   string
+		diags  []Diagnostic
+		werror bool
+		want   int
+	}{
+		{"clean", nil, false, 0},
+		{"clean werror", nil, true, 0},
+		{"errors", errOnly, false, 1},
+		{"warnings lenient", warnOnly, false, 0},
+		{"warnings strict", warnOnly, true, 1},
+		{"info strict", infoOnly, true, 0},
+		{"mixed", append(append([]Diagnostic{}, warnOnly...), errOnly...), false, 1},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.diags, tc.werror); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMultiPassAggregationOrdering models two analysis passes reporting
+// into separate reporters whose findings are concatenated and sorted:
+// the result must interleave by location, and findings with identical
+// sort keys must keep their per-pass report order (Sort is stable).
+func TestMultiPassAggregationOrdering(t *testing.T) {
+	var passA, passB Reporter
+	passA.Errorf("VET010", "f", "a first at ten")
+	passA.Errorf("VET010", "f", "a second at ten")
+	passB.Errorf("VET001", "f", "b at one")
+	aDiags := passA.Diagnostics()
+	bDiags := passB.Diagnostics()
+	aDiags[0].File, aDiags[0].Line = "x.go", 10
+	aDiags[1].File, aDiags[1].Line = "x.go", 10
+	bDiags[0].File, bDiags[0].Line = "x.go", 4
+
+	all := append(append([]Diagnostic{}, aDiags...), bDiags...)
+	Sort(all)
+	if all[0].Code != "VET001" {
+		t.Errorf("aggregated order wrong, got %v first", all[0])
+	}
+	if all[1].Message != "a first at ten" || all[2].Message != "a second at ten" {
+		t.Errorf("Sort not stable for equal keys: %v, %v", all[1], all[2])
+	}
+
+	// Aggregation is deterministic in the other concatenation order
+	// too, except for genuinely identical sort keys.
+	rev := append(append([]Diagnostic{}, bDiags...), aDiags...)
+	Sort(rev)
+	for i := range all {
+		if all[i] != rev[i] {
+			t.Errorf("aggregation order depends on pass order at %d: %v vs %v", i, all[i], rev[i])
+		}
+	}
+}
+
 func TestTextRendering(t *testing.T) {
 	var buf bytes.Buffer
 	diags := []Diagnostic{

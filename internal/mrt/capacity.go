@@ -54,10 +54,14 @@ func (c *Capacity) EnableJournal() {
 
 // JournalMark returns the current journal position, to be passed to
 // JournalRollback to undo everything recorded after this point.
+//
+//schedvet:alloc-free
 func (c *Capacity) JournalMark() int { return len(c.journal) }
 
 // JournalRollback undoes, in reverse order, every mutation recorded
 // after mark, restoring the table to its state at JournalMark time.
+//
+//schedvet:alloc-free
 func (c *Capacity) JournalRollback(mark int) {
 	for i := len(c.journal) - 1; i >= mark; i-- {
 		e := c.journal[i]
@@ -69,6 +73,8 @@ func (c *Capacity) JournalRollback(mark int) {
 // JournalReset discards the journal without undoing anything, making
 // all mutations recorded so far permanent. The backing array is kept,
 // so a reset-mutate-rollback cycle settles into zero allocations.
+//
+//schedvet:alloc-free
 func (c *Capacity) JournalReset() {
 	c.journal = c.journal[:0]
 }
@@ -76,6 +82,8 @@ func (c *Capacity) JournalReset() {
 // bump applies a counter mutation, journaling it when enabled. Every
 // mutator below routes its writes through bump so rollback sees a
 // complete record.
+//
+//schedvet:alloc-free
 func (c *Capacity) bump(counter *int, delta int) {
 	*counter += delta
 	if c.journaling {
@@ -86,6 +94,8 @@ func (c *Capacity) bump(counter *int, delta int) {
 // Reset clears all usage counters (capacities are untouched) and
 // discards the journal, returning the table to its freshly constructed
 // state without reallocating.
+//
+//schedvet:alloc-free
 func (c *Capacity) Reset() {
 	for i := range c.fuUsed {
 		for j := range c.fuUsed[i] {
@@ -110,6 +120,8 @@ func (c *Capacity) Reset() {
 // table instead of allocating per candidate. It must not be called on
 // a table with live Clones: clones share the capacity array this
 // rewrites. Journaling state is preserved.
+//
+//schedvet:alloc-free
 func (c *Capacity) ResetII(ii int) {
 	if ii <= 0 {
 		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
@@ -162,9 +174,13 @@ func NewCapacity(m *machine.Config, ii int) *Capacity {
 }
 
 // II returns the initiation interval the table was sized for.
+//
+//schedvet:alloc-free
 func (c *Capacity) II() int { return c.ii }
 
 // Machine returns the machine description backing the table.
+//
+//schedvet:alloc-free
 func (c *Capacity) Machine() *machine.Config { return c.m }
 
 // ChargeClass returns the FU class an operation of kind k is counted
@@ -172,10 +188,13 @@ func (c *Capacity) Machine() *machine.Config { return c.m }
 // such units, otherwise the general-purpose pool; -1 when the cluster
 // cannot execute the kind at all. Callers use it to group operations
 // competing for the same pool.
+//
+//schedvet:alloc-free
 func (c *Capacity) ChargeClass(cl int, k ddg.OpKind) machine.FUClass {
 	return c.chargeClass(cl, k)
 }
 
+//schedvet:alloc-free
 func (c *Capacity) chargeClass(cl int, k ddg.OpKind) machine.FUClass {
 	want := machine.RequiredClass(k)
 	if c.fuCap[cl][want] > 0 {
@@ -191,6 +210,8 @@ func (c *Capacity) chargeClass(cl int, k ddg.OpKind) machine.FUClass {
 // slot-cycles for an operation of kind k (one per cycle of the kind's
 // occupancy: non-pipelined units hold their unit for the full latency,
 // and no single operation may outlast the II on one unit).
+//
+//schedvet:alloc-free
 func (c *Capacity) CanPlaceOp(cl int, k ddg.OpKind) bool {
 	cls := c.chargeClass(cl, k)
 	occ := c.m.Occupancy(k)
@@ -199,6 +220,8 @@ func (c *Capacity) CanPlaceOp(cl int, k ddg.OpKind) bool {
 
 // PlaceOp consumes the FU slot-cycles of the proper class on cluster
 // cl. It reports false (and changes nothing) when capacity is short.
+//
+//schedvet:alloc-free
 func (c *Capacity) PlaceOp(cl int, k ddg.OpKind) bool {
 	if !c.CanPlaceOp(cl, k) {
 		return false
@@ -208,6 +231,8 @@ func (c *Capacity) PlaceOp(cl int, k ddg.OpKind) bool {
 }
 
 // RemoveOp releases the slot-cycles previously taken by PlaceOp.
+//
+//schedvet:alloc-free
 func (c *Capacity) RemoveOp(cl int, k ddg.OpKind) {
 	cls := c.chargeClass(cl, k)
 	occ := c.m.Occupancy(k)
@@ -219,6 +244,8 @@ func (c *Capacity) RemoveOp(cl int, k ddg.OpKind) {
 
 // FreeOpSlots returns the remaining FU slot-cycles usable by kind k on
 // cluster cl.
+//
+//schedvet:alloc-free
 func (c *Capacity) FreeOpSlots(cl int, k ddg.OpKind) int {
 	cls := c.chargeClass(cl, k)
 	if cls < 0 {
@@ -230,6 +257,8 @@ func (c *Capacity) FreeOpSlots(cl int, k ddg.OpKind) int {
 // FreeSlots returns the total free FU slot-cycles on cluster cl across
 // all classes, the tie-breaker of selection line 8 ("maximize free
 // resources on the cluster").
+//
+//schedvet:alloc-free
 func (c *Capacity) FreeSlots(cl int) int {
 	free := 0
 	for cls := 0; cls < machine.NumFUClasses; cls++ {
@@ -244,6 +273,8 @@ func (c *Capacity) FreeSlots(cl int) int {
 // src with the given additional target clusters fits: a read-port
 // slot-cycle on src, a bus slot-cycle, and a write-port slot-cycle on
 // every target.
+//
+//schedvet:alloc-free
 func (c *Capacity) CanPlaceBroadcastCopy(src int, targets []int) bool {
 	if c.readUsed[src] >= c.m.Clusters[src].ReadPorts*c.ii {
 		return false
@@ -255,6 +286,8 @@ func (c *Capacity) CanPlaceBroadcastCopy(src int, targets []int) bool {
 }
 
 // canAddTargets checks write-port room on each target cluster.
+//
+//schedvet:alloc-free
 func (c *Capacity) canAddTargets(targets []int) bool {
 	for _, t := range targets {
 		if c.writeUsed[t] >= c.m.Clusters[t].WritePorts*c.ii {
@@ -267,6 +300,8 @@ func (c *Capacity) canAddTargets(targets []int) bool {
 // PlaceBroadcastCopy reserves the resources checked by
 // CanPlaceBroadcastCopy. It reports false without changes when they no
 // longer fit.
+//
+//schedvet:alloc-free
 func (c *Capacity) PlaceBroadcastCopy(src int, targets []int) bool {
 	if !c.CanPlaceBroadcastCopy(src, targets) {
 		return false
@@ -281,12 +316,16 @@ func (c *Capacity) PlaceBroadcastCopy(src int, targets []int) bool {
 
 // CanAddCopyTarget reports whether an existing broadcast copy can gain
 // one more destination cluster (one extra write-port slot-cycle there).
+//
+//schedvet:alloc-free
 func (c *Capacity) CanAddCopyTarget(target int) bool {
 	return c.writeUsed[target] < c.m.Clusters[target].WritePorts*c.ii
 }
 
 // AddCopyTarget reserves a write-port slot-cycle on the target cluster
 // for an already placed broadcast copy.
+//
+//schedvet:alloc-free
 func (c *Capacity) AddCopyTarget(target int) bool {
 	if !c.CanAddCopyTarget(target) {
 		return false
@@ -296,6 +335,8 @@ func (c *Capacity) AddCopyTarget(target int) bool {
 }
 
 // RemoveBroadcastCopy releases a broadcast copy and all its targets.
+//
+//schedvet:alloc-free
 func (c *Capacity) RemoveBroadcastCopy(src int, targets []int) {
 	if c.readUsed[src] <= 0 || c.busUsed <= 0 {
 		panic("mrt: RemoveBroadcastCopy underflow")
@@ -312,6 +353,8 @@ func (c *Capacity) RemoveBroadcastCopy(src int, targets []int) {
 
 // RemoveCopyTarget releases one destination of a broadcast copy that
 // itself stays in place.
+//
+//schedvet:alloc-free
 func (c *Capacity) RemoveCopyTarget(target int) {
 	if c.writeUsed[target] <= 0 {
 		panic("mrt: RemoveCopyTarget underflow")
@@ -324,6 +367,8 @@ func (c *Capacity) RemoveCopyTarget(target int) {
 // CanPlaceLinkCopy reports whether a copy across link li (from cluster
 // src to cluster dst) fits: read port on src, the link itself, and a
 // write port on dst.
+//
+//schedvet:alloc-free
 func (c *Capacity) CanPlaceLinkCopy(src, dst, li int) bool {
 	if c.readUsed[src] >= c.m.Clusters[src].ReadPorts*c.ii {
 		return false
@@ -335,6 +380,8 @@ func (c *Capacity) CanPlaceLinkCopy(src, dst, li int) bool {
 }
 
 // PlaceLinkCopy reserves a point-to-point copy's resources.
+//
+//schedvet:alloc-free
 func (c *Capacity) PlaceLinkCopy(src, dst, li int) bool {
 	if !c.CanPlaceLinkCopy(src, dst, li) {
 		return false
@@ -346,6 +393,8 @@ func (c *Capacity) PlaceLinkCopy(src, dst, li int) bool {
 }
 
 // RemoveLinkCopy releases a point-to-point copy's resources.
+//
+//schedvet:alloc-free
 func (c *Capacity) RemoveLinkCopy(src, dst, li int) {
 	if c.readUsed[src] <= 0 || c.linkUsed[li] <= 0 || c.writeUsed[dst] <= 0 {
 		panic("mrt: RemoveLinkCopy underflow")
@@ -384,16 +433,22 @@ func (c *Capacity) MaxReservableCopies(cl int) int {
 }
 
 // FreeReadPortSlots returns the remaining read-port slot-cycles on cl.
+//
+//schedvet:alloc-free
 func (c *Capacity) FreeReadPortSlots(cl int) int {
 	return c.m.Clusters[cl].ReadPorts*c.ii - c.readUsed[cl]
 }
 
 // FreeWritePortSlots returns the remaining write-port slot-cycles on cl.
+//
+//schedvet:alloc-free
 func (c *Capacity) FreeWritePortSlots(cl int) int {
 	return c.m.Clusters[cl].WritePorts*c.ii - c.writeUsed[cl]
 }
 
 // FreeBusSlots returns the remaining broadcast-bus slot-cycles.
+//
+//schedvet:alloc-free
 func (c *Capacity) FreeBusSlots() int { return c.m.Buses*c.ii - c.busUsed }
 
 // Clone returns an independent deep copy, used for tentative
@@ -417,4 +472,6 @@ func (c *Capacity) Clone() *Capacity {
 }
 
 // FreeLinkSlots returns the remaining slot-cycles of link li.
+//
+//schedvet:alloc-free
 func (c *Capacity) FreeLinkSlots(li int) int { return c.ii - c.linkUsed[li] }

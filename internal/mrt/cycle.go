@@ -104,9 +104,13 @@ func (c *Cycle) newPlacement(p Placement) *Placement {
 }
 
 // II returns the initiation interval of the table.
+//
+//schedvet:alloc-free
 func (c *Cycle) II() int { return c.ii }
 
 // slot maps an absolute cycle to its modulo slot.
+//
+//schedvet:alloc-free
 func (c *Cycle) slot(cycle int) int {
 	s := cycle % c.ii
 	if s < 0 {
@@ -117,6 +121,8 @@ func (c *Cycle) slot(cycle int) int {
 
 // freeIn returns the first free row index of rows at the given slot,
 // or -1 when all are taken.
+//
+//schedvet:alloc-free
 func freeIn(rows [][]int, slot int) int {
 	for i, row := range rows {
 		if row[slot] == empty {
@@ -129,10 +135,13 @@ func freeIn(rows [][]int, slot int) int {
 // CanPlaceOp reports whether a non-copy operation of kind k fits on
 // some compatible function unit of cluster cl at the given cycle
 // (non-pipelined kinds hold the unit for their whole latency).
+//
+//schedvet:alloc-free
 func (c *Cycle) CanPlaceOp(cl int, k ddg.OpKind, cycle int) bool {
 	return c.findFU(cl, k, c.slot(cycle)) >= 0
 }
 
+//schedvet:alloc-free
 func (c *Cycle) findFU(cl int, k ddg.OpKind, slot int) int {
 	occ := c.m.Occupancy(k)
 	if occ > c.ii {
@@ -183,6 +192,8 @@ func (c *Cycle) PlaceOp(node, cl int, k ddg.OpKind, cycle int) bool {
 // point-to-point machines, the link src-target), and a write port on
 // each target. Point-to-point copies must have exactly one target,
 // adjacent to src.
+//
+//schedvet:alloc-free
 func (c *Cycle) CanPlaceCopy(src int, targets []int, cycle int) bool {
 	s := c.slot(cycle)
 	if freeIn(c.read[src], s) < 0 {
@@ -270,6 +281,8 @@ func (c *Cycle) PlaceCopy(node, src int, targets []int, cycle int) bool {
 
 // Unplace releases every slot held by node. It reports whether the node
 // was placed.
+//
+//schedvet:alloc-free
 func (c *Cycle) Unplace(node int) bool {
 	p, ok := c.placed[node]
 	if !ok {
@@ -298,6 +311,8 @@ func (c *Cycle) Unplace(node int) bool {
 }
 
 // PlacementOf returns the recorded placement of node, or nil.
+//
+//schedvet:alloc-free
 func (c *Cycle) PlacementOf(node int) *Placement {
 	return c.placed[node]
 }
@@ -328,6 +343,8 @@ func (c *Cycle) ConflictsAt(cl int, k ddg.OpKind, cycle int) []int {
 
 // containsInt reports whether xs contains v; the conflict lists it
 // dedups are at most a handful of entries.
+//
+//schedvet:alloc-free
 func containsInt(xs []int, v int) bool {
 	for _, x := range xs {
 		if x == v {

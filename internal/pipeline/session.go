@@ -86,6 +86,7 @@ func (s *Session) takeScratch() *sched.Scratch {
 	}
 }
 
+//schedvet:alloc-free
 func (s *Session) putScratch(sc *sched.Scratch) {
 	select {
 	case s.scratches <- sc:
@@ -239,6 +240,7 @@ func (sr *search) takeProb() *assign.Problem {
 	}
 }
 
+//schedvet:alloc-free
 func (sr *search) putProb(p *assign.Problem) {
 	select {
 	case sr.probs <- p:
@@ -311,6 +313,7 @@ func (sr *search) probe(ii int, seed []int) (po probeOut) {
 	return po
 }
 
+//schedvet:alloc-free
 func boolInt(b bool) int {
 	if b {
 		return 1
@@ -324,6 +327,8 @@ func boolInt(b bool) int {
 // assignment when the scheduler was the phase that rejected the II.
 // The returned partial aliases p or res and must be copied before p
 // is reused.
+//
+//schedvet:alloc-free
 func (sr *search) attempt(p *assign.Problem, sc *sched.Scratch, ii int, seed []int, ptr *obs.Trace) (*assign.Result, *sched.Schedule, []int, bool) {
 	ta := ptr.BeginPhase(obs.PhaseAssign, ii)
 	res, aok := p.RunAt(ii, seed, ptr)

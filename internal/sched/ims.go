@@ -137,7 +137,10 @@ type nodeHeap struct {
 	prio  []int
 }
 
+//schedvet:alloc-free
 func (h *nodeHeap) Len() int { return len(h.items) }
+
+//schedvet:alloc-free
 func (h *nodeHeap) Less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if h.prio[a] != h.prio[b] {
@@ -145,8 +148,12 @@ func (h *nodeHeap) Less(i, j int) bool {
 	}
 	return a < b
 }
+
+//schedvet:alloc-free
 func (h *nodeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *nodeHeap) Push(x any)    { h.items = append(h.items, x.(int)) }
+
+//schedvet:alloc-free
+func (h *nodeHeap) Push(x any) { h.items = append(h.items, x.(int)) }
 func (h *nodeHeap) Pop() any {
 	old := h.items
 	n := len(old)

@@ -34,6 +34,7 @@ type Input struct {
 	Scratch *Scratch
 }
 
+//schedvet:alloc-free
 func (in *Input) clusterOf(n int) int {
 	if in.ClusterOf == nil {
 		return 0
@@ -41,6 +42,7 @@ func (in *Input) clusterOf(n int) int {
 	return in.ClusterOf[n]
 }
 
+//schedvet:alloc-free
 func (in *Input) copyTargets(n int) []int {
 	if in.CopyTargets == nil {
 		return nil
@@ -48,6 +50,7 @@ func (in *Input) copyTargets(n int) []int {
 	return in.CopyTargets[n]
 }
 
+//schedvet:alloc-free
 func (in *Input) isCopy(n int) bool {
 	return in.Graph.Nodes[n].Kind == ddg.OpCopy
 }
@@ -62,6 +65,8 @@ type Schedule struct {
 
 // StageCount returns the number of kernel stages (schedule length in
 // IIs), i.e. the depth of software-pipelining overlap.
+//
+//schedvet:alloc-free
 func (s *Schedule) StageCount() int {
 	maxC := 0
 	for _, c := range s.CycleOf {
@@ -90,6 +95,8 @@ func newTableFor(in Input) *mrt.Cycle { return mrt.NewCycle(in.Machine, in.II) }
 // place puts node n at the given cycle in the table, dispatching on
 // copy vs ordinary operation. It reports false when resources are
 // busy.
+//
+//schedvet:alloc-free
 func place(in *Input, table *mrt.Cycle, n, cycle int) bool {
 	if in.isCopy(n) {
 		return table.PlaceCopy(n, in.clusterOf(n), in.copyTargets(n), cycle)
@@ -98,6 +105,8 @@ func place(in *Input, table *mrt.Cycle, n, cycle int) bool {
 }
 
 // canPlace reports whether node n would fit at the given cycle.
+//
+//schedvet:alloc-free
 func canPlace(in *Input, table *mrt.Cycle, n, cycle int) bool {
 	if in.isCopy(n) {
 		return table.CanPlaceCopy(in.clusterOf(n), in.copyTargets(n), cycle)

@@ -1,0 +1,170 @@
+package schedvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clustersched/internal/diag"
+)
+
+// allocfree is the static complement to the testing.AllocsPerRun gates:
+// a function annotated //schedvet:alloc-free must not contain any
+// construct that can allocate on the happy path.
+//
+//	VET010  make, new, &composite, or a map/slice literal
+//	VET011  append whose result is not assigned back to its first
+//	        argument (growth into a fresh backing array); the
+//	        x = append(x, ...) idiom is allowed because the dynamic
+//	        gates bound its amortized growth
+//	VET012  func literal (closures capture variables on the heap)
+//	VET013  concrete-to-interface conversion (boxing)
+//	VET014  non-constant string concatenation
+//
+// Escape hatches: expressions inside a panic(...) argument are exempt
+// (the failure path may allocate), and the check is intentionally not
+// transitive — calling another function is fine; annotate the callee
+// too if it is also on the hot path.
+func (c *checker) allocfree() {
+	for _, pkg := range c.pkgs {
+		for _, fd := range funcsOf(pkg) {
+			if fd.decl.Body == nil || !isAllocFree(fd.decl) {
+				continue
+			}
+			c.checkAllocFree(fd)
+		}
+	}
+}
+
+func (c *checker) checkAllocFree(fd funcDecl) {
+	info := fd.pkg.Info
+	subject := funcDisplayName(fd)
+
+	flag := func(pos token.Pos, code, msg, fix string) {
+		c.report("allocfree", pos, diag.Diagnostic{
+			Code:     code,
+			Severity: diag.Error,
+			Message:  msg,
+			Subject:  subject,
+			Fix:      fix,
+		})
+	}
+
+	// The self-append idiom x = append(x, ...) is sanctioned.
+	sanctioned := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			sanctioned[call] = true
+		}
+		return true
+	})
+
+	var results *types.Tuple
+	if fd.obj != nil {
+		results = fd.obj.Type().(*types.Signature).Results()
+	}
+
+	// boxes reports a concrete-to-interface conversion of src into dst.
+	boxes := func(dst types.Type, src ast.Expr) bool {
+		srcT := info.TypeOf(src)
+		if dst == nil || srcT == nil || !types.IsInterface(dst) || types.IsInterface(srcT) {
+			return false
+		}
+		if b, ok := srcT.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return false
+		}
+		return true
+	}
+	convFix := "keep the value concrete on the hot path, or move the interface boundary off it"
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, e, "panic"):
+				return false // the failure path may allocate
+			case isBuiltin(info, e, "make") || isBuiltin(info, e, "new"):
+				flag(e.Pos(), "VET010", "call to "+ast.Unparen(e.Fun).(*ast.Ident).Name+" in an alloc-free function", "hoist the allocation into a reusable scratch structure")
+			case isBuiltin(info, e, "append"):
+				if !sanctioned[e] {
+					flag(e.Pos(), "VET011", "append result is not assigned back to its first argument", "use the x = append(x, ...) idiom over a reused buffer")
+				}
+			default:
+				if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+					// Explicit conversion T(x).
+					if len(e.Args) == 1 && boxes(tv.Type, e.Args[0]) {
+						flag(e.Pos(), "VET013", "conversion to interface type "+types.TypeString(tv.Type, nil)+" boxes its operand", convFix)
+					}
+				} else if sig, ok := info.TypeOf(e.Fun).(*types.Signature); ok && sig != nil {
+					params := sig.Params()
+					for i, arg := range e.Args {
+						var pt types.Type
+						switch {
+						case sig.Variadic() && i >= params.Len()-1:
+							if e.Ellipsis.IsValid() {
+								continue // slice passed through, no boxing
+							}
+							pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+						case i < params.Len():
+							pt = params.At(i).Type()
+						}
+						if boxes(pt, arg) {
+							flag(arg.Pos(), "VET013", "passing a concrete value as interface parameter boxes it", convFix)
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			flag(e.Pos(), "VET012", "func literal in an alloc-free function captures variables on the heap", "hoist the closure to a named function or method")
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					flag(e.Pos(), "VET010", "address of composite literal escapes to the heap", "hoist the allocation into a reusable scratch structure")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(e); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					flag(e.Pos(), "VET010", "map or slice literal allocates", "hoist the allocation into a reusable scratch structure")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := info.Types[e]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						flag(e.Pos(), "VET014", "non-constant string concatenation allocates", "build strings off the hot path")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ASSIGN && len(e.Lhs) == len(e.Rhs) {
+				for i, lhs := range e.Lhs {
+					if boxes(info.TypeOf(lhs), e.Rhs[i]) {
+						flag(e.Rhs[i].Pos(), "VET013", "assigning a concrete value to an interface boxes it", convFix)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(e.Results) == results.Len() {
+				for i, res := range e.Results {
+					if boxes(results.At(i).Type(), res) {
+						flag(res.Pos(), "VET013", "returning a concrete value as interface boxes it", convFix)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.decl.Body, walk)
+}

@@ -1,0 +1,96 @@
+package schedvet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The annotation grammar (documented in docs/ANALYSIS.md):
+//
+//	//schedvet:alloc-free
+//	    On a function's doc comment: the function body must be free of
+//	    heap allocation (the allocfree pass enforces it).
+//
+//	//schedvet:allow <pass> [reason]
+//	    On or immediately above a flagged line: suppress findings of
+//	    the named pass (mapiter, nondet, allocfree, lockdiscipline) at
+//	    that line. A reason is strongly encouraged.
+
+const (
+	allocFreeMarker = "//schedvet:alloc-free"
+	allowMarker     = "//schedvet:allow"
+)
+
+// isAllocFree reports whether the function declaration carries the
+// //schedvet:alloc-free annotation in its doc comment.
+func isAllocFree(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == allocFreeMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// allowSet records, per file and line, which passes are suppressed by
+// //schedvet:allow comments. A comment suppresses its own line and the
+// line immediately following it, so both trailing and preceding-line
+// placement work.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans every comment of the packages' files for allow
+// annotations.
+func collectAllows(m *Module, pkgs []*Package) allowSet {
+	set := make(allowSet)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pass, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					file, line := m.position(c.Pos())
+					set.add(file, line, pass)
+					set.add(file, line+1, pass)
+				}
+			}
+		}
+	}
+	return set
+}
+
+func parseAllow(text string) (pass string, ok bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), allowMarker)
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+func (s allowSet) add(file string, line int, pass string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	passes := byLine[line]
+	if passes == nil {
+		passes = make(map[string]bool)
+		byLine[line] = passes
+	}
+	passes[pass] = true
+}
+
+// allowed reports whether findings of the named pass are suppressed at
+// the given position.
+func (s allowSet) allowed(pass string, file string, line int) bool {
+	return s[file][line][pass]
+}

@@ -1,0 +1,52 @@
+// Package allocbad is a schedvet fixture: each annotated function
+// seeds exactly one allocfree violation, and the final two prove the
+// self-append and panic-path escapes stay clean.
+package allocbad
+
+import "fmt"
+
+//schedvet:alloc-free
+func Grow(n int) []int {
+	buf := make([]int, n) // VET010
+	return buf
+}
+
+//schedvet:alloc-free
+func Collect(dst, src []int) []int {
+	out := append(dst[:0], src...) // VET011: result does not flow back to dst[:0]
+	return out
+}
+
+//schedvet:alloc-free
+func Deferred(x int) func() int {
+	return func() int { return x } // VET012
+}
+
+//schedvet:alloc-free
+func Box(n int) any {
+	return n // VET013
+}
+
+//schedvet:alloc-free
+func Label(a, b string) string {
+	return a + b // VET014
+}
+
+//schedvet:alloc-free
+func SelfAppend(xs []int, v int) []int {
+	xs = append(xs, v) // clean: the sanctioned reuse idiom
+	return xs
+}
+
+//schedvet:alloc-free
+func Checked(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("allocbad: negative %d", n)) // clean: failure path
+	}
+	return n * n
+}
+
+// Unannotated may allocate freely; the pass is opt-in.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,80 @@
+// Package assign is a schedvet fixture: its import path ends in a
+// determinism-critical segment, and each function seeds exactly one
+// violation (or exercises one sanctioned idiom) of the mapiter and
+// nondet passes.
+package assign
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"clustersched/internal/schedvet/testdata/src/util"
+)
+
+// Sum ranges over a map unordered: the mapiter seed (VET001).
+func Sum(weights map[int]int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// SortedKeys uses the sanctioned collect-then-sort idiom: clean.
+func SortedKeys(weights map[int]int) []int {
+	keys := make([]int, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Stamp calls time.Now lexically inside a critical package: the direct
+// nondet seed (VET002).
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Schedule reaches time.Now through the non-critical util package: the
+// reachability nondet seed (VET002 reported at util's call site).
+func Schedule(n int) int64 {
+	return helperDelay(n)
+}
+
+func helperDelay(n int) int64 {
+	return util.Wallclock() + int64(util.Double(n))
+}
+
+// Jitter draws from the globally seeded math/rand source (VET002).
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// Deterministic constructs an explicitly seeded generator: clean.
+func Deterministic(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Race resolves two channels by runtime choice: the VET003 seed.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Cancelable carries the same shape as Race but is suppressed by an
+// allow annotation; the test asserts it produces no finding.
+func Cancelable(done, work chan int) int {
+	//schedvet:allow nondet cancellation race is benign; both outcomes agree
+	select {
+	case v := <-work:
+		return v
+	case <-done:
+		return 0
+	}
+}

@@ -1,0 +1,70 @@
+// Package cache is a schedvet fixture: a lock-disciplined (and
+// determinism-critical) package seeding one violation per
+// lockdiscipline rule, plus clean shapes the dataflow must not flag.
+package cache
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Store is a miniature of the real shard: one mutex guarding a map and
+// an update channel.
+type Store struct {
+	mu      sync.Mutex
+	items   map[string]int
+	order   []string
+	updates chan string
+}
+
+// Put holds the shard lock across a channel send: the VET020 seed.
+func (s *Store) Put(key string, val int) {
+	s.mu.Lock()
+	s.items[key] = val
+	s.updates <- key
+	s.mu.Unlock()
+}
+
+// Dump holds the lock (via defer) across handler I/O: the VET021 seed.
+func (s *Store) Dump(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range s.order {
+		io.WriteString(w, k)
+	}
+}
+
+// Notify releases the lock before the send: clean.
+func (s *Store) Notify(key string, val int) {
+	s.mu.Lock()
+	s.items[key] = val
+	s.mu.Unlock()
+	s.updates <- key
+}
+
+// Keys snapshots under the lock with the sorted idiom: clean for both
+// lockdiscipline and mapiter.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Get returns early on a hit; the terminating branch must not leak
+// "held" into the send below (clean).
+func (s *Store) Get(key string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.items[key]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.mu.Unlock()
+	s.updates <- key
+	return 0, false
+}

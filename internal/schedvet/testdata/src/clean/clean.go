@@ -1,0 +1,35 @@
+// Package clean is a schedvet fixture proving the passes are scoped:
+// it is neither determinism-critical nor lock-disciplined, so the map
+// range, the wall-clock read, and the goroutine below are all fine,
+// and its one annotated function is genuinely allocation-free.
+package clean
+
+import "time"
+
+// Tally may range unordered: clean is not a critical package.
+func Tally(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Uptime may read the clock: nothing critical reaches it.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Spawn may start goroutines.
+func Spawn(f func()) {
+	go f()
+}
+
+//schedvet:alloc-free
+func Dot(a, b []int) int {
+	s := 0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

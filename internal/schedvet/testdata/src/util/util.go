@@ -1,0 +1,15 @@
+// Package util is a schedvet fixture: a non-critical helper package
+// whose nondeterminism is only a finding when a critical package
+// reaches it (the cross-package leg of the nondet reachability seed).
+package util
+
+import "time"
+
+// Wallclock reads the wall clock. Harmless here; a VET002 once
+// assign.Schedule calls it.
+func Wallclock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Double is deterministic; calling it from a critical package is fine.
+func Double(n int) int { return 2 * n }

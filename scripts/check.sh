@@ -7,6 +7,10 @@ set -eu
 go build ./...
 go vet ./...
 go test ./...
+# Static determinism/zero-alloc gate: schedvet must run clean over the
+# whole module (an //schedvet:alloc-free function gaining an allocation
+# or a critical package gaining an unordered map range fails here).
+go run ./cmd/schedvet ./...
 # Race pass over every package that runs goroutines (worker pools,
 # shared observers, the daemon and its cache, the speculative II
 # search and batch sharding) plus the public API that feeds them, and

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repository lint gate: formatting, vet, and clusterlint over every
-# shipped loop file and every built-in machine configuration.
+# Repository lint gate: formatting, vet, clusterlint over every shipped
+# loop file and every built-in machine configuration, and schedvet over
+# the whole module. Both linters fail the gate on any finding.
 # Run from the repository root:  sh scripts/lint.sh
 set -eu
 
@@ -26,6 +27,11 @@ done
 
 if ! go run ./cmd/clusterlint -machine builtin >/dev/null; then
     echo "clusterlint: built-in machine configurations are not clean" >&2
+    fail=1
+fi
+
+if ! go run ./cmd/schedvet ./...; then
+    echo "schedvet: determinism/zero-alloc findings in the module" >&2
     fail=1
 fi
 
