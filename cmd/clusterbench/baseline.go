@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"clustersched/internal/assign"
+	"clustersched/internal/ddg"
+	"clustersched/internal/machine"
+	"clustersched/internal/mii"
+	"clustersched/internal/obs"
+	"clustersched/internal/pipeline"
+)
+
+// Baseline mode (scripts/bench.sh -baseline): re-measure the
+// assignment and pipeline suites and diff them against the committed
+// BENCH_assign.json / BENCH_pipeline.json, exiting non-zero when a
+// fresh number regresses past the tolerance. Timings on a time-shared
+// host are hostage to the neighbours, so every fresh number is the
+// minimum over -benchreps passes — the least-interfered estimate —
+// and the tolerance is multiplicative headroom on top of that.
+
+// committedAssign is the subset of BENCH_assign.json the gate reads.
+type committedAssign struct {
+	Rows []struct {
+		Machine string `json:"machine"`
+		NSPerOp int64  `json:"ns_per_op"`
+	} `json:"rows"`
+}
+
+// committedPipeline is the subset of BENCH_pipeline.json the gate
+// reads; workers and warm_start pin the fresh run to the committed
+// configuration so the comparison is like for like.
+type committedPipeline struct {
+	Scheduled int   `json:"scheduled"`
+	Workers   int   `json:"workers"`
+	WarmStart bool  `json:"warm_start"`
+	NSPerOp   int64 `json:"ns_per_op"`
+	Stats     struct {
+		AssignNS int64 `json:"assign_ns"`
+	} `json:"stats"`
+}
+
+// baselineRun compares fresh suite timings against the committed
+// benchmark JSONs. reps is the number of passes per measurement (the
+// minimum wins); tol is the allowed fractional regression (0.10 = 10%).
+func baselineRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Scheduler, reps int, tol float64) error {
+	var ca committedAssign
+	if err := readJSON("BENCH_assign.json", &ca); err != nil {
+		return err
+	}
+	var cp committedPipeline
+	if err := readJSON("BENCH_pipeline.json", &cp); err != nil {
+		return err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
+	committed := make(map[string]int64, len(ca.Rows))
+	for _, r := range ca.Rows {
+		committed[r.Machine] = r.NSPerOp
+	}
+
+	failed := false
+	check := func(what string, fresh, base int64) {
+		limit := int64(float64(base) * (1 + tol))
+		verdict := "ok"
+		if fresh > limit {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("baseline: %-28s %10d ns fresh vs %10d committed (%.2fx, limit %d): %s\n",
+			what, fresh, base, float64(fresh)/float64(base), limit, verdict)
+	}
+
+	for _, m := range assignMachines() {
+		base, ok := committed[m.Name]
+		if !ok {
+			return fmt.Errorf("baseline: machine %s missing from BENCH_assign.json", m.Name)
+		}
+		fresh, err := measureAssign(ctx, loops, m, reps)
+		if err != nil {
+			return err
+		}
+		check("assign "+m.Name+" ns_per_op", fresh, base)
+	}
+
+	nsPerOp, assignNS, scheduled, err := measurePipeline(ctx, loops, scheduler, cp.Workers, cp.WarmStart, reps)
+	if err != nil {
+		return err
+	}
+	check("pipeline ns_per_op", nsPerOp, cp.NSPerOp)
+	// assign_ns is a suite total, so scale the committed number to the
+	// fresh run's scheduled-loop count (they differ when -count does).
+	if cp.Scheduled > 0 {
+		check("pipeline assign_ns", assignNS, cp.Stats.AssignNS*int64(scheduled)/int64(cp.Scheduled))
+	}
+
+	if failed {
+		return fmt.Errorf("baseline: regression beyond %.0f%% tolerance", tol*100)
+	}
+	return nil
+}
+
+// measureAssign times the assignment-only suite on one machine,
+// returning the fastest-pass ns per assigned loop.
+func measureAssign(ctx context.Context, loops []*ddg.Graph, m *machine.Config, reps int) (int64, error) {
+	iis := make([]int, len(loops))
+	for i, g := range loops {
+		iis[i] = mii.MII(g, m)
+	}
+	var best time.Duration
+	assigned := 0
+	for r := 0; r < reps; r++ {
+		n := 0
+		start := time.Now()
+		for i, g := range loops {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			if _, ok := assign.Run(g, m, iis[i], assign.Options{Variant: assign.HeuristicIterative}); ok {
+				n++
+			}
+		}
+		if d := time.Since(start); r == 0 || d < best {
+			best = d
+		}
+		assigned = n
+	}
+	if assigned == 0 {
+		return 0, fmt.Errorf("baseline: no loop assigned on %s", m.Name)
+	}
+	return best.Nanoseconds() / int64(assigned), nil
+}
+
+// measurePipeline times the full-pipeline suite in the committed
+// configuration, returning the fastest-pass ns/op and assign_ns.
+func measurePipeline(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Scheduler, workers int, warm bool, reps int) (nsPerOp, assignNS int64, scheduled int, err error) {
+	popts := pipeline.Options{
+		Assign:           assign.Options{Variant: assign.HeuristicIterative},
+		Scheduler:        scheduler,
+		CollectStats:     true,
+		DisableWarmStart: !warm,
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	var best time.Duration
+	var bestAssign int64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		results := pipeline.RunBatch(ctx, loops, m2c(), popts, workers)
+		d := time.Since(start)
+		if ctx.Err() != nil {
+			return 0, 0, 0, ctx.Err()
+		}
+		var agg obs.Stats
+		n := 0
+		for _, res := range results {
+			if res.Err != nil || res.Outcome == nil {
+				continue
+			}
+			agg.Add(res.Outcome.Stats)
+			n++
+		}
+		if r == 0 || d < best {
+			best = d
+		}
+		if a := int64(agg.AssignTime); r == 0 || a < bestAssign {
+			bestAssign = a
+		}
+		scheduled = n
+	}
+	if scheduled == 0 {
+		return 0, 0, 0, fmt.Errorf("baseline: no loop scheduled")
+	}
+	return best.Nanoseconds() / int64(scheduled), bestAssign, scheduled, nil
+}
+
+// assignMachines is the machine set of the assignment suite, shared
+// with assignJSON so the committed rows always match.
+func assignMachines() []*machine.Config {
+	return []*machine.Config{
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedGP(4, 4, 2),
+		machine.NewGrid4(2),
+	}
+}
+
+// m2c is the pipeline-suite machine, shared with benchJSON.
+func m2c() *machine.Config { return machine.NewBusedGP(2, 2, 1) }
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w (run scripts/bench.sh from the repository root)", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("baseline: %s: %w", path, err)
+	}
+	return nil
+}

@@ -10,7 +10,7 @@ import (
 // modeFlags are the mutually exclusive run modes of clusterbench; the
 // first one the dispatch chain in main recognizes wins, so naming two
 // would silently ignore the rest.
-var modeFlags = []string{"table1", "server", "benchjson", "assignjson", "markdown", "livermore", "registers"}
+var modeFlags = []string{"table1", "server", "benchjson", "assignjson", "baseline", "markdown", "livermore", "registers"}
 
 // flagConflicts validates the combination of explicitly-set flags,
 // returning coded diagnostics (CLI001..CLI004, catalogued in
@@ -59,12 +59,21 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 		}
 	}
 
-	if set["benchreps"] && !set["benchjson"] {
+	if set["benchreps"] && !set["benchjson"] && !set["baseline"] {
 		diags = append(diags, diag.Diagnostic{
 			Code:     "CLI004",
 			Severity: diag.Error,
-			Message:  "-benchreps has no effect without -benchjson",
-			Fix:      "add -benchjson or drop -benchreps",
+			Message:  "-benchreps has no effect without -benchjson or -baseline",
+			Fix:      "add -benchjson or -baseline, or drop -benchreps",
+		})
+	}
+
+	if set["basetol"] && !set["baseline"] {
+		diags = append(diags, diag.Diagnostic{
+			Code:     "CLI005",
+			Severity: diag.Error,
+			Message:  "-basetol has no effect without -baseline",
+			Fix:      "add -baseline or drop -basetol",
 		})
 	}
 

@@ -42,7 +42,6 @@ import (
 	"clustersched/internal/lint"
 	livermorepkg "clustersched/internal/livermore"
 	"clustersched/internal/loopgen"
-	"clustersched/internal/machine"
 	"clustersched/internal/mii"
 	"clustersched/internal/obs"
 	"clustersched/internal/pipeline"
@@ -70,6 +69,8 @@ func main() {
 		warmstart  = flag.String("warmstart", "on", "warm-started II search: on or off (off forces every candidate II to assign from scratch)")
 		serverURL  = flag.String("server", "", "replay the suite against a running clusterd at this base URL (cold pass then cached pass) and emit a JSON summary")
 		assignjson = flag.Bool("assignjson", false, "time cluster assignment alone (no scheduling) over the suite on several machines and emit a JSON summary")
+		baseline   = flag.Bool("baseline", false, "re-run the assignment and pipeline suites and diff against the committed BENCH_assign.json / BENCH_pipeline.json; non-zero exit on regression past -basetol")
+		basetol    = flag.Float64("basetol", 0.10, "allowed fractional regression for -baseline (0.10 = 10%)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -148,6 +149,13 @@ func main() {
 
 	if *assignjson {
 		if err := assignJSON(ctx, loops); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *baseline {
+		if err := baselineRun(ctx, loops, opts.Scheduler, *benchreps, *basetol); err != nil {
 			fatal(err)
 		}
 		return
@@ -268,7 +276,7 @@ func main() {
 // so repetition changes timing only). scripts/bench.sh redirects this
 // into BENCH_pipeline.json.
 func benchJSON(ctx context.Context, loops []*ddg.Graph, opts experiments.Options, workers int, warm bool, reps int) error {
-	m := machine.NewBusedGP(2, 2, 1)
+	m := m2c()
 	popts := pipeline.Options{
 		Assign:           assign.Options{Variant: assign.HeuristicIterative},
 		Scheduler:        opts.Scheduler,
@@ -445,11 +453,7 @@ func assignJSON(ctx context.Context, loops []*ddg.Graph) error {
 		Deltas      int    `json:"assign_deltas"`
 		FullDerives int    `json:"assign_full_derives"`
 	}
-	machines := []*machine.Config{
-		machine.NewBusedGP(2, 2, 1),
-		machine.NewBusedGP(4, 4, 2),
-		machine.NewGrid4(2),
-	}
+	machines := assignMachines()
 	summary := struct {
 		Name string `json:"name"`
 		Rows []row  `json:"rows"`

@@ -41,6 +41,9 @@ func TestFlagConflicts(t *testing.T) {
 		{"table1 with exp", []string{"table1", "exp"}, []string{"CLI003"}},
 		{"table1 alone", []string{"table1", "seed", "count"}, nil},
 		{"benchreps without benchjson", []string{"benchreps"}, []string{"CLI004"}},
+		{"baseline with its own options", []string{"baseline", "benchreps", "basetol"}, nil},
+		{"baseline with another mode", []string{"baseline", "assignjson"}, []string{"CLI001"}},
+		{"basetol without baseline", []string{"basetol"}, []string{"CLI005"}},
 		{"stacked", []string{"server", "benchjson", "cpuprofile"}, []string{"CLI001", "CLI002"}},
 	}
 	for _, tc := range cases {

@@ -44,6 +44,13 @@ type engine struct {
 	a   *assigner
 	cap *mrt.Capacity
 
+	// capSave holds the counter snapshot taken at the top of apply.
+	// An apply that fails restores cap wholesale from it — a fixed-size
+	// memcpy via CopyFrom, cheaper than journaling every individual
+	// commit and release on the hot path when the only rollback ever
+	// needed is "back to the start of this apply".
+	capSave *mrt.Capacity
+
 	copies int
 	recs   [][]eRecord
 	tgts   [][]int // backing store for record targets, per producer
@@ -55,7 +62,8 @@ type engine struct {
 	picCnt  []int
 
 	// Epoch-stamped scratch (no clearing between uses).
-	tgtMark []int // per cluster: computeTargets dedup
+	one     [1]int // single-target buffer for link-hop commits
+	tgtMark []int  // per cluster: computeTargets dedup
 	tEpoch  int
 	avMark  []int // per cluster: copy-routing availability
 	avEpoch int
@@ -90,7 +98,7 @@ func newEngine(a *assigner) *engine {
 		avMark:  make([]int, c),
 		tBuf:    make([]int, 0, c),
 	}
-	e.cap.EnableJournal()
+	e.capSave = mrt.NewCapacity(a.m, a.ii)
 	if !e.rebuild() {
 		panic("assign: engine rebuild failed on empty assignment")
 	}
@@ -121,8 +129,8 @@ func (e *engine) targets(p int, r eRecord) []int { return e.tgts[p][r.off : r.of
 //schedvet:alloc-free
 func (e *engine) apply(n, cl int) bool {
 	a := e.a
-	e.cap.JournalReset()
-	if !e.cap.PlaceOp(cl, a.g.Nodes[n].Kind) {
+	e.capSave.CopyFrom(e.cap)
+	if !e.cap.CommitOp(mrt.OpAt(n, cl, a.g.Nodes[n].Kind), 0) {
 		return false
 	}
 	a.cluster[n] = cl
@@ -140,12 +148,12 @@ func (e *engine) apply(n, cl int) bool {
 		}
 	}
 	if !ok {
-		// Undo: the journal restores every capacity counter touched
-		// since JournalReset (including the op itself), and the
+		// Undo: the snapshot restores every capacity counter to its
+		// state at the top of apply (including the op itself), and the
 		// records of the affected producers are recomputed from the
 		// restored vector — they are a pure function of it.
 		a.cluster[n] = -1
-		e.cap.JournalRollback(0)
+		e.cap.CopyFrom(e.capSave)
 		e.copies = saved
 		e.fillRecords(n)
 		for _, q := range a.predsOf(n) {
@@ -183,6 +191,171 @@ func (e *engine) apply(n, cl int) bool {
 	return true
 }
 
+// probeResult carries the selection metrics of one tentative
+// assignment, read out of the committed capacity state before probe
+// restores it.
+type probeResult struct {
+	feasible  bool
+	newCopies int
+	pcrSum    int // pcr(cl) after the assignment
+	picCnt    int // pic(cl) after the assignment
+	mrc       int // MaxReservableCopies(cl) after the assignment
+	mri       int // MaxReservableIncoming(cl) after the assignment
+	freeSlots int // FreeSlots(cl) after the assignment
+}
+
+// probe evaluates assigning node n (unassigned) to cluster cl without
+// mutating the record structures: it issues exactly the commit/release
+// sequence apply would (so feasibility is byte-identical), reads the
+// selection metrics, computes the aggregate deltas arithmetically, and
+// restores the capacity table from the snapshot. Where evaluate
+// previously paid apply+remove — deriving every affected producer's
+// records twice and reverting every aggregate — a probe leaves the
+// engine untouched.
+//
+//schedvet:alloc-free
+func (e *engine) probe(n, cl int) probeResult {
+	a := e.a
+	v := a.g.NumNodes()
+	e.capSave.CopyFrom(e.cap)
+	if !e.cap.CommitOp(mrt.OpAt(n, cl, a.g.Nodes[n].Kind), 0) {
+		return probeResult{}
+	}
+	a.cluster[n] = cl
+
+	// n's records on the new cluster (recs[n] is empty in practice: n
+	// is unassigned), then every assigned predecessor's, in apply's
+	// commit order so a reservation fails at the identical point.
+	delta := 0
+	for _, r := range e.recs[n] {
+		e.cap.ReleaseOp(mrt.CopyAt(n, r.src, e.targets(n, r)))
+	}
+	nNew := e.walkProbe(n)
+	ok := nNew >= 0
+	pcrSum := e.pcrSum[cl]
+	selfPred := false
+	if ok {
+		delta = nNew - len(e.recs[n])
+		for _, q := range a.predsOf(n) {
+			if q == n {
+				selfPred = true
+				continue
+			}
+			if a.cluster[q] < 0 {
+				continue
+			}
+			for _, r := range e.recs[q] {
+				e.cap.ReleaseOp(mrt.CopyAt(q, r.src, e.targets(q, r)))
+			}
+			qNew := e.walkProbe(q)
+			if qNew < 0 {
+				ok = false
+				break
+			}
+			delta += qNew - len(e.recs[q])
+			if a.cluster[q] == cl {
+				// q's PCR term with one fewer unassigned successor
+				// and its re-derived record count.
+				usc := e.usc[q] - 1
+				nc := 0
+				if usc > 0 {
+					nc = a.upperBound(qNew)
+					if usc < nc {
+						nc = usc
+					}
+				}
+				pcrSum += nc - e.contrib[q]
+			}
+		}
+	}
+	if !ok {
+		a.cluster[n] = -1
+		e.cap.CopyFrom(e.capSave)
+		return probeResult{}
+	}
+
+	// n's own PCR term joins cl (its contrib was 0 while unassigned).
+	usc := e.usc[n]
+	if selfPred {
+		usc--
+	}
+	if usc > 0 {
+		nc := a.upperBound(nNew)
+		if usc < nc {
+			nc = usc
+		}
+		pcrSum += nc
+	}
+	picCnt := e.picCnt[cl]
+	if e.inRef[cl*v+n] > 0 {
+		picCnt--
+	}
+	for _, q := range a.predsOf(n) {
+		if e.inRef[cl*v+q] == 0 && a.cluster[q] < 0 {
+			picCnt++
+		}
+	}
+
+	r := probeResult{
+		feasible:  true,
+		newCopies: delta,
+		pcrSum:    pcrSum,
+		picCnt:    picCnt,
+		mrc:       e.cap.MaxReservableCopies(cl),
+		mri:       e.cap.MaxReservableIncoming(cl),
+		freeSlots: e.cap.FreeSlots(cl),
+	}
+	a.cluster[n] = -1
+	e.cap.CopyFrom(e.capSave)
+	return r
+}
+
+// walkProbe is walk(p, true) without the record appends: it charges the
+// capacity table through the identical commit sequence and returns the
+// number of records the real walk would produce, or -1 when a
+// reservation fails.
+//
+//schedvet:alloc-free
+func (e *engine) walkProbe(p int) int {
+	a := e.a
+	src := a.cluster[p]
+	targets := e.computeTargets(p)
+	if len(targets) == 0 {
+		return 0
+	}
+	if a.m.Network == machine.Broadcast {
+		if !e.cap.CommitOp(mrt.CopyAt(p, src, targets), 0) {
+			return -1
+		}
+		return 1
+	}
+	e.avEpoch++
+	e.avMark[src] = e.avEpoch
+	added := 0
+	for _, t := range targets {
+		if e.avMark[t] == e.avEpoch {
+			continue
+		}
+		path := a.pathOf(src, t)
+		if path == nil {
+			return -1
+		}
+		for i := 0; i+1 < len(path); i++ {
+			u, w := path[i], path[i+1]
+			if e.avMark[w] == e.avEpoch {
+				continue
+			}
+			e.one[0] = w
+			if !e.cap.CommitOp(mrt.CopyAt(p, u, e.one[:]), 0) {
+				return -1
+			}
+			e.avMark[w] = e.avEpoch
+			added++
+		}
+	}
+	return added
+}
+
 // remove unassigns node n (which must be assigned), the exact inverse
 // of apply. It cannot fail: the remaining copies are a subset of what
 // already fit.
@@ -217,7 +390,7 @@ func (e *engine) remove(n int) {
 		}
 		e.removeCopies(q)
 	}
-	e.cap.RemoveOp(cl, a.g.Nodes[n].Kind)
+	e.cap.ReleaseOp(mrt.OpAt(n, cl, a.g.Nodes[n].Kind))
 	a.cluster[n] = -1
 	for _, q := range a.predsOf(n) {
 		if q == n || a.cluster[q] < 0 {
@@ -256,11 +429,7 @@ func (e *engine) removeCopies(p int) {
 		return
 	}
 	for _, r := range e.recs[p] {
-		if r.link < 0 {
-			e.cap.RemoveBroadcastCopy(r.src, e.targets(p, r))
-		} else {
-			e.cap.RemoveLinkCopy(r.src, e.tgts[p][r.off], r.link)
-		}
+		e.cap.ReleaseOp(mrt.CopyAt(p, r.src, e.targets(p, r)))
 	}
 	e.copies -= len(e.recs[p])
 	e.recs[p] = e.recs[p][:0]
@@ -298,7 +467,7 @@ func (e *engine) walk(p int, place bool) int {
 		return 0
 	}
 	if a.m.Network == machine.Broadcast {
-		if place && !e.cap.PlaceBroadcastCopy(src, targets) {
+		if place && !e.cap.CommitOp(mrt.CopyAt(p, src, targets), 0) {
 			return -1
 		}
 		off := len(e.tgts[p])
@@ -323,7 +492,8 @@ func (e *engine) walk(p int, place bool) int {
 				continue
 			}
 			li := a.linkOf(u, w)
-			if place && !e.cap.PlaceLinkCopy(u, w, li) {
+			e.one[0] = w
+			if place && !e.cap.CommitOp(mrt.CopyAt(p, u, e.one[:]), 0) {
 				return -1
 			}
 			e.avMark[w] = e.avEpoch
@@ -397,7 +567,7 @@ func (e *engine) rebuild() bool {
 	c := a.m.NumClusters()
 	for n := 0; n < v; n++ {
 		if cl := a.cluster[n]; cl >= 0 {
-			if !e.cap.PlaceOp(cl, a.g.Nodes[n].Kind) {
+			if !e.cap.CommitOp(mrt.OpAt(n, cl, a.g.Nodes[n].Kind), 0) {
 				return false
 			}
 		}

@@ -11,10 +11,11 @@ import (
 // II. The single source of truth is the cluster[] vector. Resource use
 // and copy structure are maintained two ways:
 //
-//   - The incremental engine (engine.go) keeps a journaled capacity
-//     table, per-producer copy records, and per-cluster PCR/PIC
-//     aggregates, all updated in O(degree) when one node's cluster
-//     changes. The main evaluate/commit loop runs on it exclusively.
+//   - The incremental engine (engine.go) keeps a capacity table with a
+//     snapshot for apply rollback, per-producer copy records, and
+//     per-cluster PCR/PIC aggregates, all updated in O(degree) when one
+//     node's cluster changes. The main evaluate/commit loop runs on it
+//     exclusively.
 //   - derive() recomputes everything from scratch. It is the reference
 //     oracle: forced placement uses it to attribute resource
 //     violations to victim candidates (the one place that needs a
@@ -58,12 +59,10 @@ type assigner struct {
 	// the old per-evaluate sccMates performed.
 	sccMembers [][]int
 
-	// Machine topology precomputes (clustered machines): BFS paths and
-	// link indices between every cluster pair, and the links incident
-	// to each cluster.
-	pathTab [][]int // [src*C+dst]: machine.Path result, nil if unreachable
-	linkTab []int   // [src*C+dst]: link index or -1
-	linksAt [][]int // [cluster]: incident link indices
+	// Machine topology precomputes: BFS paths and link indices between
+	// every cluster pair, shared read-only across runs on the same
+	// machine (see machine.TopologyOf).
+	topo *machine.Topology
 
 	// Reusable evaluate/selection buffers (allocation-free hot loop).
 	cands   []candidate
@@ -115,7 +114,7 @@ func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigne
 	for n := 0; n < v; n++ {
 		adjTotal += len(g.Successors(n)) + len(g.Predecessors(n))
 	}
-	slab := make([]int, 5*v+2+adjTotal+c*c+c+2*v)
+	slab := make([]int, 5*v+2+adjTotal+c+2*v)
 	carve := func(n int) []int {
 		s := slab[:n:n]
 		slab = slab[n:]
@@ -143,16 +142,7 @@ func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigne
 	}
 	slab = slab[len(a.predAdj):]
 
-	a.pathTab = make([][]int, c*c)
-	a.linkTab = carve(c * c)
-	a.linksAt = make([][]int, c)
-	for i := 0; i < c; i++ {
-		a.linksAt[i] = m.LinksAt(i)
-		for j := 0; j < c; j++ {
-			a.pathTab[i*c+j] = m.Path(i, j)
-			a.linkTab[i*c+j] = m.LinkBetween(i, j)
-		}
-	}
+	a.topo = machine.TopologyOf(m)
 
 	a.cands = make([]candidate, c)
 	a.listBuf = make([]int, 0, c)
@@ -439,7 +429,7 @@ func (a *assigner) deriveInto(d *derived) *derived {
 		if cls := d.cap.ChargeClass(cl, k); cls >= 0 {
 			key = cl*int(machine.NumFUClasses) + int(cls)
 		}
-		if !d.cap.PlaceOp(cl, k) {
+		if !d.cap.CommitOp(mrt.OpAt(n, cl, k), 0) {
 			var owners []int
 			if key >= 0 {
 				owners = a.fuOwners[key]
@@ -477,7 +467,7 @@ func (a *assigner) deriveInto(d *derived) *derived {
 // candidates and reports false.
 func (a *assigner) placeBroadcast(d *derived, p int, targets []int) bool {
 	src := a.cluster[p]
-	if d.cap.PlaceBroadcastCopy(src, targets) {
+	if d.cap.CommitOp(mrt.CopyAt(p, src, targets), 0) {
 		d.rc[p] = 1
 		d.copies++
 		d.records = append(d.records, copyRecord{producer: p, src: src, targets: targets, link: -1})
@@ -530,12 +520,13 @@ func (a *assigner) placeChained(d *derived, p int, targets []int) bool {
 				continue
 			}
 			li := a.linkOf(u, v)
-			if !d.cap.PlaceLinkCopy(u, v, li) {
+			d.arena = append(d.arena, v)
+			if !d.cap.CommitOp(mrt.CopyAt(p, u, d.arena[len(d.arena)-1:]), 0) {
+				d.arena = d.arena[:len(d.arena)-1]
 				d.viol = a.linkViolation(d, p, u, v, li)
 				return false
 			}
 			avail[v] = a.chEpoch
-			d.arena = append(d.arena, v)
 			d.rc[p]++
 			d.copies++
 			d.records = append(d.records, copyRecord{producer: p, src: u,
@@ -549,10 +540,10 @@ func (a *assigner) placeChained(d *derived, p int, targets []int) bool {
 // machine.LinkBetween.
 //
 //schedvet:alloc-free
-func (a *assigner) pathOf(u, v int) []int { return a.pathTab[u*a.m.NumClusters()+v] }
+func (a *assigner) pathOf(u, v int) []int { return a.topo.Path(u, v) }
 
 //schedvet:alloc-free
-func (a *assigner) linkOf(u, v int) int { return a.linkTab[u*a.m.NumClusters()+v] }
+func (a *assigner) linkOf(u, v int) int { return a.topo.LinkBetween(u, v) }
 
 // linkViolation attributes a failed point-to-point copy to its scarce
 // resource and gathers victim candidates.
@@ -681,22 +672,7 @@ func (a *assigner) maxReservableIncoming(d *derived, cl int) int {
 
 //schedvet:alloc-free
 func (a *assigner) maxReservableIncomingCap(cap *mrt.Capacity, cl int) int {
-	free := cap.FreeWritePortSlots(cl)
-	var fabric int
-	if a.m.Network == machine.Broadcast {
-		fabric = cap.FreeBusSlots()
-	} else {
-		for _, li := range a.linksAt[cl] {
-			fabric += cap.FreeLinkSlots(li)
-		}
-	}
-	if fabric < free {
-		free = fabric
-	}
-	if free < 0 {
-		free = 0
-	}
-	return free
+	return cap.MaxReservableIncoming(cl)
 }
 
 // upperBound is the paper's UpperBound(): the worst-case number of

@@ -117,21 +117,21 @@ func schedulableAt(g *ddg.Graph, m *machine.Config, clusterOf []int, copyTargets
 		if v == n {
 			return slotsFeasible(g, m, ii, slots)
 		}
+		var op mrt.Op
+		if g.Nodes[v].Kind == ddg.OpCopy {
+			op = mrt.CopyAt(v, clusterOf[v], copyTargets[v])
+		} else {
+			op = mrt.OpAt(v, clusterOf[v], g.Nodes[v].Kind)
+		}
 		for s := 0; s < ii; s++ {
-			var placed bool
-			if g.Nodes[v].Kind == ddg.OpCopy {
-				placed = table.PlaceCopy(v, clusterOf[v], copyTargets[v], s)
-			} else {
-				placed = table.PlaceOp(v, clusterOf[v], g.Nodes[v].Kind, s)
-			}
-			if !placed {
+			if !table.CommitOp(op, s) {
 				continue
 			}
 			slots[v] = s
 			if dfs(v + 1) {
 				return true
 			}
-			table.Unplace(v)
+			table.ReleaseOp(op)
 		}
 		return false
 	}

@@ -7,6 +7,10 @@
 //     bookkeeping, including room for copies).
 //   - Cycle: exact per-instance, per-cycle occupancy, used by the
 //     modulo schedulers in phase two.
+//
+// Both fidelities speak the same probe API — ProbeOp/CommitOp/ReleaseOp
+// over an Op description, plus the shared Journal — so the assignment
+// engine and the schedulers are written against one surface (see Table).
 package mrt
 
 import (
@@ -16,126 +20,48 @@ import (
 	"clustersched/internal/machine"
 )
 
+// numFU is machine.NumFUClasses, shortened for index arithmetic.
+const numFU = int(machine.NumFUClasses)
+
 // Capacity tracks, for one candidate II, how many of each resource's
 // II slot-cycles are already spoken for on every cluster. Local
 // resources are function units (per class) and bus read/write ports;
 // global resources are broadcast buses and point-to-point links.
+//
+// Every probe is a precomputed table lookup: the charge plan
+// (classOf/occOf/linkTab) resolves an Op to the counters it charges
+// without re-deriving unit compatibility, occupancy, or link topology
+// per call, and per-cluster aggregates (freeFU, linkFreeAt) answer
+// FreeSlots and MaxReservableCopies in O(1).
 type Capacity struct {
 	m  *machine.Config
 	ii int
+	nc int
 
-	fuUsed    [][]int // [cluster][fuclass] slot-cycles consumed
-	fuCap     [][]int // [cluster][fuclass] total slot-cycles (= count * II)
-	readUsed  []int   // [cluster]
-	writeUsed []int   // [cluster]
-	busUsed   int
+	// Charge plan, structural (II-invariant), shared read-only with
+	// every table of the same machine (see planOf).
+	classOf []int8  // [cl*NumOpKinds+k] -> FU class charged, or -1
+	occOf   []int   // [k] -> function-unit occupancy (slot-cycles)
+	fuCnt   []int   // [cl*numFU+class] -> unit count
+	linkTab []int   // [src*nc+dst] -> link index, or -1
+	linksAt [][]int // [cl] -> incident link indices
+
+	// Usage counters and per-II capacities, all carved from one slab.
+	fuUsed    []int // [cl*numFU+class] slot-cycles consumed
+	fuCap     []int // [cl*numFU+class] total slot-cycles (= count * II)
+	freeFU    []int // [cl] aggregate free FU slot-cycles (all classes)
+	readUsed  []int // [cl]
+	readCap   []int // [cl]
+	writeUsed []int // [cl]
+	writeCap  []int // [cl]
 	linkUsed  []int // [link]
+	linkFree  []int // [cl] aggregate free slot-cycles of incident links
+	busUsed   int
+	busCap    int
 
-	journaling bool
-	journal    []capDelta
-}
+	rbBuf []int // rollback scratch for event targets
 
-// capDelta is one journaled counter mutation. The pointer targets a
-// fixed-size backing array (or the busUsed field), so entries stay
-// valid for the table's lifetime.
-type capDelta struct {
-	counter *int
-	delta   int
-}
-
-// EnableJournal turns on mutation journaling: every subsequent counter
-// change is recorded so a span of tentative placements can be undone
-// with JournalRollback. Journaling is off by default; tables that
-// never enable it pay one predictable branch per mutation.
-func (c *Capacity) EnableJournal() {
-	c.journaling = true
-	c.journal = c.journal[:0]
-}
-
-// JournalMark returns the current journal position, to be passed to
-// JournalRollback to undo everything recorded after this point.
-//
-//schedvet:alloc-free
-func (c *Capacity) JournalMark() int { return len(c.journal) }
-
-// JournalRollback undoes, in reverse order, every mutation recorded
-// after mark, restoring the table to its state at JournalMark time.
-//
-//schedvet:alloc-free
-func (c *Capacity) JournalRollback(mark int) {
-	for i := len(c.journal) - 1; i >= mark; i-- {
-		e := c.journal[i]
-		*e.counter -= e.delta
-	}
-	c.journal = c.journal[:mark]
-}
-
-// JournalReset discards the journal without undoing anything, making
-// all mutations recorded so far permanent. The backing array is kept,
-// so a reset-mutate-rollback cycle settles into zero allocations.
-//
-//schedvet:alloc-free
-func (c *Capacity) JournalReset() {
-	c.journal = c.journal[:0]
-}
-
-// bump applies a counter mutation, journaling it when enabled. Every
-// mutator below routes its writes through bump so rollback sees a
-// complete record.
-//
-//schedvet:alloc-free
-func (c *Capacity) bump(counter *int, delta int) {
-	*counter += delta
-	if c.journaling {
-		c.journal = append(c.journal, capDelta{counter, delta})
-	}
-}
-
-// Reset clears all usage counters (capacities are untouched) and
-// discards the journal, returning the table to its freshly constructed
-// state without reallocating.
-//
-//schedvet:alloc-free
-func (c *Capacity) Reset() {
-	for i := range c.fuUsed {
-		for j := range c.fuUsed[i] {
-			c.fuUsed[i][j] = 0
-		}
-	}
-	for i := range c.readUsed {
-		c.readUsed[i] = 0
-	}
-	for i := range c.writeUsed {
-		c.writeUsed[i] = 0
-	}
-	c.busUsed = 0
-	for i := range c.linkUsed {
-		c.linkUsed[i] = 0
-	}
-	c.journal = c.journal[:0]
-}
-
-// ResetII clears the table like Reset and re-sizes every capacity for
-// a new initiation interval, so II-escalation loops can reuse one
-// table instead of allocating per candidate. It must not be called on
-// a table with live Clones: clones share the capacity array this
-// rewrites. Journaling state is preserved.
-//
-//schedvet:alloc-free
-func (c *Capacity) ResetII(ii int) {
-	if ii <= 0 {
-		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
-	}
-	c.ii = ii
-	for i := range c.m.Clusters {
-		for cls := range c.fuCap[i] {
-			c.fuCap[i][cls] = 0
-		}
-		for _, fu := range c.m.Clusters[i].FUs {
-			c.fuCap[i][fu] += ii
-		}
-	}
-	c.Reset()
+	Journal
 }
 
 // NewCapacity returns an empty capacity table for machine m at the
@@ -144,32 +70,37 @@ func NewCapacity(m *machine.Config, ii int) *Capacity {
 	if ii <= 0 {
 		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
 	}
-	// All counters live in one slab; capDelta pointers into it stay
-	// valid for the table's lifetime.
 	nc := m.NumClusters()
-	k := int(machine.NumFUClasses)
-	slab := make([]int, 2*nc*k+2*nc+len(m.Links))
+	nl := len(m.Links)
+	c := &Capacity{m: m, nc: nc}
+
+	// Charge plan: shared across every table of the same machine.
+	p := planOf(m)
+	c.classOf = p.classOf
+	c.occOf = p.occOf
+	c.fuCnt = p.fuCnt
+	c.linkTab = p.linkTab
+	c.linksAt = p.linksAt
+
+	// All counters live in one slab.
+	slab := make([]int, 2*nc*numFU+7*nc+2*nl)
 	carve := func(n int) []int {
 		s := slab[:n:n]
 		slab = slab[n:]
 		return s
 	}
-	c := &Capacity{
-		m:      m,
-		ii:     ii,
-		fuUsed: make([][]int, nc),
-		fuCap:  make([][]int, nc),
-	}
-	for i := range m.Clusters {
-		c.fuUsed[i] = carve(k)
-		c.fuCap[i] = carve(k)
-		for _, fu := range m.Clusters[i].FUs {
-			c.fuCap[i][fu] += ii
-		}
-	}
+	c.fuUsed = carve(nc * numFU)
+	c.fuCap = carve(nc * numFU)
+	c.freeFU = carve(nc)
 	c.readUsed = carve(nc)
+	c.readCap = carve(nc)
 	c.writeUsed = carve(nc)
-	c.linkUsed = carve(len(m.Links))
+	c.writeCap = carve(nc)
+	c.linkUsed = carve(nl)
+	c.linkFree = carve(nc)
+	_ = carve(nl) // reserved
+
+	c.ResetII(ii)
 	return c
 }
 
@@ -187,241 +118,257 @@ func (c *Capacity) Machine() *machine.Config { return c.m }
 // against on cluster cl: the specialized class when the cluster has
 // such units, otherwise the general-purpose pool; -1 when the cluster
 // cannot execute the kind at all. Callers use it to group operations
-// competing for the same pool.
+// competing for the same pool. A precomputed lookup of the charge plan.
 //
 //schedvet:alloc-free
 func (c *Capacity) ChargeClass(cl int, k ddg.OpKind) machine.FUClass {
-	return c.chargeClass(cl, k)
+	return machine.FUClass(c.classOf[cl*ddg.NumOpKinds+int(k)])
 }
 
-//schedvet:alloc-free
-func (c *Capacity) chargeClass(cl int, k ddg.OpKind) machine.FUClass {
-	want := machine.RequiredClass(k)
-	if c.fuCap[cl][want] > 0 {
-		return want
-	}
-	if c.fuCap[cl][machine.FUGeneral] > 0 && machine.FUGeneral.CanExecute(k) {
-		return machine.FUGeneral
-	}
-	return -1
-}
-
-// CanPlaceOp reports whether cluster cl still has free function-unit
-// slot-cycles for an operation of kind k (one per cycle of the kind's
-// occupancy: non-pipelined units hold their unit for the full latency,
-// and no single operation may outlast the II on one unit).
+// Reset clears all usage counters (capacities are untouched) and
+// discards the journal, returning the table to its freshly constructed
+// state without reallocating.
 //
 //schedvet:alloc-free
-func (c *Capacity) CanPlaceOp(cl int, k ddg.OpKind) bool {
-	cls := c.chargeClass(cl, k)
-	occ := c.m.Occupancy(k)
-	return cls >= 0 && occ <= c.ii && c.fuUsed[cl][cls]+occ <= c.fuCap[cl][cls]
+func (c *Capacity) Reset() {
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	for cl := 0; cl < c.nc; cl++ {
+		free := 0
+		for cls := 0; cls < numFU; cls++ {
+			free += c.fuCap[cl*numFU+cls]
+		}
+		c.freeFU[cl] = free
+		c.readUsed[cl] = 0
+		c.writeUsed[cl] = 0
+		c.linkFree[cl] = len(c.linksAt[cl]) * c.ii
+	}
+	c.busUsed = 0
+	for i := range c.linkUsed {
+		c.linkUsed[i] = 0
+	}
+	c.JournalReset()
 }
 
-// PlaceOp consumes the FU slot-cycles of the proper class on cluster
-// cl. It reports false (and changes nothing) when capacity is short.
+// ResetII clears the table like Reset and re-sizes every capacity for
+// a new initiation interval, so II-escalation loops can reuse one
+// table instead of allocating per candidate. Journaling state is
+// preserved (the journal itself is discarded).
 //
 //schedvet:alloc-free
-func (c *Capacity) PlaceOp(cl int, k ddg.OpKind) bool {
-	if !c.CanPlaceOp(cl, k) {
+func (c *Capacity) ResetII(ii int) {
+	if ii <= 0 {
+		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
+	}
+	c.ii = ii
+	for i := range c.fuCap {
+		c.fuCap[i] = c.fuCnt[i] * ii
+	}
+	for cl := 0; cl < c.nc; cl++ {
+		c.readCap[cl] = c.m.Clusters[cl].ReadPorts * ii
+		c.writeCap[cl] = c.m.Clusters[cl].WritePorts * ii
+	}
+	c.busCap = c.m.Buses * ii
+	c.Reset()
+}
+
+// Probe API -----------------------------------------------------------------
+
+// ProbeOp reports whether op still fits: free function-unit slot-cycles
+// of the charged class for ordinary operations (one per cycle of the
+// kind's occupancy, and no single operation may outlast the II on one
+// unit), or a read-port, fabric, and write-port slot-cycle for copies.
+// The cycle argument is ignored: this fidelity counts slot-cycles
+// without committing to cycles.
+//
+//schedvet:alloc-free
+func (c *Capacity) ProbeOp(op Op, cycle int) bool {
+	if op.Kind == ddg.OpCopy {
+		return c.probeCopy(op)
+	}
+	cls := c.classOf[op.Cluster*ddg.NumOpKinds+int(op.Kind)]
+	if cls < 0 {
 		return false
 	}
-	c.bump(&c.fuUsed[cl][c.chargeClass(cl, k)], c.m.Occupancy(k))
-	return true
+	occ := c.occOf[op.Kind]
+	idx := op.Cluster*numFU + int(cls)
+	return occ <= c.ii && c.fuUsed[idx]+occ <= c.fuCap[idx]
 }
 
-// RemoveOp releases the slot-cycles previously taken by PlaceOp.
-//
-//schedvet:alloc-free
-func (c *Capacity) RemoveOp(cl int, k ddg.OpKind) {
-	cls := c.chargeClass(cl, k)
-	occ := c.m.Occupancy(k)
-	if cls < 0 || c.fuUsed[cl][cls] < occ {
-		panic(fmt.Sprintf("mrt: RemoveOp(%d, %s) underflow", cl, k))
-	}
-	c.bump(&c.fuUsed[cl][cls], -occ)
-}
-
-// FreeOpSlots returns the remaining FU slot-cycles usable by kind k on
-// cluster cl.
-//
-//schedvet:alloc-free
-func (c *Capacity) FreeOpSlots(cl int, k ddg.OpKind) int {
-	cls := c.chargeClass(cl, k)
-	if cls < 0 {
-		return 0
-	}
-	return c.fuCap[cl][cls] - c.fuUsed[cl][cls]
-}
-
-// FreeSlots returns the total free FU slot-cycles on cluster cl across
-// all classes, the tie-breaker of selection line 8 ("maximize free
-// resources on the cluster").
-//
-//schedvet:alloc-free
-func (c *Capacity) FreeSlots(cl int) int {
-	free := 0
-	for cls := 0; cls < machine.NumFUClasses; cls++ {
-		free += c.fuCap[cl][cls] - c.fuUsed[cl][cls]
-	}
-	return free
-}
-
-// Broadcast copy accounting ------------------------------------------------
-
-// CanPlaceBroadcastCopy reports whether a new copy sourced on cluster
-// src with the given additional target clusters fits: a read-port
-// slot-cycle on src, a bus slot-cycle, and a write-port slot-cycle on
+// probeCopy checks a copy sourced on op.Cluster: a read-port slot-cycle
+// there, a fabric slot-cycle (a bus, or the link to the single adjacent
+// target on point-to-point machines), and a write-port slot-cycle on
 // every target.
 //
 //schedvet:alloc-free
-func (c *Capacity) CanPlaceBroadcastCopy(src int, targets []int) bool {
-	if c.readUsed[src] >= c.m.Clusters[src].ReadPorts*c.ii {
+func (c *Capacity) probeCopy(op Op) bool {
+	src := op.Cluster
+	if c.readUsed[src] >= c.readCap[src] {
 		return false
 	}
-	if c.busUsed >= c.m.Buses*c.ii {
-		return false
+	if c.m.Network == machine.Broadcast {
+		if c.busUsed >= c.busCap {
+			return false
+		}
+	} else {
+		if len(op.Targets) != 1 {
+			return false
+		}
+		li := c.linkTab[src*c.nc+op.Targets[0]]
+		if li < 0 || c.linkUsed[li] >= c.ii {
+			return false
+		}
 	}
-	return c.canAddTargets(targets)
-}
-
-// canAddTargets checks write-port room on each target cluster.
-//
-//schedvet:alloc-free
-func (c *Capacity) canAddTargets(targets []int) bool {
-	for _, t := range targets {
-		if c.writeUsed[t] >= c.m.Clusters[t].WritePorts*c.ii {
+	for _, t := range op.Targets {
+		if c.writeUsed[t] >= c.writeCap[t] {
 			return false
 		}
 	}
 	return true
 }
 
-// PlaceBroadcastCopy reserves the resources checked by
-// CanPlaceBroadcastCopy. It reports false without changes when they no
-// longer fit.
+// CommitOp reserves op's resources. It reports false (and changes
+// nothing) when they no longer fit. The cycle argument is ignored.
 //
 //schedvet:alloc-free
-func (c *Capacity) PlaceBroadcastCopy(src int, targets []int) bool {
-	if !c.CanPlaceBroadcastCopy(src, targets) {
+func (c *Capacity) CommitOp(op Op, cycle int) bool {
+	if !c.ProbeOp(op, cycle) {
 		return false
 	}
-	c.bump(&c.readUsed[src], 1)
-	c.bump(&c.busUsed, 1)
-	for _, t := range targets {
-		c.bump(&c.writeUsed[t], 1)
+	c.applyCharges(op, 1)
+	if c.journaling {
+		c.record(op, 0, false, op.Targets)
 	}
 	return true
 }
 
-// CanAddCopyTarget reports whether an existing broadcast copy can gain
-// one more destination cluster (one extra write-port slot-cycle there).
+// ReleaseOp releases the resources previously reserved by CommitOp for
+// an identically described op. It panics on underflow — releasing
+// something that was never committed — and always reports true.
 //
 //schedvet:alloc-free
-func (c *Capacity) CanAddCopyTarget(target int) bool {
-	return c.writeUsed[target] < c.m.Clusters[target].WritePorts*c.ii
-}
-
-// AddCopyTarget reserves a write-port slot-cycle on the target cluster
-// for an already placed broadcast copy.
-//
-//schedvet:alloc-free
-func (c *Capacity) AddCopyTarget(target int) bool {
-	if !c.CanAddCopyTarget(target) {
-		return false
-	}
-	c.bump(&c.writeUsed[target], 1)
-	return true
-}
-
-// RemoveBroadcastCopy releases a broadcast copy and all its targets.
-//
-//schedvet:alloc-free
-func (c *Capacity) RemoveBroadcastCopy(src int, targets []int) {
-	if c.readUsed[src] <= 0 || c.busUsed <= 0 {
-		panic("mrt: RemoveBroadcastCopy underflow")
-	}
-	c.bump(&c.readUsed[src], -1)
-	c.bump(&c.busUsed, -1)
-	for _, t := range targets {
-		if c.writeUsed[t] <= 0 {
-			panic("mrt: RemoveBroadcastCopy target underflow")
+func (c *Capacity) ReleaseOp(op Op) bool {
+	if op.Kind == ddg.OpCopy {
+		src := op.Cluster
+		if c.readUsed[src] <= 0 {
+			panic("mrt: ReleaseOp copy read-port underflow")
 		}
-		c.bump(&c.writeUsed[t], -1)
+		if c.m.Network == machine.Broadcast {
+			if c.busUsed <= 0 {
+				panic("mrt: ReleaseOp copy bus underflow")
+			}
+		} else if len(op.Targets) != 1 || c.linkTab[src*c.nc+op.Targets[0]] < 0 ||
+			c.linkUsed[c.linkTab[src*c.nc+op.Targets[0]]] <= 0 {
+			panic("mrt: ReleaseOp copy link underflow")
+		}
+		for _, t := range op.Targets {
+			if c.writeUsed[t] <= 0 {
+				panic("mrt: ReleaseOp copy write-port underflow")
+			}
+		}
+	} else {
+		cls := c.classOf[op.Cluster*ddg.NumOpKinds+int(op.Kind)]
+		if cls < 0 || c.fuUsed[op.Cluster*numFU+int(cls)] < c.occOf[op.Kind] {
+			panic(fmt.Sprintf("mrt: ReleaseOp(%d, %s) underflow", op.Cluster, op.Kind))
+		}
 	}
-}
-
-// RemoveCopyTarget releases one destination of a broadcast copy that
-// itself stays in place.
-//
-//schedvet:alloc-free
-func (c *Capacity) RemoveCopyTarget(target int) {
-	if c.writeUsed[target] <= 0 {
-		panic("mrt: RemoveCopyTarget underflow")
+	c.applyCharges(op, -1)
+	if c.journaling {
+		c.record(op, 0, true, op.Targets)
 	}
-	c.bump(&c.writeUsed[target], -1)
-}
-
-// Point-to-point copy accounting -------------------------------------------
-
-// CanPlaceLinkCopy reports whether a copy across link li (from cluster
-// src to cluster dst) fits: read port on src, the link itself, and a
-// write port on dst.
-//
-//schedvet:alloc-free
-func (c *Capacity) CanPlaceLinkCopy(src, dst, li int) bool {
-	if c.readUsed[src] >= c.m.Clusters[src].ReadPorts*c.ii {
-		return false
-	}
-	if c.linkUsed[li] >= c.ii {
-		return false
-	}
-	return c.writeUsed[dst] < c.m.Clusters[dst].WritePorts*c.ii
-}
-
-// PlaceLinkCopy reserves a point-to-point copy's resources.
-//
-//schedvet:alloc-free
-func (c *Capacity) PlaceLinkCopy(src, dst, li int) bool {
-	if !c.CanPlaceLinkCopy(src, dst, li) {
-		return false
-	}
-	c.bump(&c.readUsed[src], 1)
-	c.bump(&c.linkUsed[li], 1)
-	c.bump(&c.writeUsed[dst], 1)
 	return true
 }
 
-// RemoveLinkCopy releases a point-to-point copy's resources.
+// applyCharges moves op's counters by dir (+1 commit, -1 release),
+// maintaining the O(1) aggregates. It performs no validity checks: the
+// callers (CommitOp after a probe, ReleaseOp after its underflow guard,
+// and rollback restoring known-good state) have already established
+// them.
 //
 //schedvet:alloc-free
-func (c *Capacity) RemoveLinkCopy(src, dst, li int) {
-	if c.readUsed[src] <= 0 || c.linkUsed[li] <= 0 || c.writeUsed[dst] <= 0 {
-		panic("mrt: RemoveLinkCopy underflow")
+func (c *Capacity) applyCharges(op Op, dir int) {
+	if op.Kind != ddg.OpCopy {
+		cls := c.classOf[op.Cluster*ddg.NumOpKinds+int(op.Kind)]
+		occ := c.occOf[op.Kind] * dir
+		c.fuUsed[op.Cluster*numFU+int(cls)] += occ
+		c.freeFU[op.Cluster] -= occ
+		return
 	}
-	c.bump(&c.readUsed[src], -1)
-	c.bump(&c.linkUsed[li], -1)
-	c.bump(&c.writeUsed[dst], -1)
+	c.readUsed[op.Cluster] += dir
+	if c.m.Network == machine.Broadcast {
+		c.busUsed += dir
+	} else {
+		li := c.linkTab[op.Cluster*c.nc+op.Targets[0]]
+		c.linkUsed[li] += dir
+		l := c.m.Links[li]
+		c.linkFree[l.A] -= dir
+		c.linkFree[l.B] -= dir
+	}
+	for _, t := range op.Targets {
+		c.writeUsed[t] += dir
+	}
 }
 
-// Copy headroom -------------------------------------------------------------
+// JournalRollback undoes, in reverse order, every commit and release
+// recorded after mark, restoring the table to its state at JournalMark
+// time.
+//
+//schedvet:alloc-free
+func (c *Capacity) JournalRollback(mark int) {
+	for i := len(c.events) - 1; i >= mark; i-- {
+		ev := &c.events[i]
+		op, buf := c.eventOp(ev, c.rbBuf)
+		c.rbBuf = buf
+		if ev.release {
+			c.applyCharges(op, 1)
+		} else {
+			c.applyCharges(op, -1)
+		}
+	}
+	c.truncate(mark)
+}
+
+// Queries -------------------------------------------------------------------
+
+// FreeOpSlots returns the remaining FU slot-cycles usable by kind k on
+// cluster cl.
+//
+//schedvet:alloc-free
+func (c *Capacity) FreeOpSlots(cl int, k ddg.OpKind) int {
+	cls := c.classOf[cl*ddg.NumOpKinds+int(k)]
+	if cls < 0 {
+		return 0
+	}
+	idx := cl*numFU + int(cls)
+	return c.fuCap[idx] - c.fuUsed[idx]
+}
+
+// FreeSlots returns the total free FU slot-cycles on cluster cl across
+// all classes, the tie-breaker of selection line 8 ("maximize free
+// resources on the cluster"). O(1): the aggregate is maintained on
+// every charge.
+//
+//schedvet:alloc-free
+func (c *Capacity) FreeSlots(cl int) int { return c.freeFU[cl] }
 
 // MaxReservableCopies returns MRC_C of the paper: an upper bound on how
 // many more copies sourced from cluster cl still have room, limited by
 // the cluster's free read-port slot-cycles and by the free slot-cycles
-// of the shared fabric (buses, or the links incident to cl).
+// of the shared fabric (buses, or the links incident to cl). O(1): the
+// incident-link aggregate is maintained on every charge.
+//
+//schedvet:alloc-free
 func (c *Capacity) MaxReservableCopies(cl int) int {
-	freeRead := c.m.Clusters[cl].ReadPorts*c.ii - c.readUsed[cl]
+	freeRead := c.readCap[cl] - c.readUsed[cl]
 	if freeRead < 0 {
 		freeRead = 0
 	}
 	var freeFabric int
 	if c.m.Network == machine.Broadcast {
-		freeFabric = c.m.Buses*c.ii - c.busUsed
+		freeFabric = c.busCap - c.busUsed
 	} else {
-		for _, li := range c.m.LinksAt(cl) {
-			freeFabric += c.ii - c.linkUsed[li]
-		}
+		freeFabric = c.linkFree[cl]
 	}
 	if freeFabric < 0 {
 		freeFabric = 0
@@ -432,46 +379,82 @@ func (c *Capacity) MaxReservableCopies(cl int) int {
 	return freeFabric
 }
 
+// MaxReservableIncoming is the incoming mirror of MaxReservableCopies:
+// the headroom for copies arriving at cluster cl, limited by its free
+// write-port slot-cycles and the free slot-cycles of the shared fabric
+// each arriving copy also consumes.
+//
+//schedvet:alloc-free
+func (c *Capacity) MaxReservableIncoming(cl int) int {
+	free := c.writeCap[cl] - c.writeUsed[cl]
+	var fabric int
+	if c.m.Network == machine.Broadcast {
+		fabric = c.busCap - c.busUsed
+	} else {
+		fabric = c.linkFree[cl]
+	}
+	if fabric < free {
+		free = fabric
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
 // FreeReadPortSlots returns the remaining read-port slot-cycles on cl.
 //
 //schedvet:alloc-free
-func (c *Capacity) FreeReadPortSlots(cl int) int {
-	return c.m.Clusters[cl].ReadPorts*c.ii - c.readUsed[cl]
-}
+func (c *Capacity) FreeReadPortSlots(cl int) int { return c.readCap[cl] - c.readUsed[cl] }
 
 // FreeWritePortSlots returns the remaining write-port slot-cycles on cl.
 //
 //schedvet:alloc-free
-func (c *Capacity) FreeWritePortSlots(cl int) int {
-	return c.m.Clusters[cl].WritePorts*c.ii - c.writeUsed[cl]
-}
+func (c *Capacity) FreeWritePortSlots(cl int) int { return c.writeCap[cl] - c.writeUsed[cl] }
 
 // FreeBusSlots returns the remaining broadcast-bus slot-cycles.
 //
 //schedvet:alloc-free
-func (c *Capacity) FreeBusSlots() int { return c.m.Buses*c.ii - c.busUsed }
-
-// Clone returns an independent deep copy, used for tentative
-// assignments that may be discarded. The clone's journal starts empty
-// and disabled regardless of the receiver's journaling state.
-func (c *Capacity) Clone() *Capacity {
-	n := &Capacity{
-		m:         c.m,
-		ii:        c.ii,
-		fuUsed:    make([][]int, len(c.fuUsed)),
-		fuCap:     c.fuCap, // immutable after construction; share
-		readUsed:  append([]int(nil), c.readUsed...),
-		writeUsed: append([]int(nil), c.writeUsed...),
-		busUsed:   c.busUsed,
-		linkUsed:  append([]int(nil), c.linkUsed...),
-	}
-	for i := range c.fuUsed {
-		n.fuUsed[i] = append([]int(nil), c.fuUsed[i]...)
-	}
-	return n
-}
+func (c *Capacity) FreeBusSlots() int { return c.busCap - c.busUsed }
 
 // FreeLinkSlots returns the remaining slot-cycles of link li.
 //
 //schedvet:alloc-free
 func (c *Capacity) FreeLinkSlots(li int) int { return c.ii - c.linkUsed[li] }
+
+// Copy / restore ------------------------------------------------------------
+
+// CopyFrom overwrites the receiver's counters with src's, a
+// slab-reusing restore for tables of the same machine (it panics
+// otherwise). The receiver's journal is discarded — the recorded
+// history no longer matches — but its journaling mode is kept. Use it
+// where Clone would allocate per restore; keep Clone for cold paths.
+//
+//schedvet:alloc-free
+func (c *Capacity) CopyFrom(src *Capacity) {
+	if c.m != src.m {
+		panic("mrt: Capacity.CopyFrom across machines")
+	}
+	c.ii = src.ii
+	copy(c.fuUsed, src.fuUsed)
+	copy(c.fuCap, src.fuCap)
+	copy(c.freeFU, src.freeFU)
+	copy(c.readUsed, src.readUsed)
+	copy(c.readCap, src.readCap)
+	copy(c.writeUsed, src.writeUsed)
+	copy(c.writeCap, src.writeCap)
+	copy(c.linkUsed, src.linkUsed)
+	copy(c.linkFree, src.linkFree)
+	c.busUsed = src.busUsed
+	c.busCap = src.busCap
+	c.JournalReset()
+}
+
+// Clone returns an independent deep copy, used for tentative
+// assignments that may be discarded. The clone's journal starts empty
+// and disabled regardless of the receiver's journaling state.
+func (c *Capacity) Clone() *Capacity {
+	n := NewCapacity(c.m, c.ii)
+	n.CopyFrom(c)
+	return n
+}

@@ -12,21 +12,21 @@ func TestCapacityFUCounting(t *testing.T) {
 	c := NewCapacity(m, 2)           // 8 slot-cycles per cluster
 
 	for i := 0; i < 8; i++ {
-		if !c.PlaceOp(0, ddg.OpALU) {
+		if !c.CommitOp(OpAt(0, 0, ddg.OpALU), 0) {
 			t.Fatalf("placement %d should fit (capacity 8)", i)
 		}
 	}
-	if c.PlaceOp(0, ddg.OpALU) {
+	if c.CommitOp(OpAt(0, 0, ddg.OpALU), 0) {
 		t.Error("ninth op placed beyond capacity")
 	}
-	if c.CanPlaceOp(0, ddg.OpLoad) {
+	if c.ProbeOp(OpAt(0, 0, ddg.OpLoad), 0) {
 		t.Error("full cluster reported free")
 	}
-	if !c.CanPlaceOp(1, ddg.OpLoad) {
+	if !c.ProbeOp(OpAt(0, 1, ddg.OpLoad), 0) {
 		t.Error("other cluster should be free")
 	}
-	c.RemoveOp(0, ddg.OpALU)
-	if !c.CanPlaceOp(0, ddg.OpFAdd) {
+	c.ReleaseOp(OpAt(0, 0, ddg.OpALU))
+	if !c.ProbeOp(OpAt(0, 0, ddg.OpFAdd), 0) {
 		t.Error("freed slot not reusable")
 	}
 	if got := c.FreeSlots(1); got != 8 {
@@ -39,17 +39,17 @@ func TestCapacityFSChargesSpecializedClass(t *testing.T) {
 	m.Buses = 0                      // single cluster needs no bus
 	c := NewCapacity(m, 1)
 
-	if !c.PlaceOp(0, ddg.OpLoad) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpLoad), 0) {
 		t.Fatal("load should fit the memory unit")
 	}
-	if c.PlaceOp(0, ddg.OpStore) {
+	if c.CommitOp(OpAt(0, 0, ddg.OpStore), 0) {
 		t.Error("second memory op placed with one memory unit at II=1")
 	}
 	// Integer pool is independent: two units.
-	if !c.PlaceOp(0, ddg.OpALU) || !c.PlaceOp(0, ddg.OpShift) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpALU), 0) || !c.CommitOp(OpAt(0, 0, ddg.OpShift), 0) {
 		t.Error("two integer ops should fit")
 	}
-	if c.PlaceOp(0, ddg.OpBranch) {
+	if c.CommitOp(OpAt(0, 0, ddg.OpBranch), 0) {
 		t.Error("third integer op placed with two integer units at II=1")
 	}
 	if c.ChargeClass(0, ddg.OpFMul) != machine.FUFloat {
@@ -70,7 +70,7 @@ func TestBroadcastCopyAccounting(t *testing.T) {
 	m := machine.NewBusedGP(3, 2, 1)
 	c := NewCapacity(m, 1) // 1 read, 1 write slot per cluster, 2 bus slots
 
-	if !c.PlaceBroadcastCopy(0, []int{1, 2}) {
+	if !c.CommitOp(CopyAt(0, 0, []int{1, 2}), 0) {
 		t.Fatal("first copy should fit")
 	}
 	if c.FreeReadPortSlots(0) != 0 || c.FreeWritePortSlots(1) != 0 || c.FreeWritePortSlots(2) != 0 {
@@ -80,41 +80,42 @@ func TestBroadcastCopyAccounting(t *testing.T) {
 		t.Errorf("FreeBusSlots = %d, want 1", c.FreeBusSlots())
 	}
 	// Second copy from cluster 0 fails: read port exhausted.
-	if c.PlaceBroadcastCopy(0, nil) {
+	if c.CommitOp(CopyAt(0, 0, nil), 0) {
 		t.Error("copy placed without read port")
 	}
 	// From cluster 1, targeting cluster 2 fails on 2's write port.
-	if c.PlaceBroadcastCopy(1, []int{2}) {
+	if c.CommitOp(CopyAt(0, 1, []int{2}), 0) {
 		t.Error("copy placed without target write port")
 	}
 	// From cluster 1 with no extra target: fits (bus + read port left).
-	if !c.PlaceBroadcastCopy(1, nil) {
+	if !c.CommitOp(CopyAt(0, 1, nil), 0) {
 		t.Error("bus copy without targets should fit")
 	}
 	// Bus pool now empty.
-	if c.PlaceBroadcastCopy(2, nil) {
+	if c.CommitOp(CopyAt(0, 2, nil), 0) {
 		t.Error("copy placed without bus")
 	}
-	c.RemoveBroadcastCopy(0, []int{1, 2})
+	c.ReleaseOp(CopyAt(0, 0, []int{1, 2}))
 	if c.FreeReadPortSlots(0) != 1 || c.FreeBusSlots() != 1 {
 		t.Error("removal did not release resources")
 	}
 }
 
-func TestAddCopyTarget(t *testing.T) {
+func TestCopyWritePortBudget(t *testing.T) {
 	m := machine.NewBusedGP(2, 1, 1)
 	c := NewCapacity(m, 2)
-	if !c.PlaceBroadcastCopy(0, []int{1}) {
+	// Cluster 1 has 1 write port x II=2 slot-cycles.
+	if !c.CommitOp(CopyAt(0, 0, []int{1}), 0) {
 		t.Fatal("copy should fit")
 	}
-	if !c.AddCopyTarget(1) {
+	if !c.CommitOp(CopyAt(1, 0, []int{1}), 0) {
 		t.Fatal("second write slot on cluster 1 should exist at II=2")
 	}
-	if c.AddCopyTarget(1) {
+	if c.CommitOp(CopyAt(2, 0, []int{1}), 0) {
 		t.Error("third write beyond capacity")
 	}
-	c.RemoveCopyTarget(1)
-	if !c.CanAddCopyTarget(1) {
+	c.ReleaseOp(CopyAt(1, 0, []int{1}))
+	if c.FreeWritePortSlots(1) != 1 {
 		t.Error("released write slot not reusable")
 	}
 }
@@ -124,22 +125,21 @@ func TestLinkCopyAccounting(t *testing.T) {
 	c := NewCapacity(m, 1)
 	li := m.LinkBetween(0, 1)
 
-	if !c.PlaceLinkCopy(0, 1, li) {
+	if !c.CommitOp(CopyAt(0, 0, []int{1}), 0) {
 		t.Fatal("link copy should fit")
 	}
 	if c.FreeLinkSlots(li) != 0 {
 		t.Error("link slot not consumed")
 	}
-	if c.PlaceLinkCopy(1, 0, li) {
+	if c.CommitOp(CopyAt(0, 1, []int{0}), 0) {
 		t.Error("link reused within the same II slot budget")
 	}
 	// The other link at cluster 0 is free, but 0's read port is gone.
-	li02 := m.LinkBetween(0, 2)
-	if c.PlaceLinkCopy(0, 2, li02) {
+	if c.CommitOp(CopyAt(0, 0, []int{2}), 0) {
 		t.Error("copy placed without read port")
 	}
-	c.RemoveLinkCopy(0, 1, li)
-	if !c.PlaceLinkCopy(0, 2, li02) {
+	c.ReleaseOp(CopyAt(0, 0, []int{1}))
+	if !c.CommitOp(CopyAt(0, 0, []int{2}), 0) {
 		t.Error("released resources not reusable")
 	}
 }
@@ -152,14 +152,14 @@ func TestMaxReservableCopies(t *testing.T) {
 	}
 	// Consume bus slots from the other cluster until the bus binds.
 	for i := 0; i < 3; i++ {
-		if !c.PlaceBroadcastCopy(1, nil) {
+		if !c.CommitOp(CopyAt(0, 1, nil), 0) {
 			t.Fatal("bus copy should fit")
 		}
 	}
 	if got := c.MaxReservableCopies(0); got != 3 {
 		t.Errorf("MRC = %d, want 3 (buses: 6-3=3)", got)
 	}
-	c.PlaceBroadcastCopy(0, nil)
+	c.CommitOp(CopyAt(0, 0, nil), 0)
 	if got := c.MaxReservableCopies(0); got != 2 {
 		t.Errorf("MRC = %d, want 2", got)
 	}
@@ -172,8 +172,7 @@ func TestMaxReservableCopiesGrid(t *testing.T) {
 	if got := c.MaxReservableCopies(0); got != 4 {
 		t.Errorf("MRC = %d, want 4", got)
 	}
-	li := m.LinkBetween(0, 1)
-	c.PlaceLinkCopy(0, 1, li)
+	c.CommitOp(CopyAt(0, 0, []int{1}), 0)
 	if got := c.MaxReservableCopies(0); got != 3 {
 		t.Errorf("MRC = %d, want 3", got)
 	}
@@ -182,12 +181,12 @@ func TestMaxReservableCopiesGrid(t *testing.T) {
 func TestCapacityCloneIsIndependent(t *testing.T) {
 	m := machine.NewBusedGP(2, 2, 1)
 	c := NewCapacity(m, 2)
-	c.PlaceOp(0, ddg.OpALU)
-	c.PlaceBroadcastCopy(0, []int{1})
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
+	c.CommitOp(CopyAt(0, 0, []int{1}), 0)
 
 	d := c.Clone()
-	d.PlaceOp(0, ddg.OpALU)
-	d.PlaceBroadcastCopy(1, []int{0})
+	d.CommitOp(OpAt(1, 0, ddg.OpALU), 0)
+	d.CommitOp(CopyAt(1, 1, []int{0}), 0)
 
 	if c.FreeOpSlots(0, ddg.OpALU) != 7 {
 		t.Error("clone mutated original FU counters")
@@ -197,15 +196,38 @@ func TestCapacityCloneIsIndependent(t *testing.T) {
 	}
 }
 
+func TestCapacityCopyFromRestores(t *testing.T) {
+	m := machine.NewGrid4(1)
+	base := NewCapacity(m, 2)
+	base.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
+	base.CommitOp(CopyAt(1, 0, []int{1}), 0)
+	want := snapshot(base, m)
+
+	c := NewCapacity(m, 5) // different II: CopyFrom re-sizes
+	c.CommitOp(OpAt(7, 3, ddg.OpFMul), 0)
+	c.CopyFrom(base)
+	if c.II() != 2 {
+		t.Errorf("II after CopyFrom = %d, want 2", c.II())
+	}
+	if got := snapshot(c, m); !equalInts(got, want) {
+		t.Errorf("CopyFrom state %v, want %v", got, want)
+	}
+	// The restored table keeps working independently.
+	c.ReleaseOp(CopyAt(1, 0, []int{1}))
+	if equalInts(snapshot(base, m), snapshot(c, m)) {
+		t.Error("CopyFrom aliases the source's counters")
+	}
+}
+
 func TestCapacityPanicsOnUnderflow(t *testing.T) {
 	m := machine.NewBusedGP(2, 2, 1)
 	c := NewCapacity(m, 1)
 	defer func() {
 		if recover() == nil {
-			t.Error("RemoveOp on empty table should panic")
+			t.Error("ReleaseOp on empty table should panic")
 		}
 	}()
-	c.RemoveOp(0, ddg.OpALU)
+	c.ReleaseOp(OpAt(0, 0, ddg.OpALU))
 }
 
 func TestNewCapacityPanicsOnBadII(t *testing.T) {
@@ -222,7 +244,8 @@ func TestNewCapacityPanicsOnBadII(t *testing.T) {
 func snapshot(c *Capacity, m *machine.Config) []int {
 	var s []int
 	for cl := 0; cl < m.NumClusters(); cl++ {
-		s = append(s, c.FreeSlots(cl), c.FreeReadPortSlots(cl), c.FreeWritePortSlots(cl))
+		s = append(s, c.FreeSlots(cl), c.FreeReadPortSlots(cl), c.FreeWritePortSlots(cl),
+			c.MaxReservableCopies(cl), c.MaxReservableIncoming(cl))
 	}
 	s = append(s, c.FreeBusSlots())
 	for li := range m.Links {
@@ -248,20 +271,20 @@ func TestJournalRollbackRestoresState(t *testing.T) {
 	c := NewCapacity(m, 2)
 	c.EnableJournal()
 
-	if !c.PlaceOp(0, ddg.OpALU) || !c.PlaceBroadcastCopy(0, []int{1}) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpALU), 0) || !c.CommitOp(CopyAt(1, 0, []int{1}), 0) {
 		t.Fatal("committed placements should fit")
 	}
 	c.JournalReset() // make them permanent
 	base := snapshot(c, m)
 
 	mark := c.JournalMark()
-	if !c.PlaceOp(1, ddg.OpFMul) {
+	if !c.CommitOp(OpAt(2, 1, ddg.OpFMul), 0) {
 		t.Fatal("tentative op should fit")
 	}
-	if !c.PlaceBroadcastCopy(1, []int{0}) {
+	if !c.CommitOp(CopyAt(3, 1, []int{0}), 0) {
 		t.Fatal("tentative copy should fit")
 	}
-	c.RemoveBroadcastCopy(0, []int{1}) // mixed direction: removal is journaled too
+	c.ReleaseOp(CopyAt(1, 0, []int{1})) // mixed direction: removal is journaled too
 	if equalInts(snapshot(c, m), base) {
 		t.Fatal("tentative mutations should have changed the counters")
 	}
@@ -278,11 +301,11 @@ func TestJournalNestedMarks(t *testing.T) {
 
 	s0 := snapshot(c, m)
 	m1 := c.JournalMark()
-	c.PlaceLinkCopy(0, 1, m.LinkBetween(0, 1))
+	c.CommitOp(CopyAt(0, 0, []int{1}), 0)
 	s1 := snapshot(c, m)
 	m2 := c.JournalMark()
-	c.PlaceLinkCopy(1, 3, m.LinkBetween(1, 3))
-	c.PlaceOp(3, ddg.OpALU)
+	c.CommitOp(CopyAt(1, 1, []int{3}), 0)
+	c.CommitOp(OpAt(2, 3, ddg.OpALU), 0)
 
 	c.JournalRollback(m2)
 	if got := snapshot(c, m); !equalInts(got, s1) {
@@ -300,8 +323,8 @@ func TestResetClearsUsageAndJournal(t *testing.T) {
 	c.EnableJournal()
 	fresh := snapshot(c, m)
 
-	c.PlaceOp(0, ddg.OpALU)
-	c.PlaceLinkCopy(0, 1, m.LinkBetween(0, 1))
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
+	c.CommitOp(CopyAt(1, 0, []int{1}), 0)
 	c.Reset()
 	if got := snapshot(c, m); !equalInts(got, fresh) {
 		t.Errorf("post-Reset state %v, want fresh %v", got, fresh)
@@ -315,16 +338,34 @@ func TestCloneDoesNotInheritJournal(t *testing.T) {
 	m := machine.NewBusedGP(2, 1, 1)
 	c := NewCapacity(m, 1)
 	c.EnableJournal()
-	c.PlaceOp(0, ddg.OpALU)
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
 
 	n := c.Clone()
 	if n.JournalMark() != 0 {
 		t.Errorf("clone journal mark = %d, want 0 (fresh journal)", n.JournalMark())
 	}
 	// Mutating the clone must not journal into (or disturb) the parent.
-	n.PlaceOp(1, ddg.OpALU)
+	n.CommitOp(OpAt(1, 1, ddg.OpALU), 0)
 	c.JournalRollback(0)
-	if !n.CanPlaceOp(0, ddg.OpALU) {
+	if !n.ProbeOp(OpAt(2, 0, ddg.OpALU), 0) {
 		t.Error("parent rollback leaked into the clone")
+	}
+}
+
+// TestJournalSnapshotsTargets pins the aliasing contract: the journal
+// must snapshot Op.Targets, so rollback is correct even when the caller
+// rewrites the target buffer after the commit or release returns.
+func TestJournalSnapshotsTargets(t *testing.T) {
+	m := machine.NewBusedGP(3, 2, 1)
+	c := NewCapacity(m, 2)
+	c.EnableJournal()
+	base := snapshot(c, m)
+
+	tgts := []int{1, 2}
+	c.CommitOp(CopyAt(0, 0, tgts), 0)
+	tgts[0], tgts[1] = 2, 2 // caller reuses the buffer
+	c.JournalRollback(0)
+	if got := snapshot(c, m); !equalInts(got, base) {
+		t.Errorf("rollback after buffer reuse %v, want %v", got, base)
 	}
 }

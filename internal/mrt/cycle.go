@@ -2,36 +2,72 @@ package mrt
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 )
 
-const empty = -1
-
 // Cycle is the cycle-exact modulo reservation table used by the
 // schedulers in phase two. Every resource instance (a specific function
 // unit, port, bus, or link) has II slots; placing an operation at cycle
-// t occupies slot t mod II of each resource it needs. The table records
-// who occupies what, so operations can be evicted (iterative modulo
-// scheduling) and conflicts can be attributed.
+// t occupies slot t mod II of each resource it needs.
+//
+// Occupancy is packed into per-(cluster, slot) uint64 lane masks — bit
+// u of fuBusy[cl*ii+s] says unit u of cluster cl is busy at slot s — so
+// a probe is a handful of AND-NOT words against a precomputed
+// compatibility mask instead of a per-unit, per-slot loop: the first
+// free compatible unit is one TrailingZeros64, and free write-port
+// counts are one OnesCount64. Attribution (who occupies what, for
+// eviction) lives in a parallel owner slab that is only read on actual
+// conflicts; owner entries behind cleared busy bits are stale and never
+// consulted, so Unplace does not touch them. The packing caps every
+// resource family at 64 instances per cluster (and 64 buses/links per
+// machine), which NewCycle enforces.
 type Cycle struct {
 	m  *machine.Config
 	ii int
+	nc int
 
-	fu    [][][]int // [cluster][unit][slot] -> occupying node or -1
-	read  [][][]int // [cluster][port][slot]
-	write [][][]int // [cluster][port][slot]
-	bus   [][]int   // [bus][slot]
-	link  [][]int   // [link][slot]
+	// Structural tables, II-invariant, shared read-only with every
+	// table of the same machine (see planOf).
+	compat   []uint64 // [cl*NumOpKinds+k] -> mask of units that can run k
+	occOf    []int    // [k] -> unit occupancy in slots
+	linkTab  []int32  // [src*nc+dst] -> link index, or -1
+	fuAll    []uint64 // [cl] -> mask of all units
+	readAll  []uint64 // [cl] -> mask of all read ports
+	writeAll []uint64 // [cl] -> mask of all write ports
+	busAll   uint64
+	linkAll  uint64
+	fuBase   []int32 // [cl] -> global owner-row base of the cluster's units
+	rdBase   []int32
+	wrBase   []int32
+	busBase  int32
+	linkBase int32
+	rows     int // total owner rows
 
-	placed map[int]*Placement
-	arena  []Placement // chunked backing store for placements
+	// Per-II occupancy state.
+	fuBusy    []uint64 // [cl*ii+s]
+	readBusy  []uint64 // [cl*ii+s]
+	writeBusy []uint64 // [cl*ii+s]
+	busBusy   []uint64 // [s]
+	linkBusy  []uint64 // [s]
+	owner     []int32  // [row*ii+s] -> node; valid only under a set busy bit
+
+	placed []*Placement // [node] -> placement, nil when unplaced
+	freePl []*Placement // recycled placement records
+	arena  []Placement  // chunked backing store, pointer-stable
+
+	rbBuf []int // scratch for release-event write-slot spans
+
+	Journal
 }
 
 // Placement records exactly which slots a scheduled node occupies, so
-// that Unplace can release them and callers can inspect decisions.
+// releases can return them and callers can inspect decisions. The
+// pointer stays valid while the node remains placed; the record is
+// recycled once the node is released.
 type Placement struct {
 	Node    int
 	Cycle   int
@@ -53,60 +89,102 @@ type wSlot struct {
 // NewCycle returns an empty cycle-exact table for machine m at the
 // given II.
 func NewCycle(m *machine.Config, ii int) *Cycle {
-	if ii <= 0 {
-		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
+	nc := m.NumClusters()
+	c := &Cycle{m: m, nc: nc}
+
+	if m.Buses > 64 || len(m.Links) > 64 {
+		panic("mrt: more than 64 buses or links unsupported by the bitset layout")
 	}
-	c := &Cycle{m: m, ii: ii, placed: make(map[int]*Placement)}
-	// All resource rows live in one slab and one shared header array, so
-	// building the table costs a handful of allocations instead of one
-	// per row.
-	rows := m.Buses + len(m.Links)
-	for i := range m.Clusters {
-		cl := &m.Clusters[i]
-		rows += len(cl.FUs) + cl.ReadPorts + cl.WritePorts
+	for cl := 0; cl < nc; cl++ {
+		cfg := &m.Clusters[cl]
+		if len(cfg.FUs) > 64 || cfg.ReadPorts > 64 || cfg.WritePorts > 64 {
+			panic("mrt: more than 64 resource instances per cluster unsupported by the bitset layout")
+		}
 	}
-	slab := make([]int, rows*ii)
-	for i := range slab {
-		slab[i] = empty
-	}
-	hdr := make([][]int, rows)
-	for i := range hdr {
-		hdr[i] = slab[i*ii : (i+1)*ii : (i+1)*ii]
-	}
-	take := func(n int) [][]int {
-		h := hdr[:n:n]
-		hdr = hdr[n:]
-		return h
-	}
-	c.fu = make([][][]int, len(m.Clusters))
-	c.read = make([][][]int, len(m.Clusters))
-	c.write = make([][][]int, len(m.Clusters))
-	for i := range m.Clusters {
-		cl := &m.Clusters[i]
-		c.fu[i] = take(len(cl.FUs))
-		c.read[i] = take(cl.ReadPorts)
-		c.write[i] = take(cl.WritePorts)
-	}
-	c.bus = take(m.Buses)
-	c.link = take(len(m.Links))
+	p := planOf(m)
+	c.compat = p.compat
+	c.occOf = p.occOf
+	c.linkTab = p.linkTab32
+	c.fuAll = p.fuAll
+	c.readAll = p.readAll
+	c.writeAll = p.writeAll
+	c.busAll = p.busAll
+	c.linkAll = p.linkAll
+	c.fuBase = p.fuBase
+	c.rdBase = p.rdBase
+	c.wrBase = p.wrBase
+	c.busBase = p.busBase
+	c.linkBase = p.linkBase
+	c.rows = p.rows
+
+	c.ResetII(ii)
 	return c
 }
 
-// newPlacement stores p in the arena and returns its address. Entries
-// are never reused, so placement pointers handed out stay valid after
-// later placements or Unplace.
-func (c *Cycle) newPlacement(p Placement) *Placement {
-	if len(c.arena) == cap(c.arena) {
-		c.arena = make([]Placement, 0, 16)
+// allMask returns a mask with the low n bits set.
+func allMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
 	}
-	c.arena = append(c.arena, p)
-	return &c.arena[len(c.arena)-1]
+	return 1<<uint(n) - 1
 }
 
 // II returns the initiation interval of the table.
 //
 //schedvet:alloc-free
 func (c *Cycle) II() int { return c.ii }
+
+// Machine returns the machine description backing the table.
+//
+//schedvet:alloc-free
+func (c *Cycle) Machine() *machine.Config { return c.m }
+
+// ResetII clears the table and re-sizes it for a new initiation
+// interval, so II-escalation loops reuse one table's slabs instead of
+// allocating per candidate. Journaling mode is preserved (the journal
+// itself is discarded).
+func (c *Cycle) ResetII(ii int) {
+	if ii <= 0 {
+		panic(fmt.Sprintf("mrt: non-positive II %d", ii))
+	}
+	c.ii = ii
+	c.fuBusy = growU64(c.fuBusy, c.nc*ii)
+	c.readBusy = growU64(c.readBusy, c.nc*ii)
+	c.writeBusy = growU64(c.writeBusy, c.nc*ii)
+	c.busBusy = growU64(c.busBusy, ii)
+	c.linkBusy = growU64(c.linkBusy, ii)
+	c.owner = growI32(c.owner, c.rows*ii)
+	for i := range c.placed {
+		if p := c.placed[i]; p != nil {
+			c.freePl = append(c.freePl, p)
+			c.placed[i] = nil
+		}
+	}
+	c.JournalReset()
+}
+
+// growU64 resizes s to n entries, zeroed, reusing its backing array
+// when it is large enough.
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growI32 resizes s to n entries, reusing its backing array when large
+// enough. Contents are not cleared: owner entries are only read under
+// set busy bits, which ResetII has just cleared.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
 
 // slot maps an absolute cycle to its modulo slot.
 //
@@ -119,107 +197,68 @@ func (c *Cycle) slot(cycle int) int {
 	return s
 }
 
-// freeIn returns the first free row index of rows at the given slot,
-// or -1 when all are taken.
+// Probe API -----------------------------------------------------------------
+
+// ProbeOp reports whether op fits at the given cycle: a compatible free
+// function unit for ordinary operations (non-pipelined kinds hold the
+// unit for their whole latency), or — for copies — a read port on the
+// source, a bus (or the link to the single adjacent target on
+// point-to-point machines), and a write port on each target.
 //
 //schedvet:alloc-free
-func freeIn(rows [][]int, slot int) int {
-	for i, row := range rows {
-		if row[slot] == empty {
-			return i
-		}
+func (c *Cycle) ProbeOp(op Op, cycle int) bool {
+	if op.Kind == ddg.OpCopy {
+		return c.probeCopy(op, c.slot(cycle))
 	}
-	return -1
+	return c.availFU(op.Cluster, op.Kind, c.slot(cycle)) != 0
 }
 
-// CanPlaceOp reports whether a non-copy operation of kind k fits on
-// some compatible function unit of cluster cl at the given cycle
-// (non-pipelined kinds hold the unit for their whole latency).
+// availFU returns the mask of compatible units of cluster cl that are
+// free for kind k's whole occupancy window starting at slot s. The
+// lowest set bit is the unit a commit would take.
 //
 //schedvet:alloc-free
-func (c *Cycle) CanPlaceOp(cl int, k ddg.OpKind, cycle int) bool {
-	return c.findFU(cl, k, c.slot(cycle)) >= 0
-}
-
-//schedvet:alloc-free
-func (c *Cycle) findFU(cl int, k ddg.OpKind, slot int) int {
-	occ := c.m.Occupancy(k)
+func (c *Cycle) availFU(cl int, k ddg.OpKind, s int) uint64 {
+	occ := c.occOf[k]
 	if occ > c.ii {
-		return -1 // the unit would overlap itself across iterations
+		return 0 // the unit would overlap itself across iterations
 	}
-	for i, fu := range c.m.Clusters[cl].FUs {
-		if !fu.CanExecute(k) {
-			continue
-		}
-		free := true
-		for d := 0; d < occ && free; d++ {
-			if c.fu[cl][i][(slot+d)%c.ii] != empty {
-				free = false
-			}
-		}
-		if free {
-			return i
-		}
+	avail := c.compat[cl*ddg.NumOpKinds+int(k)]
+	base := cl * c.ii
+	for d := 0; d < occ && avail != 0; d++ {
+		avail &^= c.fuBusy[base+(s+d)%c.ii]
 	}
-	return -1
+	return avail
 }
 
-// PlaceOp schedules node on a compatible function unit of cluster cl at
-// the given cycle. It reports false without changes when no unit is
-// free there.
-func (c *Cycle) PlaceOp(node, cl int, k ddg.OpKind, cycle int) bool {
-	if _, dup := c.placed[node]; dup {
-		panic(fmt.Sprintf("mrt: node %d placed twice", node))
-	}
-	s := c.slot(cycle)
-	u := c.findFU(cl, k, s)
-	if u < 0 {
-		return false
-	}
-	occ := c.m.Occupancy(k)
-	for d := 0; d < occ; d++ {
-		c.fu[cl][u][(s+d)%c.ii] = node
-	}
-	c.placed[node] = c.newPlacement(Placement{
-		Node: node, Cycle: cycle, Cluster: cl,
-		fuUnit: u, occupancy: occ, readPort: -1, busIndex: -1, linkIndex: -1,
-	})
-	return true
-}
-
-// CanPlaceCopy reports whether a copy from cluster src to the target
-// clusters fits at the given cycle: a read port on src, a bus (or, for
-// point-to-point machines, the link src-target), and a write port on
-// each target. Point-to-point copies must have exactly one target,
-// adjacent to src.
+// probeCopy checks a copy sourced on op.Cluster at modulo slot s.
+// Multiple targets may not collapse onto one write-port pool unless the
+// pool has room for all of them; targets number at most one per
+// cluster, so counting duplicates by scanning beats a map.
 //
 //schedvet:alloc-free
-func (c *Cycle) CanPlaceCopy(src int, targets []int, cycle int) bool {
-	s := c.slot(cycle)
-	if freeIn(c.read[src], s) < 0 {
+func (c *Cycle) probeCopy(op Op, s int) bool {
+	src := op.Cluster
+	if c.readAll[src]&^c.readBusy[src*c.ii+s] == 0 {
 		return false
 	}
-	switch c.m.Network {
-	case machine.Broadcast:
-		if freeIn(c.bus, s) < 0 {
+	if c.m.Network == machine.Broadcast {
+		if c.busAll&^c.busBusy[s] == 0 {
 			return false
 		}
-	case machine.PointToPoint:
-		if len(targets) != 1 {
+	} else {
+		if len(op.Targets) != 1 {
 			return false
 		}
-		li := c.m.LinkBetween(src, targets[0])
-		if li < 0 || c.link[li][s] != empty {
+		li := c.linkTab[src*c.nc+op.Targets[0]]
+		if li < 0 || c.linkBusy[s]&(1<<uint(li)) != 0 {
 			return false
 		}
 	}
-	// Multiple targets may not collapse onto one write-port pool unless
-	// the pool has room for all of them. Targets number at most one per
-	// cluster, so counting duplicates by scanning beats a map.
-	for i, t := range targets {
+	for i, t := range op.Targets {
 		need := 1
 		dup := false
-		for _, u := range targets[:i] {
+		for _, u := range op.Targets[:i] {
 			if u == t {
 				dup = true
 				break
@@ -228,117 +267,311 @@ func (c *Cycle) CanPlaceCopy(src int, targets []int, cycle int) bool {
 		if dup {
 			continue
 		}
-		for _, u := range targets[i+1:] {
+		for _, u := range op.Targets[i+1:] {
 			if u == t {
 				need++
 			}
 		}
-		free := 0
-		for _, row := range c.write[t] {
-			if row[s] == empty {
-				free++
-			}
-		}
-		if free < need {
+		if bits.OnesCount64(c.writeAll[t]&^c.writeBusy[t*c.ii+s]) < need {
 			return false
 		}
 	}
 	return true
 }
 
-// PlaceCopy schedules a copy node at the given cycle. It reports false
-// without changes when the resources are not all free.
-func (c *Cycle) PlaceCopy(node, src int, targets []int, cycle int) bool {
-	if _, dup := c.placed[node]; dup {
-		panic(fmt.Sprintf("mrt: node %d placed twice", node))
+// CommitOp places op at the given cycle, reserving a concrete resource
+// instance per requirement (the lowest-indexed free one, matching the
+// first-free scan of the slot-loop layout). It reports false without
+// changes when the resources are not all free, and panics when node is
+// already placed.
+//
+//schedvet:alloc-free
+func (c *Cycle) CommitOp(op Op, cycle int) bool {
+	for len(c.placed) <= op.Node {
+		c.placed = append(c.placed, nil)
 	}
-	if !c.CanPlaceCopy(src, targets, cycle) {
-		return false
+	if c.placed[op.Node] != nil {
+		panic(fmt.Sprintf("mrt: node %d placed twice", op.Node))
 	}
 	s := c.slot(cycle)
-	p := c.newPlacement(Placement{
-		Node: node, Cycle: cycle, Cluster: src,
-		fuUnit: -1, busIndex: -1, linkIndex: -1,
-	})
-	p.readPort = freeIn(c.read[src], s)
-	c.read[src][p.readPort][s] = node
-	switch c.m.Network {
-	case machine.Broadcast:
-		p.busIndex = freeIn(c.bus, s)
-		c.bus[p.busIndex][s] = node
-	case machine.PointToPoint:
-		p.linkIndex = c.m.LinkBetween(src, targets[0])
-		c.link[p.linkIndex][s] = node
+	if op.Kind == ddg.OpCopy {
+		if !c.probeCopy(op, s) {
+			return false
+		}
+		p := c.newPlacement()
+		p.Node, p.Cycle, p.Cluster = op.Node, cycle, op.Cluster
+		p.fuUnit, p.occupancy, p.busIndex, p.linkIndex = -1, 0, -1, -1
+		p.readPort = bits.TrailingZeros64(c.readAll[op.Cluster] &^ c.readBusy[op.Cluster*c.ii+s])
+		c.setRead(op.Cluster, p.readPort, s, int32(op.Node))
+		if c.m.Network == machine.Broadcast {
+			p.busIndex = bits.TrailingZeros64(c.busAll &^ c.busBusy[s])
+			c.setBus(p.busIndex, s, int32(op.Node))
+		} else {
+			p.linkIndex = int(c.linkTab[op.Cluster*c.nc+op.Targets[0]])
+			c.setLink(p.linkIndex, s, int32(op.Node))
+		}
+		for _, t := range op.Targets {
+			w := bits.TrailingZeros64(c.writeAll[t] &^ c.writeBusy[t*c.ii+s])
+			c.setWrite(t, w, s, int32(op.Node))
+			p.writeSlots = append(p.writeSlots, wSlot{cluster: t, port: w})
+		}
+		c.placed[op.Node] = p
+	} else {
+		avail := c.availFU(op.Cluster, op.Kind, s)
+		if avail == 0 {
+			return false
+		}
+		u := bits.TrailingZeros64(avail)
+		occ := c.occOf[op.Kind]
+		for d := 0; d < occ; d++ {
+			c.setFU(op.Cluster, u, (s+d)%c.ii, int32(op.Node))
+		}
+		p := c.newPlacement()
+		p.Node, p.Cycle, p.Cluster = op.Node, cycle, op.Cluster
+		p.fuUnit, p.occupancy = u, occ
+		p.readPort, p.busIndex, p.linkIndex = -1, -1, -1
+		c.placed[op.Node] = p
 	}
-	for _, t := range targets {
-		w := freeIn(c.write[t], s)
-		c.write[t][w][s] = node
-		p.writeSlots = append(p.writeSlots, wSlot{cluster: t, port: w})
+	if c.journaling {
+		c.record(op, cycle, false, nil)
 	}
-	c.placed[node] = p
 	return true
 }
 
-// Unplace releases every slot held by node. It reports whether the node
-// was placed.
+// ReleaseOp releases every slot held by op.Node (only the node matters;
+// the other fields are ignored). It reports whether the node was
+// placed.
 //
 //schedvet:alloc-free
-func (c *Cycle) Unplace(node int) bool {
-	p, ok := c.placed[node]
-	if !ok {
+func (c *Cycle) ReleaseOp(op Op) bool {
+	if op.Node >= len(c.placed) || c.placed[op.Node] == nil {
 		return false
 	}
+	if c.journaling {
+		// Snapshot the exact resource rows so rollback restores the
+		// identical table state: re-placing through first-free scans
+		// could pick different instances than the original commit.
+		p := c.placed[op.Node]
+		c.rbBuf = c.rbBuf[:0]
+		for _, w := range p.writeSlots {
+			c.rbBuf = append(c.rbBuf, w.cluster)
+			c.rbBuf = append(c.rbBuf, w.port)
+		}
+		ev := c.record(Op{Node: op.Node, Kind: op.Kind, Cluster: p.Cluster}, p.Cycle, true, c.rbBuf)
+		ev.fuUnit = int32(p.fuUnit)
+		ev.readPort = int32(p.readPort)
+		ev.busIndex = int32(p.busIndex)
+		ev.linkIndex = int32(p.linkIndex)
+		ev.occupancy = int32(p.occupancy)
+	}
+	c.unplace(op.Node)
+	return true
+}
+
+// unplace clears node's busy bits and recycles its placement record.
+// Owner entries are left stale; they are never read behind cleared
+// bits.
+//
+//schedvet:alloc-free
+func (c *Cycle) unplace(node int) {
+	p := c.placed[node]
 	s := c.slot(p.Cycle)
 	if p.fuUnit >= 0 {
 		for d := 0; d < p.occupancy; d++ {
-			c.fu[p.Cluster][p.fuUnit][(s+d)%c.ii] = empty
+			c.fuBusy[p.Cluster*c.ii+(s+d)%c.ii] &^= 1 << uint(p.fuUnit)
 		}
 	}
 	if p.readPort >= 0 {
-		c.read[p.Cluster][p.readPort][s] = empty
+		c.readBusy[p.Cluster*c.ii+s] &^= 1 << uint(p.readPort)
 	}
 	if p.busIndex >= 0 {
-		c.bus[p.busIndex][s] = empty
+		c.busBusy[s] &^= 1 << uint(p.busIndex)
 	}
 	if p.linkIndex >= 0 {
-		c.link[p.linkIndex][s] = empty
+		c.linkBusy[s] &^= 1 << uint(p.linkIndex)
 	}
 	for _, w := range p.writeSlots {
-		c.write[w.cluster][w.port][s] = empty
+		c.writeBusy[w.cluster*c.ii+s] &^= 1 << uint(w.port)
 	}
-	delete(c.placed, node)
-	return true
+	c.placed[node] = nil
+	c.freePl = append(c.freePl, p)
 }
 
-// PlacementOf returns the recorded placement of node, or nil.
+// JournalRollback undoes, in reverse order, every commit and release
+// recorded after mark: commits are unplaced, releases are re-placed on
+// the exact resource rows they held.
+//
+//schedvet:alloc-free
+func (c *Cycle) JournalRollback(mark int) {
+	for i := len(c.events) - 1; i >= mark; i-- {
+		ev := &c.events[i]
+		if ev.release {
+			c.restore(ev)
+		} else {
+			c.unplace(int(ev.node))
+		}
+	}
+	c.truncate(mark)
+}
+
+// restore re-places the node described by release event ev on the exact
+// rows recorded at release time.
+//
+//schedvet:alloc-free
+func (c *Cycle) restore(ev *journalEvent) {
+	node := int(ev.node)
+	s := c.slot(int(ev.cycle))
+	p := c.newPlacement()
+	p.Node, p.Cycle, p.Cluster = node, int(ev.cycle), int(ev.cluster)
+	p.fuUnit, p.occupancy = int(ev.fuUnit), int(ev.occupancy)
+	p.readPort, p.busIndex, p.linkIndex = int(ev.readPort), int(ev.busIndex), int(ev.linkIndex)
+	if p.fuUnit >= 0 {
+		for d := 0; d < p.occupancy; d++ {
+			c.setFU(p.Cluster, p.fuUnit, (s+d)%c.ii, ev.node)
+		}
+	}
+	if p.readPort >= 0 {
+		c.setRead(p.Cluster, p.readPort, s, ev.node)
+	}
+	if p.busIndex >= 0 {
+		c.setBus(p.busIndex, s, ev.node)
+	}
+	if p.linkIndex >= 0 {
+		c.setLink(p.linkIndex, s, ev.node)
+	}
+	span := c.span(ev)
+	for i := 0; i+1 < len(span); i += 2 {
+		t, w := int(span[i]), int(span[i+1])
+		c.setWrite(t, w, s, ev.node)
+		p.writeSlots = append(p.writeSlots, wSlot{cluster: t, port: w})
+	}
+	c.placed[node] = p
+}
+
+// Bit + owner setters -------------------------------------------------------
+
+//schedvet:alloc-free
+func (c *Cycle) setFU(cl, u, s int, node int32) {
+	c.fuBusy[cl*c.ii+s] |= 1 << uint(u)
+	c.owner[(int(c.fuBase[cl])+u)*c.ii+s] = node
+}
+
+//schedvet:alloc-free
+func (c *Cycle) setRead(cl, port, s int, node int32) {
+	c.readBusy[cl*c.ii+s] |= 1 << uint(port)
+	c.owner[(int(c.rdBase[cl])+port)*c.ii+s] = node
+}
+
+//schedvet:alloc-free
+func (c *Cycle) setWrite(cl, port, s int, node int32) {
+	c.writeBusy[cl*c.ii+s] |= 1 << uint(port)
+	c.owner[(int(c.wrBase[cl])+port)*c.ii+s] = node
+}
+
+//schedvet:alloc-free
+func (c *Cycle) setBus(b, s int, node int32) {
+	c.busBusy[s] |= 1 << uint(b)
+	c.owner[(int(c.busBase)+b)*c.ii+s] = node
+}
+
+//schedvet:alloc-free
+func (c *Cycle) setLink(li, s int, node int32) {
+	c.linkBusy[s] |= 1 << uint(li)
+	c.owner[(int(c.linkBase)+li)*c.ii+s] = node
+}
+
+// newPlacement returns a zeroed placement record, recycling a released
+// one (and its writeSlots capacity) when available.
+func (c *Cycle) newPlacement() *Placement {
+	if n := len(c.freePl); n > 0 {
+		p := c.freePl[n-1]
+		c.freePl = c.freePl[:n-1]
+		p.writeSlots = p.writeSlots[:0]
+		return p
+	}
+	if len(c.arena) == cap(c.arena) {
+		c.arena = make([]Placement, 0, 32)
+	}
+	c.arena = append(c.arena, Placement{})
+	return &c.arena[len(c.arena)-1]
+}
+
+// Queries -------------------------------------------------------------------
+
+// PlacementOf returns the recorded placement of node, or nil. The
+// pointer is valid while the node stays placed.
 //
 //schedvet:alloc-free
 func (c *Cycle) PlacementOf(node int) *Placement {
+	if node < 0 || node >= len(c.placed) {
+		return nil
+	}
 	return c.placed[node]
 }
 
-// ConflictsAt returns the distinct node IDs occupying resources that an
-// operation of kind k on cluster cl would need at the given cycle
-// (non-copy operations only; used by eviction). An empty result with
-// CanPlaceOp false cannot happen: some occupant always exists.
-func (c *Cycle) ConflictsAt(cl int, k ddg.OpKind, cycle int) []int {
+// ConflictsOf appends to buf[:0] the distinct nodes occupying resources
+// op would need at the given cycle, in resource order (units, then for
+// copies read ports, fabric, write ports per target), and returns the
+// extended buffer. Callers pass a reusable buffer to keep eviction
+// scans allocation-free. An empty result with ProbeOp false cannot
+// happen: some occupant always exists.
+//
+//schedvet:alloc-free
+func (c *Cycle) ConflictsOf(op Op, cycle int, buf []int) []int {
+	buf = buf[:0]
 	s := c.slot(cycle)
-	occ := c.m.Occupancy(k)
-	if occ > c.ii {
-		occ = c.ii
-	}
-	var out []int
-	for i, fu := range c.m.Clusters[cl].FUs {
-		if !fu.CanExecute(k) {
-			continue
+	if op.Kind != ddg.OpCopy {
+		occ := c.occOf[op.Kind]
+		if occ > c.ii {
+			occ = c.ii
 		}
-		for d := 0; d < occ; d++ {
-			if n := c.fu[cl][i][(s+d)%c.ii]; n != empty && !containsInt(out, n) {
-				out = append(out, n)
+		base := op.Cluster * c.ii
+		fuBase := int(c.fuBase[op.Cluster])
+		for m := c.compat[op.Cluster*ddg.NumOpKinds+int(op.Kind)]; m != 0; m &= m - 1 {
+			u := bits.TrailingZeros64(m)
+			for d := 0; d < occ; d++ {
+				sl := (s + d) % c.ii
+				if c.fuBusy[base+sl]&(1<<uint(u)) != 0 {
+					if n := int(c.owner[(fuBase+u)*c.ii+sl]); !containsInt(buf, n) {
+						buf = append(buf, n)
+					}
+				}
+			}
+		}
+		return buf
+	}
+	src := op.Cluster
+	rdBase := int(c.rdBase[src])
+	for m := c.readBusy[src*c.ii+s] & c.readAll[src]; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		if n := int(c.owner[(rdBase+p)*c.ii+s]); !containsInt(buf, n) {
+			buf = append(buf, n)
+		}
+	}
+	if c.m.Network == machine.Broadcast {
+		for m := c.busBusy[s] & c.busAll; m != 0; m &= m - 1 {
+			b := bits.TrailingZeros64(m)
+			if n := int(c.owner[(int(c.busBase)+b)*c.ii+s]); !containsInt(buf, n) {
+				buf = append(buf, n)
+			}
+		}
+	} else if len(op.Targets) == 1 {
+		if li := c.linkTab[src*c.nc+op.Targets[0]]; li >= 0 && c.linkBusy[s]&(1<<uint(li)) != 0 {
+			if n := int(c.owner[(int(c.linkBase)+int(li))*c.ii+s]); !containsInt(buf, n) {
+				buf = append(buf, n)
 			}
 		}
 	}
-	return out
+	for _, t := range op.Targets {
+		wrBase := int(c.wrBase[t])
+		for m := c.writeBusy[t*c.ii+s] & c.writeAll[t]; m != 0; m &= m - 1 {
+			p := bits.TrailingZeros64(m)
+			if n := int(c.owner[(wrBase+p)*c.ii+s]); !containsInt(buf, n) {
+				buf = append(buf, n)
+			}
+		}
+	}
+	return buf
 }
 
 // containsInt reports whether xs contains v; the conflict lists it
@@ -354,69 +587,97 @@ func containsInt(xs []int, v int) bool {
 	return false
 }
 
-// CopyConflictsAt returns the nodes occupying resources a copy from src
-// to targets would need at the given cycle.
-func (c *Cycle) CopyConflictsAt(src int, targets []int, cycle int) []int {
-	s := c.slot(cycle)
-	var out []int
-	add := func(rows [][]int) {
-		for _, row := range rows {
-			if n := row[s]; n != empty && !containsInt(out, n) {
-				out = append(out, n)
-			}
+// Copy / restore ------------------------------------------------------------
+
+// CopyFrom overwrites the receiver with src's occupancy and placements,
+// a slab-reusing restore for tables of the same machine (it panics
+// otherwise). The receiver's journal is discarded; its journaling mode
+// is kept.
+func (c *Cycle) CopyFrom(src *Cycle) {
+	if c.m != src.m {
+		panic("mrt: Cycle.CopyFrom across machines")
+	}
+	c.ResetII(src.ii)
+	copy(c.fuBusy, src.fuBusy)
+	copy(c.readBusy, src.readBusy)
+	copy(c.writeBusy, src.writeBusy)
+	copy(c.busBusy, src.busBusy)
+	copy(c.linkBusy, src.linkBusy)
+	copy(c.owner, src.owner)
+	for len(c.placed) < len(src.placed) {
+		c.placed = append(c.placed, nil)
+	}
+	for node, sp := range src.placed {
+		if sp == nil {
+			continue
 		}
-	}
-	add(c.read[src])
-	switch c.m.Network {
-	case machine.Broadcast:
-		add(c.bus)
-	case machine.PointToPoint:
-		if len(targets) == 1 {
-			if li := c.m.LinkBetween(src, targets[0]); li >= 0 {
-				if n := c.link[li][s]; n != empty && !containsInt(out, n) {
-					out = append(out, n)
-				}
-			}
+		p := c.newPlacement()
+		p.Node, p.Cycle, p.Cluster = sp.Node, sp.Cycle, sp.Cluster
+		p.fuUnit, p.occupancy = sp.fuUnit, sp.occupancy
+		p.readPort, p.busIndex, p.linkIndex = sp.readPort, sp.busIndex, sp.linkIndex
+		for _, w := range sp.writeSlots {
+			p.writeSlots = append(p.writeSlots, w)
 		}
+		c.placed[node] = p
 	}
-	for _, t := range targets {
-		add(c.write[t])
-	}
-	return out
+}
+
+// Clone returns an independent deep copy. The clone's journal starts
+// empty and disabled.
+func (c *Cycle) Clone() *Cycle {
+	n := NewCycle(c.m, c.ii)
+	n.CopyFrom(c)
+	return n
 }
 
 // String renders the table, one line per resource instance, with "."
 // for free slots, for debugging and the schedview tool.
 func (c *Cycle) String() string {
 	var b strings.Builder
-	row := func(label string, slots []int) {
+	row := func(label string, busyAt func(s int) bool, ownerRow int) {
 		fmt.Fprintf(&b, "%-14s", label)
-		for _, n := range slots {
-			if n == empty {
-				b.WriteString("   .")
+		for s := 0; s < c.ii; s++ {
+			if busyAt(s) {
+				fmt.Fprintf(&b, "%4d", c.owner[ownerRow*c.ii+s])
 			} else {
-				fmt.Fprintf(&b, "%4d", n)
+				b.WriteString("   .")
 			}
 		}
 		b.WriteByte('\n')
 	}
-	for cl := range c.m.Clusters {
-		for u := range c.fu[cl] {
-			row(fmt.Sprintf("c%d.%s%d", cl, c.m.Clusters[cl].FUs[u], u), c.fu[cl][u])
+	for cl := 0; cl < c.nc; cl++ {
+		cfg := &c.m.Clusters[cl]
+		for u := range cfg.FUs {
+			u := u
+			row(fmt.Sprintf("c%d.%s%d", cl, cfg.FUs[u], u),
+				func(s int) bool { return c.fuBusy[cl*c.ii+s]&(1<<uint(u)) != 0 },
+				int(c.fuBase[cl])+u)
 		}
-		for p := range c.read[cl] {
-			row(fmt.Sprintf("c%d.rd%d", cl, p), c.read[cl][p])
+		for p := 0; p < cfg.ReadPorts; p++ {
+			p := p
+			row(fmt.Sprintf("c%d.rd%d", cl, p),
+				func(s int) bool { return c.readBusy[cl*c.ii+s]&(1<<uint(p)) != 0 },
+				int(c.rdBase[cl])+p)
 		}
-		for p := range c.write[cl] {
-			row(fmt.Sprintf("c%d.wr%d", cl, p), c.write[cl][p])
+		for p := 0; p < cfg.WritePorts; p++ {
+			p := p
+			row(fmt.Sprintf("c%d.wr%d", cl, p),
+				func(s int) bool { return c.writeBusy[cl*c.ii+s]&(1<<uint(p)) != 0 },
+				int(c.wrBase[cl])+p)
 		}
 	}
-	for i := range c.bus {
-		row(fmt.Sprintf("bus%d", i), c.bus[i])
+	for i := 0; i < c.m.Buses; i++ {
+		i := i
+		row(fmt.Sprintf("bus%d", i),
+			func(s int) bool { return c.busBusy[s]&(1<<uint(i)) != 0 },
+			int(c.busBase)+i)
 	}
-	for i := range c.link {
+	for i := range c.m.Links {
+		i := i
 		l := c.m.Links[i]
-		row(fmt.Sprintf("link%d-%d", l.A, l.B), c.link[i])
+		row(fmt.Sprintf("link%d-%d", l.A, l.B),
+			func(s int) bool { return c.linkBusy[s]&(1<<uint(i)) != 0 },
+			int(c.linkBase)+i)
 	}
 	return b.String()
 }

@@ -15,24 +15,24 @@ func TestCyclePlaceOpModuloWrap(t *testing.T) {
 
 	// Cycle 7 occupies slot 1; so do cycles 1, 4, 10...
 	for i := 0; i < 4; i++ {
-		if !c.PlaceOp(i, 0, ddg.OpALU, 7) {
+		if !c.CommitOp(OpAt(i, 0, ddg.OpALU), 7) {
 			t.Fatalf("op %d should fit (4 units)", i)
 		}
 	}
-	if c.CanPlaceOp(0, ddg.OpALU, 1) {
+	if c.ProbeOp(OpAt(9, 0, ddg.OpALU), 1) {
 		t.Error("slot 1 should be full (modulo aliasing of cycle 7)")
 	}
-	if !c.CanPlaceOp(0, ddg.OpALU, 2) {
+	if !c.ProbeOp(OpAt(9, 0, ddg.OpALU), 2) {
 		t.Error("slot 2 should be free")
 	}
-	if !c.Unplace(2) {
-		t.Error("Unplace failed")
+	if !c.ReleaseOp(Op{Node: 2}) {
+		t.Error("ReleaseOp failed")
 	}
-	if !c.CanPlaceOp(0, ddg.OpALU, 10) {
+	if !c.ProbeOp(OpAt(9, 0, ddg.OpALU), 10) {
 		t.Error("released slot should accept a new op at an aliasing cycle")
 	}
-	if c.Unplace(2) {
-		t.Error("double Unplace should report false")
+	if c.ReleaseOp(Op{Node: 2}) {
+		t.Error("double ReleaseOp should report false")
 	}
 }
 
@@ -40,55 +40,55 @@ func TestCycleFSUnitSelection(t *testing.T) {
 	m := machine.NewBusedFS(1, 1, 1)
 	m.Buses = 0
 	c := NewCycle(m, 1)
-	if !c.PlaceOp(0, 0, ddg.OpALU, 0) || !c.PlaceOp(1, 0, ddg.OpShift, 0) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpALU), 0) || !c.CommitOp(OpAt(1, 0, ddg.OpShift), 0) {
 		t.Fatal("two integer units should take two integer ops")
 	}
-	if c.CanPlaceOp(0, ddg.OpBranch, 0) {
+	if c.ProbeOp(OpAt(2, 0, ddg.OpBranch), 0) {
 		t.Error("third integer op must not fit")
 	}
-	if !c.CanPlaceOp(0, ddg.OpFMul, 0) {
+	if !c.ProbeOp(OpAt(2, 0, ddg.OpFMul), 0) {
 		t.Error("float unit should still be free")
 	}
-	if !c.PlaceOp(2, 0, ddg.OpFMul, 1) {
+	if !c.CommitOp(OpAt(2, 0, ddg.OpFMul), 1) {
 		t.Error("cycle 1 aliases slot 0 at II=1 and the float unit is free there")
 	}
 }
 
-func TestCyclePlaceOpDuplicatePanics(t *testing.T) {
+func TestCycleCommitOpDuplicatePanics(t *testing.T) {
 	m := machine.NewBusedGP(1, 1, 1)
 	m.Buses = 0
 	c := NewCycle(m, 2)
-	c.PlaceOp(0, 0, ddg.OpALU, 0)
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
 	defer func() {
 		if recover() == nil {
 			t.Error("placing the same node twice should panic")
 		}
 	}()
-	c.PlaceOp(0, 0, ddg.OpALU, 1)
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 1)
 }
 
 func TestCycleBroadcastCopy(t *testing.T) {
 	m := machine.NewBusedGP(3, 1, 1)
 	c := NewCycle(m, 2)
 
-	if !c.PlaceCopy(10, 0, []int{1, 2}, 0) {
+	if !c.CommitOp(CopyAt(10, 0, []int{1, 2}), 0) {
 		t.Fatal("copy should fit")
 	}
 	// Bus is single: another copy at the same slot must fail, even from
 	// another cluster.
-	if c.CanPlaceCopy(1, []int{2}, 2) {
+	if c.ProbeOp(CopyAt(11, 1, []int{2}), 2) {
 		t.Error("bus slot 0 should be taken (cycle 2 aliases it)")
 	}
-	if !c.CanPlaceCopy(1, []int{2}, 1) {
+	if !c.ProbeOp(CopyAt(11, 1, []int{2}), 1) {
 		t.Error("bus slot 1 should be free")
 	}
 	// Write port of cluster 1 at slot 0 is taken.
-	if c.CanPlaceCopy(2, []int{1}, 0) {
+	if c.ProbeOp(CopyAt(11, 2, []int{1}), 0) {
 		t.Error("write port on cluster 1 at slot 0 should be taken")
 	}
-	c.Unplace(10)
-	if !c.CanPlaceCopy(2, []int{1}, 0) {
-		t.Error("unplace should release bus, read and write ports")
+	c.ReleaseOp(Op{Node: 10})
+	if !c.ProbeOp(CopyAt(11, 2, []int{1}), 0) {
+		t.Error("release should free bus, read and write ports")
 	}
 }
 
@@ -96,51 +96,72 @@ func TestCycleCopyMultipleTargetsNeedDistinctWritePorts(t *testing.T) {
 	m := machine.NewBusedGP(2, 2, 1)
 	c := NewCycle(m, 1)
 	// Two targets on the same cluster pool need two write ports; only 1.
-	if c.CanPlaceCopy(0, []int{1, 1}, 0) {
+	if c.ProbeOp(CopyAt(0, 0, []int{1, 1}), 0) {
 		t.Error("two writes into one single-ported cluster at one cycle")
+	}
+}
+
+func TestCycleDuplicateTargetsTakeDistinctWritePorts(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 2)
+	c := NewCycle(m, 1)
+	if !c.CommitOp(CopyAt(0, 0, []int{1, 1}), 0) {
+		t.Fatal("duplicate-target copy should fit with 2 write ports")
+	}
+	p := c.PlacementOf(0)
+	if p == nil || len(p.writeSlots) != 2 || p.writeSlots[0].port == p.writeSlots[1].port {
+		t.Errorf("duplicate targets must occupy distinct write ports: %+v", p)
+	}
+	if c.ProbeOp(CopyAt(1, 1, []int{1}), 0) {
+		t.Error("write ports on cluster 1 exhausted; probe should fail")
 	}
 }
 
 func TestCycleLinkCopy(t *testing.T) {
 	m := machine.NewGrid4(1)
 	c := NewCycle(m, 2)
-	if !c.PlaceCopy(5, 0, []int{1}, 0) {
+	if !c.CommitOp(CopyAt(5, 0, []int{1}), 0) {
 		t.Fatal("link copy should fit")
 	}
-	if c.CanPlaceCopy(1, []int{0}, 0) {
+	if c.ProbeOp(CopyAt(6, 1, []int{0}), 0) {
 		t.Error("link 0-1 at slot 0 should be busy (both directions share it)")
 	}
-	if !c.CanPlaceCopy(1, []int{0}, 1) {
+	if !c.ProbeOp(CopyAt(6, 1, []int{0}), 1) {
 		t.Error("link 0-1 at slot 1 should be free")
 	}
-	if c.CanPlaceCopy(0, []int{3}, 1) {
+	if c.ProbeOp(CopyAt(6, 0, []int{3}), 1) {
 		t.Error("copy to a non-adjacent cluster must be rejected")
 	}
-	if c.CanPlaceCopy(0, []int{1, 2}, 1) {
+	if c.ProbeOp(CopyAt(6, 0, []int{1, 2}), 1) {
 		t.Error("point-to-point copies must have exactly one target")
 	}
 }
 
-func TestCycleConflictsAt(t *testing.T) {
+func TestCycleConflictsOf(t *testing.T) {
 	m := machine.NewBusedGP(1, 1, 1)
 	m.Buses = 0
 	c := NewCycle(m, 1)
 	for i := 0; i < 4; i++ {
-		c.PlaceOp(i, 0, ddg.OpALU, 0)
+		c.CommitOp(OpAt(i, 0, ddg.OpALU), 0)
 	}
-	conflicts := c.ConflictsAt(0, ddg.OpFAdd, 3)
+	conflicts := c.ConflictsOf(OpAt(9, 0, ddg.OpFAdd), 3, nil)
 	if len(conflicts) != 4 {
-		t.Errorf("ConflictsAt = %v, want all four occupants", conflicts)
+		t.Errorf("ConflictsOf = %v, want all four occupants", conflicts)
+	}
+	// The result reuses the caller's buffer.
+	buf := make([]int, 0, 8)
+	conflicts = c.ConflictsOf(OpAt(9, 0, ddg.OpFAdd), 0, buf)
+	if len(conflicts) != 4 || &conflicts[0] != &buf[:1][0] {
+		t.Error("ConflictsOf must append into the passed buffer")
 	}
 }
 
-func TestCycleCopyConflictsAt(t *testing.T) {
+func TestCycleCopyConflictsOf(t *testing.T) {
 	m := machine.NewBusedGP(2, 1, 1)
 	c := NewCycle(m, 1)
-	c.PlaceCopy(7, 0, []int{1}, 0)
-	conflicts := c.CopyConflictsAt(0, []int{1}, 0)
+	c.CommitOp(CopyAt(7, 0, []int{1}), 0)
+	conflicts := c.ConflictsOf(CopyAt(9, 0, []int{1}), 0, nil)
 	if len(conflicts) != 1 || conflicts[0] != 7 {
-		t.Errorf("CopyConflictsAt = %v, want [7]", conflicts)
+		t.Errorf("copy ConflictsOf = %v, want [7]", conflicts)
 	}
 }
 
@@ -148,20 +169,24 @@ func TestCyclePlacementOf(t *testing.T) {
 	m := machine.NewBusedGP(1, 1, 1)
 	m.Buses = 0
 	c := NewCycle(m, 4)
-	c.PlaceOp(3, 0, ddg.OpLoad, 9)
+	c.CommitOp(OpAt(3, 0, ddg.OpLoad), 9)
 	p := c.PlacementOf(3)
 	if p == nil || p.Cycle != 9 || p.Cluster != 0 {
 		t.Errorf("PlacementOf = %+v", p)
 	}
-	if c.PlacementOf(99) != nil {
+	if c.PlacementOf(99) != nil || c.PlacementOf(-1) != nil {
 		t.Error("PlacementOf unknown node should be nil")
+	}
+	c.ReleaseOp(Op{Node: 3})
+	if c.PlacementOf(3) != nil {
+		t.Error("released node should have nil placement")
 	}
 }
 
 func TestCycleStringShowsOccupancy(t *testing.T) {
 	m := machine.NewBusedGP(1, 1, 1)
 	c := NewCycle(m, 2)
-	c.PlaceOp(42, 0, ddg.OpALU, 1)
+	c.CommitOp(OpAt(42, 0, ddg.OpALU), 1)
 	s := c.String()
 	if !strings.Contains(s, "42") || !strings.Contains(s, "c0.gp") {
 		t.Errorf("String() missing occupant:\n%s", s)
@@ -174,13 +199,132 @@ func TestCycleNegativeCycles(t *testing.T) {
 	c := NewCycle(m, 3)
 	// Cycle -1 occupies slot 2 (SMS places against successors and may
 	// go negative before normalization).
-	if !c.PlaceOp(0, 0, ddg.OpALU, -1) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpALU), -1) {
 		t.Fatal("negative cycle placement failed")
 	}
 	for i := 1; i < 4; i++ {
-		c.PlaceOp(i, 0, ddg.OpALU, 2)
+		c.CommitOp(OpAt(i, 0, ddg.OpALU), 2)
 	}
-	if c.CanPlaceOp(0, ddg.OpALU, -4) {
+	if c.ProbeOp(OpAt(9, 0, ddg.OpALU), -4) {
 		t.Error("slot 2 should be full; -4 aliases it")
+	}
+}
+
+func TestCycleResetIIReusesSlabs(t *testing.T) {
+	m := machine.NewGrid4(1)
+	c := NewCycle(m, 4)
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 3)
+	c.CommitOp(CopyAt(1, 0, []int{1}), 2)
+
+	c.ResetII(2)
+	if c.II() != 2 {
+		t.Errorf("II after ResetII = %d, want 2", c.II())
+	}
+	if c.PlacementOf(0) != nil || c.PlacementOf(1) != nil {
+		t.Error("ResetII should clear placements")
+	}
+	for s := 0; s < 2; s++ {
+		if !c.ProbeOp(OpAt(2, 0, ddg.OpALU), s) || !c.ProbeOp(CopyAt(3, 0, []int{1}), s) {
+			t.Errorf("slot %d not empty after ResetII", s)
+		}
+	}
+}
+
+func TestCycleCopyFromRestores(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	src := NewCycle(m, 2)
+	src.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
+	src.CommitOp(CopyAt(1, 0, []int{1}), 1)
+
+	dst := NewCycle(m, 5)
+	dst.CommitOp(OpAt(9, 1, ddg.OpALU), 4)
+	dst.CopyFrom(src)
+
+	if dst.II() != 2 {
+		t.Errorf("II after CopyFrom = %d, want 2", dst.II())
+	}
+	if dst.String() != src.String() {
+		t.Errorf("CopyFrom mismatch:\n%s\nvs\n%s", dst.String(), src.String())
+	}
+	if dst.PlacementOf(9) != nil {
+		t.Error("CopyFrom should drop the receiver's old placements")
+	}
+	// Deep copy: releasing in dst leaves src intact.
+	dst.ReleaseOp(Op{Node: 1})
+	if src.PlacementOf(1) == nil || src.String() == dst.String() {
+		t.Error("CopyFrom aliases the source")
+	}
+	// The restored placement released the exact slots it held.
+	if !dst.ProbeOp(CopyAt(2, 0, []int{1}), 1) {
+		t.Error("releasing a restored copy should free its slots")
+	}
+}
+
+func TestCycleClonePanicsAcrossMachines(t *testing.T) {
+	c := NewCycle(machine.NewBusedGP(2, 1, 1), 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom across machines should panic")
+		}
+	}()
+	c.CopyFrom(NewCycle(machine.NewGrid4(1), 2))
+}
+
+// TestCycleJournalRollbackExactRows pins the exact-row restore
+// contract: undoing a release must re-occupy the same resource
+// instances the node originally held, not whatever a fresh first-free
+// scan would pick.
+func TestCycleJournalRollbackExactRows(t *testing.T) {
+	m := machine.NewBusedFS(1, 1, 1)
+	m.Buses = 0
+	c := NewCycle(m, 1)
+	c.EnableJournal()
+
+	// The two integer units: node 0 on the first, node 1 on the second.
+	c.CommitOp(OpAt(0, 0, ddg.OpALU), 0)
+	c.CommitOp(OpAt(1, 0, ddg.OpShift), 0)
+	c.JournalReset()
+	before := c.String()
+
+	mark := c.JournalMark()
+	// Release both, commit a decoy (takes the first free unit), release
+	// it: a rollback that re-placed via first-free would now permute the
+	// unit assignment of nodes 0 and 1.
+	c.ReleaseOp(Op{Node: 0})
+	c.ReleaseOp(Op{Node: 1})
+	c.CommitOp(OpAt(7, 0, ddg.OpBranch), 0)
+	c.ReleaseOp(Op{Node: 7})
+	c.JournalRollback(mark)
+
+	if got := c.String(); got != before {
+		t.Errorf("rollback state:\n%s\nwant:\n%s", got, before)
+	}
+	if c.PlacementOf(7) != nil {
+		t.Error("decoy should be gone after rollback")
+	}
+	if p := c.PlacementOf(0); p == nil || c.PlacementOf(1) == nil {
+		t.Fatal("rolled-back releases should be placed again")
+	}
+}
+
+func TestCycleJournalRollbackCopies(t *testing.T) {
+	m := machine.NewGrid4(2)
+	c := NewCycle(m, 2)
+	c.EnableJournal()
+	c.CommitOp(CopyAt(0, 0, []int{1}), 0)
+	c.JournalReset()
+	before := c.String()
+
+	mark := c.JournalMark()
+	c.CommitOp(CopyAt(1, 1, []int{3}), 0)
+	c.ReleaseOp(Op{Node: 0})
+	c.CommitOp(CopyAt(2, 0, []int{2}), 0)
+	c.JournalRollback(mark)
+
+	if got := c.String(); got != before {
+		t.Errorf("rollback state:\n%s\nwant:\n%s", got, before)
+	}
+	if c.PlacementOf(1) != nil || c.PlacementOf(2) != nil {
+		t.Error("rolled-back commits should be unplaced")
 	}
 }

@@ -1,0 +1,128 @@
+package mrt
+
+import "clustersched/internal/ddg"
+
+// Journal records probe-API mutations (CommitOp/ReleaseOp) so a span of
+// tentative placements can be undone with JournalRollback. It is the
+// single journaling mechanism shared by both fidelities: each table
+// embeds a Journal and replays its own events in reverse through
+// internal, unjournaled mutators. Journaling is off by default; tables
+// that never enable it pay one predictable branch per mutation.
+//
+// Events snapshot everything a rollback needs into journal-owned
+// storage (the target slab), so callers may freely reuse Op.Targets
+// buffers after a commit or release returns.
+type Journal struct {
+	journaling bool
+	events     []journalEvent
+	slab       []int32 // snapshot storage referenced by tOff/tLen spans
+}
+
+// journalEvent is one journaled mutation. Capacity events carry the op
+// description (node, kind, cluster, targets) needed to invert the
+// counter charges. Cycle release events additionally record the exact
+// resource rows the placement held, so undoing the release restores the
+// identical table state — not merely an equivalent occupancy count.
+type journalEvent struct {
+	release bool // true: a ReleaseOp (undo = re-commit)
+	node    int32
+	kind    int32 // ddg.OpKind
+	cluster int32
+	cycle   int32
+
+	// Cycle-only exact-restore attribution (zero for Capacity events).
+	fuUnit    int32
+	readPort  int32
+	busIndex  int32
+	linkIndex int32
+	occupancy int32
+
+	// Span of Journal.slab: target clusters (Capacity) or interleaved
+	// (cluster, port) write-slot pairs (Cycle release events).
+	tOff, tLen int32
+}
+
+// EnableJournal turns on mutation journaling: every subsequent commit
+// or release is recorded so a span of tentative placements can be
+// undone with JournalRollback.
+func (j *Journal) EnableJournal() {
+	j.journaling = true
+	j.events = j.events[:0]
+	j.slab = j.slab[:0]
+}
+
+// JournalMark returns the current journal position, to be passed to
+// JournalRollback to undo everything recorded after this point.
+//
+//schedvet:alloc-free
+func (j *Journal) JournalMark() int { return len(j.events) }
+
+// JournalReset discards the journal without undoing anything, making
+// all mutations recorded so far permanent. The backing arrays are
+// kept, so a reset-mutate-rollback cycle settles into zero allocations.
+//
+//schedvet:alloc-free
+func (j *Journal) JournalReset() {
+	j.events = j.events[:0]
+	j.slab = j.slab[:0]
+}
+
+// record appends one event, snapshotting span into the journal's slab.
+// It returns a pointer into the events array, valid until the next
+// append, so callers can fill in fidelity-specific attribution.
+//
+//schedvet:alloc-free
+func (j *Journal) record(op Op, cycle int, release bool, span []int) *journalEvent {
+	off := int32(len(j.slab))
+	for _, t := range span {
+		j.slab = append(j.slab, int32(t))
+	}
+	j.events = append(j.events, journalEvent{
+		release: release,
+		node:    int32(op.Node),
+		kind:    int32(op.Kind),
+		cluster: int32(op.Cluster),
+		cycle:   int32(cycle),
+		tOff:    off,
+		tLen:    int32(len(j.slab)) - off,
+	})
+	return &j.events[len(j.events)-1]
+}
+
+// span returns the slab snapshot of event ev.
+//
+//schedvet:alloc-free
+func (j *Journal) span(ev *journalEvent) []int32 {
+	return j.slab[ev.tOff : ev.tOff+ev.tLen]
+}
+
+// truncate drops every event at or after mark, together with its slab
+// storage. Rollback loops call it after replaying the events.
+//
+//schedvet:alloc-free
+func (j *Journal) truncate(mark int) {
+	if mark < len(j.events) {
+		j.slab = j.slab[:j.events[mark].tOff]
+	}
+	j.events = j.events[:mark]
+}
+
+// eventOp rebuilds the Op described by event ev, with Targets aliasing
+// the scratch buffer buf (filled from the slab snapshot).
+//
+//schedvet:alloc-free
+func (j *Journal) eventOp(ev *journalEvent, buf []int) (Op, []int) {
+	buf = buf[:0]
+	for _, t := range j.span(ev) {
+		buf = append(buf, int(t))
+	}
+	op := Op{
+		Node:    int(ev.node),
+		Kind:    ddg.OpKind(ev.kind),
+		Cluster: int(ev.cluster),
+	}
+	if op.Kind == ddg.OpCopy {
+		op.Targets = buf
+	}
+	return op, buf
+}

@@ -167,10 +167,10 @@ func TestCycleMatchesCountingModel(t *testing.T) {
 				// Unplace a random op.
 				i := rng.Intn(len(placed))
 				op := placed[i]
-				got := table.Unplace(op)
+				got := table.ReleaseOp(Op{Node: op})
 				want := ref.unplace(op)
 				if got != want {
-					t.Logf("step %d: Unplace(%d) = %v, model %v", step, op, got, want)
+					t.Logf("step %d: ReleaseOp(%d) = %v, model %v", step, op, got, want)
 					return false
 				}
 				placed = append(placed[:i], placed[i+1:]...)
@@ -180,14 +180,14 @@ func TestCycleMatchesCountingModel(t *testing.T) {
 				k := kinds[rng.Intn(len(kinds))]
 				slot := rng.Intn(ii)
 				want := ref.canOp(cl, k, slot)
-				got := table.CanPlaceOp(cl, k, slot)
+				got := table.ProbeOp(OpAt(nextOp, cl, k), slot)
 				if got != want {
-					t.Logf("step %d: CanPlaceOp(%d,%s,%d) = %v, model %v", step, cl, k, slot, got, want)
+					t.Logf("step %d: ProbeOp(%d,%s,%d) = %v, model %v", step, cl, k, slot, got, want)
 					return false
 				}
 				if got {
-					if !table.PlaceOp(nextOp, cl, k, slot) {
-						t.Logf("step %d: PlaceOp failed after CanPlaceOp", step)
+					if !table.CommitOp(OpAt(nextOp, cl, k), slot) {
+						t.Logf("step %d: CommitOp failed after ProbeOp", step)
 						return false
 					}
 					ref.place(nextOp, refPlacement{cluster: cl, slot: slot, kind: k})
@@ -218,14 +218,14 @@ func TestCycleMatchesCountingModel(t *testing.T) {
 				}
 				slot := rng.Intn(ii)
 				want := ref.canCopy(src, targets, slot)
-				got := table.CanPlaceCopy(src, targets, slot)
+				got := table.ProbeOp(CopyAt(nextOp, src, targets), slot)
 				if got != want {
-					t.Logf("step %d: CanPlaceCopy(%d,%v,%d) = %v, model %v", step, src, targets, slot, got, want)
+					t.Logf("step %d: ProbeOp(copy %d,%v,%d) = %v, model %v", step, src, targets, slot, got, want)
 					return false
 				}
 				if got {
-					if !table.PlaceCopy(nextOp, src, targets, slot) {
-						t.Logf("step %d: PlaceCopy failed after CanPlaceCopy", step)
+					if !table.CommitOp(CopyAt(nextOp, src, targets), slot) {
+						t.Logf("step %d: CommitOp(copy) failed after ProbeOp", step)
 						return false
 					}
 					ref.place(nextOp, refPlacement{isCopy: true, cluster: src, slot: slot, targets: targets})

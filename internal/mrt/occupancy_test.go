@@ -20,22 +20,22 @@ func TestCapacityNonPipelinedOccupancy(t *testing.T) {
 	m := nonPipelinedMachine()
 	c := NewCapacity(m, 9) // 4 units x 9 slots = 36 slot-cycles
 
-	if !c.PlaceOp(0, ddg.OpFDiv) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpFDiv), 0) {
 		t.Fatal("first divide should fit")
 	}
 	if got := c.FreeSlots(0); got != 27 {
 		t.Errorf("FreeSlots = %d, want 27 (divide holds 9 slot-cycles)", got)
 	}
 	for i := 0; i < 3; i++ {
-		if !c.PlaceOp(0, ddg.OpFDiv) {
+		if !c.CommitOp(OpAt(i+1, 0, ddg.OpFDiv), 0) {
 			t.Fatalf("divide %d should fit (one per unit)", i+2)
 		}
 	}
-	if c.PlaceOp(0, ddg.OpFDiv) {
+	if c.CommitOp(OpAt(5, 0, ddg.OpFDiv), 0) {
 		t.Error("fifth divide placed with four units fully held")
 	}
-	c.RemoveOp(0, ddg.OpFDiv)
-	if !c.CanPlaceOp(0, ddg.OpFDiv) {
+	c.ReleaseOp(OpAt(0, 0, ddg.OpFDiv))
+	if !c.ProbeOp(OpAt(5, 0, ddg.OpFDiv), 0) {
 		t.Error("released occupancy not reusable")
 	}
 }
@@ -43,10 +43,10 @@ func TestCapacityNonPipelinedOccupancy(t *testing.T) {
 func TestCapacityRejectsOccupancyBeyondII(t *testing.T) {
 	m := nonPipelinedMachine()
 	c := NewCapacity(m, 4) // divide occupancy 9 > II 4
-	if c.CanPlaceOp(0, ddg.OpFDiv) {
+	if c.ProbeOp(OpAt(0, 0, ddg.OpFDiv), 0) {
 		t.Error("an op cannot hold a unit longer than the II")
 	}
-	if !c.CanPlaceOp(0, ddg.OpFMul) {
+	if !c.ProbeOp(OpAt(0, 0, ddg.OpFMul), 0) {
 		t.Error("pipelined ops unaffected")
 	}
 }
@@ -57,49 +57,49 @@ func TestCycleNonPipelinedBlocksWindow(t *testing.T) {
 	m.Clusters[0].FUs = m.Clusters[0].FUs[:1]
 	c := NewCycle(m, 12)
 
-	if !c.PlaceOp(0, 0, ddg.OpFDiv, 2) {
+	if !c.CommitOp(OpAt(0, 0, ddg.OpFDiv), 2) {
 		t.Fatal("divide should place at cycle 2")
 	}
 	// The unit is busy slots 2..10.
 	for _, cyc := range []int{2, 5, 10} {
-		if c.CanPlaceOp(0, ddg.OpALU, cyc) {
+		if c.ProbeOp(OpAt(9, 0, ddg.OpALU), cyc) {
 			t.Errorf("slot %d should be held by the divide", cyc)
 		}
 	}
 	for _, cyc := range []int{0, 1, 11} {
-		if !c.CanPlaceOp(0, ddg.OpALU, cyc) {
+		if !c.ProbeOp(OpAt(9, 0, ddg.OpALU), cyc) {
 			t.Errorf("slot %d should be free", cyc)
 		}
 	}
 	// Wrap-around: a divide at cycle 8 of II=12 holds slots 8..11,0..4.
-	c.Unplace(0)
-	if !c.PlaceOp(1, 0, ddg.OpFDiv, 8) {
+	c.ReleaseOp(Op{Node: 0})
+	if !c.CommitOp(OpAt(1, 0, ddg.OpFDiv), 8) {
 		t.Fatal("divide should place at cycle 8")
 	}
-	if c.CanPlaceOp(0, ddg.OpALU, 1) {
+	if c.ProbeOp(OpAt(9, 0, ddg.OpALU), 1) {
 		t.Error("wrap-around slot 1 should be held")
 	}
-	if !c.CanPlaceOp(0, ddg.OpALU, 6) {
+	if !c.ProbeOp(OpAt(9, 0, ddg.OpALU), 6) {
 		t.Error("slot 6 should be free")
 	}
-	// Unplace releases the whole window.
-	c.Unplace(1)
+	// Release frees the whole window.
+	c.ReleaseOp(Op{Node: 1})
 	for s := 0; s < 12; s++ {
-		if !c.CanPlaceOp(0, ddg.OpALU, s) {
+		if !c.ProbeOp(OpAt(9, 0, ddg.OpALU), s) {
 			t.Errorf("slot %d not released", s)
 		}
 	}
 }
 
-func TestCycleConflictsAtCoverWindow(t *testing.T) {
+func TestCycleConflictsOfCoverWindow(t *testing.T) {
 	m := nonPipelinedMachine()
 	m.Clusters[0].FUs = m.Clusters[0].FUs[:1]
 	c := NewCycle(m, 10)
-	c.PlaceOp(7, 0, ddg.OpALU, 3)
+	c.CommitOp(OpAt(7, 0, ddg.OpALU), 3)
 	// A divide at cycle 0 would span slots 0..8, conflicting with the
 	// ALU at slot 3.
-	conflicts := c.ConflictsAt(0, ddg.OpFDiv, 0)
+	conflicts := c.ConflictsOf(OpAt(0, 0, ddg.OpFDiv), 0, nil)
 	if len(conflicts) != 1 || conflicts[0] != 7 {
-		t.Errorf("ConflictsAt = %v, want [7]", conflicts)
+		t.Errorf("ConflictsOf = %v, want [7]", conflicts)
 	}
 }

@@ -1,0 +1,63 @@
+package mrt
+
+import (
+	"clustersched/internal/ddg"
+)
+
+// Op describes one schedulable operation to the unified resource-probe
+// API. Both table fidelities consume the same description: the
+// cluster-assignment phase probes a Capacity table (ignoring cycles),
+// the modulo schedulers probe a Cycle table at concrete cycles.
+//
+// For ordinary operations Kind is the operation kind and Cluster the
+// executing cluster; Targets must be nil. For copies Kind is
+// ddg.OpCopy, Cluster the source cluster (whose read port the copy
+// consumes), and Targets the destination clusters — exactly one,
+// adjacent to Cluster, on point-to-point machines.
+//
+// Targets may alias a caller-owned buffer: the tables snapshot what
+// they need (journals copy targets into their own slab), so the caller
+// is free to reuse the buffer after the call returns.
+type Op struct {
+	Node    int
+	Kind    ddg.OpKind
+	Cluster int
+	Targets []int
+}
+
+// OpAt builds the Op describing an ordinary (non-copy) operation.
+//
+//schedvet:alloc-free
+func OpAt(node, cluster int, kind ddg.OpKind) Op {
+	return Op{Node: node, Kind: kind, Cluster: cluster}
+}
+
+// CopyAt builds the Op describing a copy sourced on cluster src.
+//
+//schedvet:alloc-free
+func CopyAt(node, src int, targets []int) Op {
+	return Op{Node: node, Kind: ddg.OpCopy, Cluster: src, Targets: targets}
+}
+
+// Table is the probe surface shared by both fidelities. Probes are
+// side-effect free; commits reserve resources and report false without
+// changes when they do not fit; releases undo a commit. The cycle
+// argument selects the modulo slot on a Cycle table and is ignored by
+// Capacity, which counts slot-cycles without knowing cycles yet.
+type Table interface {
+	II() int
+	ProbeOp(op Op, cycle int) bool
+	CommitOp(op Op, cycle int) bool
+	ReleaseOp(op Op) bool
+
+	EnableJournal()
+	JournalMark() int
+	JournalRollback(mark int)
+	JournalReset()
+}
+
+// Compile-time checks that both fidelities implement the probe surface.
+var (
+	_ Table = (*Capacity)(nil)
+	_ Table = (*Cycle)(nil)
+)

@@ -20,12 +20,18 @@ import (
 // with every node outside any recurrence.
 func Sets(g *ddg.Graph, lat ddg.LatencyFunc) [][]int {
 	comps := g.NonTrivialSCCs()
+	return rankedSets(g, comps, mii.SCCRecMIIs(g, comps, lat))
+}
+
+// rankedSets is Sets with the SCCs and their RecMIIs already computed,
+// so Compute shares one SCCRecMIIs pass between the recurrence bound
+// and the set ranking.
+func rankedSets(g *ddg.Graph, comps []*ddg.SCC, recs []int) [][]int {
 	type ranked struct {
 		nodes []int
 		rec   int
 	}
 	rankedComps := make([]ranked, len(comps))
-	recs := mii.SCCRecMIIs(g, comps, lat)
 	for i, c := range comps {
 		rankedComps[i] = ranked{nodes: c.Nodes, rec: recs[i]}
 	}
@@ -64,7 +70,16 @@ func Compute(g *ddg.Graph, lat ddg.LatencyFunc) []int {
 	if g.NumNodes() == 0 {
 		return nil
 	}
-	ii := mii.RecMII(g, lat)
+	// One SCCRecMIIs pass serves both the recurrence bound (RecMII is
+	// its maximum) and the criticality ranking of the priority sets.
+	comps := g.NonTrivialSCCs()
+	recs := mii.SCCRecMIIs(g, comps, lat)
+	ii := 1
+	for _, r := range recs {
+		if r > ii {
+			ii = r
+		}
+	}
 	estart, ok := g.EarliestStart(lat, ii)
 	if !ok {
 		// RecMII guarantees convergence; fall back defensively.
@@ -90,24 +105,61 @@ func Compute(g *ddg.Graph, lat ddg.LatencyFunc) []int {
 	placed := make([]bool, g.NumNodes())
 
 	// Set membership by stamp and the candidate frontier as a flagged
-	// slice: the sweep is allocation-free after these four buffers.
+	// slice: the sweep is allocation-free after these buffers.
 	inSet := make([]int, g.NumNodes())
 	inR := make([]bool, g.NumNodes())
 	rbuf := make([]int, 0, g.NumNodes())
-	for si, set := range Sets(g, lat) {
+
+	// fr accumulates, across all sets, the direction-wise neighbours of
+	// every ordered node, so a swing refill scans one deduplicated list
+	// instead of re-walking the adjacency of everything ordered so far
+	// (which made the sweep quadratic on long dependence chains).
+	var fr frontiers
+	fr.succ = make([]int, 0, g.NumNodes())
+	fr.pred = make([]int, 0, g.NumNodes())
+	fr.inSucc = make([]bool, g.NumNodes())
+	fr.inPred = make([]bool, g.NumNodes())
+
+	for si, set := range rankedSets(g, comps, recs) {
 		for _, n := range set {
 			inSet[n] = si + 1
 		}
-		orderSet(g, set, inSet, si+1, depth, height, &ordered, placed, &rbuf, inR)
+		orderSet(g, set, inSet, si+1, depth, height, &ordered, placed, &rbuf, inR, &fr)
 	}
 	return ordered
+}
+
+// frontiers is the incremental candidate pool of the swing sweep: for
+// each direction, the deduplicated neighbours of every node ordered so
+// far. Membership in a refill is a pure function of which nodes are
+// placed, so maintaining the pool at placement time yields exactly the
+// candidate set the original ordered-rescan produced.
+type frontiers struct {
+	succ, pred     []int
+	inSucc, inPred []bool
+}
+
+// extend records the neighbours of a just-placed node v.
+func (f *frontiers) extend(g *ddg.Graph, v int) {
+	for _, n := range g.Successors(v) {
+		if !f.inSucc[n] {
+			f.inSucc[n] = true
+			f.succ = append(f.succ, n)
+		}
+	}
+	for _, n := range g.Predecessors(v) {
+		if !f.inPred[n] {
+			f.inPred[n] = true
+			f.pred = append(f.pred, n)
+		}
+	}
 }
 
 // orderSet runs the swing alternating sweep over one priority set.
 // inSet[n] == setID marks membership; rbuf and inR are the reusable
 // candidate frontier (inR must be all-false on entry and is all-false
 // on return, since the sweep always drains the frontier).
-func orderSet(g *ddg.Graph, set []int, inSet []int, setID int, depth, height []int, ordered *[]int, placed []bool, rbuf *[]int, inR []bool) {
+func orderSet(g *ddg.Graph, set []int, inSet []int, setID int, depth, height []int, ordered *[]int, placed []bool, rbuf *[]int, inR []bool, fr *frontiers) {
 	const (
 		topDown  = 0
 		bottomUp = 1
@@ -130,18 +182,19 @@ func orderSet(g *ddg.Graph, set []int, inSet []int, setID int, depth, height []i
 	}
 
 	// candidates refills r with the unplaced members of the set adjacent
-	// to the already ordered nodes, in the given direction.
+	// to the already ordered nodes, in the given direction. The frontier
+	// pool holds exactly those neighbours; the selection below is order-
+	// insensitive (pick breaks every tie by node ID), so scanning the
+	// pool instead of the ordered list reproduces the original order.
 	candidates := func(dir int) {
-		for _, o := range *ordered {
-			var neigh []int
-			if dir == topDown {
-				neigh = g.Successors(o)
-			} else {
-				neigh = g.Predecessors(o)
-			}
-			for _, n := range neigh {
-				add(n)
-			}
+		var pool []int
+		if dir == topDown {
+			pool = fr.succ
+		} else {
+			pool = fr.pred
+		}
+		for _, n := range pool {
+			add(n)
 		}
 	}
 
@@ -184,6 +237,7 @@ func orderSet(g *ddg.Graph, set []int, inSet []int, setID int, depth, height []i
 				placed[v] = true
 				remaining--
 				*ordered = append(*ordered, v)
+				fr.extend(g, v)
 				var neigh []int
 				if dir == topDown {
 					neigh = g.Successors(v)

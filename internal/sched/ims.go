@@ -1,9 +1,6 @@
 package sched
 
 import (
-	"container/heap"
-
-	"clustersched/internal/mrt"
 	"clustersched/internal/obs"
 )
 
@@ -22,7 +19,7 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 	lat := in.Machine.Latency
 	n := g.NumNodes()
 	if n == 0 {
-		return &Schedule{II: in.II, CycleOf: nil, Table: mrt.NewCycle(in.Machine, in.II)}, true
+		return &Schedule{II: in.II, CycleOf: nil}, true
 	}
 
 	// If the dependence constraints are unsatisfiable at this II (a
@@ -41,7 +38,7 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 	if s == nil {
 		s = new(Scratch)
 	}
-	table := mrt.NewCycle(in.Machine, in.II)
+	table := s.tableFor(&in)
 	cycleOf, scheduled, everTried, lastCycle := s.prep(n)
 
 	// Priority: most critical first — smallest latest-start time, ties
@@ -49,10 +46,10 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 	pq := &nodeHeap{items: s.heapItems[:0], prio: lstart}
 	defer func() { s.heapItems = pq.items[:0] }()
 	for i := 0; i < n; i++ {
-		heap.Push(pq, i)
+		pq.push(i)
 	}
 
-	for pq.Len() > 0 {
+	for pq.len() > 0 {
 		if in.Trace.Canceled() {
 			return nil, false
 		}
@@ -61,7 +58,7 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 			return nil, false
 		}
 		budget--
-		op := heap.Pop(pq).(int)
+		op := pq.pop()
 		if scheduled[op] {
 			continue
 		}
@@ -91,10 +88,11 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 			if everTried[op] && lastCycle[op]+1 > placedAt {
 				placedAt = lastCycle[op] + 1
 			}
-			for _, victim := range conflictsAt(&in, table, op, placedAt) {
-				table.Unplace(victim)
+			s.conflicts = conflictsAt(&in, table, op, placedAt, s.conflicts)
+			for _, victim := range s.conflicts {
+				unplace(table, victim)
 				scheduled[victim] = false
-				heap.Push(pq, victim)
+				pq.push(victim)
 				in.Trace.SchedDisplace(in.II, op, victim)
 			}
 			if !place(&in, table, op, placedAt) {
@@ -118,31 +116,33 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 			}
 			need := placedAt + lat(g.Nodes[op].Kind) - in.II*e.Distance
 			if cycleOf[e.To] < need {
-				table.Unplace(e.To)
+				unplace(table, e.To)
 				scheduled[e.To] = false
-				heap.Push(pq, e.To)
+				pq.push(e.To)
 				in.Trace.SchedDisplace(in.II, op, e.To)
 			}
 		}
 	}
 
-	return &Schedule{II: in.II, CycleOf: copyOut(cycleOf), Table: table}, true
+	return &Schedule{II: in.II, CycleOf: copyOut(cycleOf)}, true
 }
 
-// nodeHeap orders node IDs by ascending priority value (critical
-// first), breaking ties by ID. Stale entries (already scheduled) are
-// skipped by the consumer.
+// nodeHeap is a concrete binary min-heap of node IDs ordered by
+// ascending priority value (critical first), breaking ties by ID. The
+// key order is total and every node is enqueued at most once at a time,
+// so the pop sequence is exactly the sorted key order — identical to
+// what container/heap produced — without boxing every element through
+// an any interface.
 type nodeHeap struct {
 	items []int
 	prio  []int
 }
 
 //schedvet:alloc-free
-func (h *nodeHeap) Len() int { return len(h.items) }
+func (h *nodeHeap) len() int { return len(h.items) }
 
 //schedvet:alloc-free
-func (h *nodeHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+func (h *nodeHeap) less(a, b int) bool {
 	if h.prio[a] != h.prio[b] {
 		return h.prio[a] < h.prio[b]
 	}
@@ -150,14 +150,40 @@ func (h *nodeHeap) Less(i, j int) bool {
 }
 
 //schedvet:alloc-free
-func (h *nodeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) push(v int) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
 
 //schedvet:alloc-free
-func (h *nodeHeap) Push(x any) { h.items = append(h.items, x.(int)) }
-func (h *nodeHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
+func (h *nodeHeap) pop() int {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h.less(h.items[r], h.items[l]) {
+			child = r
+		}
+		if !h.less(h.items[child], h.items[i]) {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+	return top
 }

@@ -60,7 +60,6 @@ func (in *Input) isCopy(n int) bool {
 type Schedule struct {
 	II      int
 	CycleOf []int
-	Table   *mrt.Cycle
 }
 
 // StageCount returns the number of kernel stages (schedule length in
@@ -88,37 +87,43 @@ func validateInput(in Input) {
 	}
 }
 
-// newTableFor allocates an empty cycle-exact reservation table sized
-// for the request.
-func newTableFor(in Input) *mrt.Cycle { return mrt.NewCycle(in.Machine, in.II) }
+// opOf builds the probe-API description of node n: a copy sourced on
+// its cluster, or an ordinary operation of its kind.
+//
+//schedvet:alloc-free
+func opOf(in *Input, n int) mrt.Op {
+	if in.isCopy(n) {
+		return mrt.CopyAt(n, in.clusterOf(n), in.copyTargets(n))
+	}
+	return mrt.OpAt(n, in.clusterOf(n), in.Graph.Nodes[n].Kind)
+}
 
-// place puts node n at the given cycle in the table, dispatching on
-// copy vs ordinary operation. It reports false when resources are
-// busy.
+// place puts node n at the given cycle in the table. It reports false
+// when resources are busy.
 //
 //schedvet:alloc-free
 func place(in *Input, table *mrt.Cycle, n, cycle int) bool {
-	if in.isCopy(n) {
-		return table.PlaceCopy(n, in.clusterOf(n), in.copyTargets(n), cycle)
-	}
-	return table.PlaceOp(n, in.clusterOf(n), in.Graph.Nodes[n].Kind, cycle)
+	return table.CommitOp(opOf(in, n), cycle)
 }
 
 // canPlace reports whether node n would fit at the given cycle.
 //
 //schedvet:alloc-free
 func canPlace(in *Input, table *mrt.Cycle, n, cycle int) bool {
-	if in.isCopy(n) {
-		return table.CanPlaceCopy(in.clusterOf(n), in.copyTargets(n), cycle)
-	}
-	return table.CanPlaceOp(in.clusterOf(n), in.Graph.Nodes[n].Kind, cycle)
+	return table.ProbeOp(opOf(in, n), cycle)
 }
 
-// conflictsAt returns the nodes occupying the resources node n needs at
-// the given cycle.
-func conflictsAt(in *Input, table *mrt.Cycle, n, cycle int) []int {
-	if in.isCopy(n) {
-		return table.CopyConflictsAt(in.clusterOf(n), in.copyTargets(n), cycle)
-	}
-	return table.ConflictsAt(in.clusterOf(n), in.Graph.Nodes[n].Kind, cycle)
+// unplace releases node n's slots.
+//
+//schedvet:alloc-free
+func unplace(table *mrt.Cycle, n int) {
+	table.ReleaseOp(mrt.Op{Node: n})
+}
+
+// conflictsAt appends to buf[:0] the nodes occupying the resources node
+// n needs at the given cycle, reusing the scratch-held buffer.
+//
+//schedvet:alloc-free
+func conflictsAt(in *Input, table *mrt.Cycle, n, cycle int, buf []int) []int {
+	return table.ConflictsOf(opOf(in, n), cycle, buf)
 }

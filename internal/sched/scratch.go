@@ -1,5 +1,7 @@
 package sched
 
+import "clustersched/internal/mrt"
+
 // Scratch holds the per-run working buffers of both schedulers so an
 // II-escalation loop or a batch runner can reuse them across calls
 // instead of reallocating per candidate II. The zero value is ready to
@@ -14,6 +16,20 @@ type Scratch struct {
 	lastCycle []int
 	heapItems []int
 	rank      []int
+	conflicts []int
+	table     *mrt.Cycle
+}
+
+// tableFor returns an empty cycle-exact reservation table sized for the
+// request, reusing the scratch-held table's slabs when it was built for
+// the same machine.
+func (s *Scratch) tableFor(in *Input) *mrt.Cycle {
+	if s.table != nil && s.table.Machine() == in.Machine {
+		s.table.ResetII(in.II)
+	} else {
+		s.table = mrt.NewCycle(in.Machine, in.II)
+	}
+	return s.table
 }
 
 // prep returns the zeroed run buffers sized for n nodes.

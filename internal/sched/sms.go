@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"container/heap"
-
 	"clustersched/internal/obs"
 	"clustersched/internal/order"
 )
@@ -46,19 +44,19 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 		rank[v] = i
 	}
 
-	table := newTableFor(in)
+	table := s.tableFor(&in)
 	cycleOf, scheduled, everTried, lastCycle := s.prep(n)
 
 	// Work list ordered by swing rank; displaced nodes re-enter it.
 	pq := &nodeHeap{items: s.heapItems[:0], prio: rank}
 	defer func() { s.heapItems = pq.items[:0] }()
 	for _, v := range prio {
-		heap.Push(pq, v)
+		pq.push(v)
 	}
 
 	const unset = int(^uint(0) >> 1) // max int sentinel
 
-	for pq.Len() > 0 {
+	for pq.len() > 0 {
 		if in.Trace.Canceled() {
 			return nil, false
 		}
@@ -67,7 +65,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 			return nil, false
 		}
 		budget--
-		op := heap.Pop(pq).(int)
+		op := pq.pop()
 		if scheduled[op] {
 			continue
 		}
@@ -134,10 +132,11 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 			if everTried[op] && lastCycle[op]+1 > placedAt {
 				placedAt = lastCycle[op] + 1
 			}
-			for _, victim := range conflictsAt(&in, table, op, placedAt) {
-				table.Unplace(victim)
+			s.conflicts = conflictsAt(&in, table, op, placedAt, s.conflicts)
+			for _, victim := range s.conflicts {
+				unplace(table, victim)
 				scheduled[victim] = false
-				heap.Push(pq, victim)
+				pq.push(victim)
 				in.Trace.SchedDisplace(in.II, op, victim)
 			}
 		}
@@ -155,9 +154,9 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 				continue
 			}
 			if cycleOf[e.To] < placedAt+lat(g.Nodes[op].Kind)-in.II*e.Distance {
-				table.Unplace(e.To)
+				unplace(table, e.To)
 				scheduled[e.To] = false
-				heap.Push(pq, e.To)
+				pq.push(e.To)
 				in.Trace.SchedDisplace(in.II, op, e.To)
 			}
 		}
@@ -166,16 +165,16 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 				continue
 			}
 			if cycleOf[e.From]+lat(g.Nodes[e.From].Kind)-in.II*e.Distance > placedAt {
-				table.Unplace(e.From)
+				unplace(table, e.From)
 				scheduled[e.From] = false
-				heap.Push(pq, e.From)
+				pq.push(e.From)
 				in.Trace.SchedDisplace(in.II, op, e.From)
 			}
 		}
 	}
 
 	normalize(cycleOf, in.II)
-	return &Schedule{II: in.II, CycleOf: copyOut(cycleOf), Table: table}, true
+	return &Schedule{II: in.II, CycleOf: copyOut(cycleOf)}, true
 }
 
 // normalize shifts all cycles by a multiple of II so the earliest is

@@ -11,6 +11,7 @@ import (
 var fixtureDirs = []string{
 	"internal/schedvet/testdata/src/allocbad",
 	"internal/schedvet/testdata/src/assign",
+	"internal/schedvet/testdata/src/bitset",
 	"internal/schedvet/testdata/src/cache",
 	"internal/schedvet/testdata/src/clean",
 	"internal/schedvet/testdata/src/util",
@@ -53,6 +54,9 @@ func TestFixtureFindings(t *testing.T) {
 		"VET012 allocbad.go", // closure in Deferred
 		"VET013 allocbad.go", // boxing in Box
 		"VET014 allocbad.go", // concat in Label
+		"VET010 bitset.go",   // make in Resize
+		"VET011 bitset.go",   // reslice-in-append in SnapshotCompact
+		"VET013 bitset.go",   // boxing return in OwnerOf
 		"VET001 assign.go",   // unordered map range in Sum
 		"VET002 assign.go",   // time.Now in Stamp
 		"VET002 assign.go",   // global rand in Jitter

@@ -1,0 +1,66 @@
+// Package bitset is a schedvet fixture mirroring the shapes of the
+// packed reservation tables: word-parallel probes, owner attribution,
+// and journal event recording. The seeded-dirty functions prove the
+// allocfree pass sees through these shapes; the clean ones pin the
+// sanctioned idioms the real tables rely on.
+package bitset
+
+import "math/bits"
+
+type event struct{ node, cycle int32 }
+
+type table struct {
+	busy   []uint64
+	owner  []int32
+	events []event
+	slab   []int32
+}
+
+// Probe is clean: a pure word loop over packed occupancy.
+//
+//schedvet:alloc-free
+func (t *table) Probe(mask uint64, s, n int) bool {
+	avail := mask
+	for d := 0; d < n && avail != 0; d++ {
+		avail &^= t.busy[s+d]
+	}
+	return avail != 0
+}
+
+// Commit is clean: bit twiddling, an owner-slab write, and a struct
+// VALUE appended back to its own slice.
+//
+//schedvet:alloc-free
+func (t *table) Commit(mask uint64, s int, node int32) int {
+	u := bits.TrailingZeros64(mask &^ t.busy[s])
+	t.busy[s] |= 1 << uint(u)
+	t.owner[s] = node
+	t.events = append(t.events, event{node: node, cycle: int32(s)})
+	return u
+}
+
+// Snapshot is clean: the sanctioned two-statement reset-then-self-
+// append idiom over a reused slab.
+//
+//schedvet:alloc-free
+func (t *table) Snapshot(span []int32) {
+	t.slab = t.slab[:0]
+	for _, v := range span {
+		t.slab = append(t.slab, v)
+	}
+}
+
+//schedvet:alloc-free
+func (t *table) Resize(ii int) {
+	t.busy = make([]uint64, ii) // VET010: growth belongs outside the hot path
+}
+
+//schedvet:alloc-free
+func (t *table) SnapshotCompact(span []int32) {
+	t.slab = append(t.slab[:0], span...) // VET011: reslice-in-append is not the sanctioned idiom
+}
+
+//schedvet:alloc-free
+func (t *table) OwnerOf(s int) any {
+	return t.owner[s] // VET013: boxes the int32
+}

@@ -113,12 +113,13 @@ func Audit(in sched.Input, s *sched.Schedule) []diag.Diagnostic {
 		if badCluster[n] {
 			continue
 		}
-		var ok bool
+		var op mrt.Op
 		if g.Nodes[n].Kind == ddg.OpCopy {
-			ok = table.PlaceCopy(n, clusterOf(in, n), copyTargets(in, n), s.CycleOf[n])
+			op = mrt.CopyAt(n, clusterOf(in, n), copyTargets(in, n))
 		} else {
-			ok = table.PlaceOp(n, clusterOf(in, n), g.Nodes[n].Kind, s.CycleOf[n])
+			op = mrt.OpAt(n, clusterOf(in, n), g.Nodes[n].Kind)
 		}
+		ok := table.CommitOp(op, s.CycleOf[n])
 		if !ok {
 			r.Errorf(CodeOversubscribed, fmt.Sprintf("node %d", n),
 				"node %d oversubscribes resources at cycle %d (slot %d)",

@@ -12,7 +12,19 @@
 # minimum is the least-interfered estimate (scheduling outcomes are
 # deterministic, so repetition changes timing only).
 # Run from the repository root:  sh scripts/bench.sh [count]
+#
+# Baseline mode:  sh scripts/bench.sh -baseline [count]
+# Re-measures the assignment and pipeline suites (fastest of several
+# passes) and diffs them against the committed BENCH_assign.json /
+# BENCH_pipeline.json, exiting non-zero on a >10% regression of the
+# assignment ns_per_op rows or the pipeline ns_per_op / assign_ns.
 set -eu
+
+if [ "${1:-}" = "-baseline" ]; then
+    shift
+    COUNT="${1:-400}"
+    exec go run ./cmd/clusterbench -baseline -count "$COUNT" -benchreps 10
+fi
 
 COUNT="${1:-400}"
 OUT="BENCH_pipeline.json"

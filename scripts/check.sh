@@ -21,5 +21,10 @@ go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./interna
 # in the test pass above; this catches benchmarks broken by API drift).
 go test -run xxx -bench . -benchtime 2x ./internal/assign/
 go test -run xxx -bench 'BenchmarkRunBatch|BenchmarkSessionSchedule' -benchtime 1x ./internal/pipeline/
+# Baseline-gate smoke: exercises the bench.sh -baseline plumbing (fresh
+# runs parsed and diffed against the committed BENCH JSONs) on a short
+# suite. The loose tolerance keeps a time-shared host from flaking the
+# tier-1 gate; the strict 10% gate is  sh scripts/bench.sh -baseline.
+go run ./cmd/clusterbench -baseline -count 60 -benchreps 2 -basetol 5.0
 sh scripts/lint.sh
 echo "check: OK"
