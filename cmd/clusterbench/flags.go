@@ -10,7 +10,7 @@ import (
 // modeFlags are the mutually exclusive run modes of clusterbench; the
 // first one the dispatch chain in main recognizes wins, so naming two
 // would silently ignore the rest.
-var modeFlags = []string{"table1", "server", "benchjson", "assignjson", "baseline", "markdown", "livermore", "registers"}
+var modeFlags = []string{"table1", "server", "fleet", "benchjson", "assignjson", "baseline", "markdown", "livermore", "registers"}
 
 // flagConflicts validates the combination of explicitly-set flags,
 // returning coded diagnostics (CLI001..CLI004, catalogued in
@@ -33,13 +33,16 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 		})
 	}
 
-	if set["server"] {
+	for _, mode := range []string{"server", "fleet"} {
+		if !set[mode] {
+			continue
+		}
 		for _, f := range []string{"cpuprofile", "memprofile", "trace", "stats", "workers", "warmstart"} {
 			if set[f] {
 				diags = append(diags, diag.Diagnostic{
 					Code:     "CLI002",
 					Severity: diag.Error,
-					Message:  "-" + f + " has no effect with -server: scheduling runs in the daemon process",
+					Message:  "-" + f + " has no effect with -" + mode + ": scheduling runs in the daemon process",
 					Fix:      "profile or trace the clusterd process instead",
 				})
 			}
@@ -59,21 +62,21 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 		}
 	}
 
-	if set["benchreps"] && !set["benchjson"] && !set["baseline"] {
+	if set["benchreps"] && !set["benchjson"] && !set["baseline"] && !set["fleet"] {
 		diags = append(diags, diag.Diagnostic{
 			Code:     "CLI004",
 			Severity: diag.Error,
-			Message:  "-benchreps has no effect without -benchjson or -baseline",
-			Fix:      "add -benchjson or -baseline, or drop -benchreps",
+			Message:  "-benchreps has no effect without -benchjson, -baseline, or -fleet",
+			Fix:      "add -benchjson, -baseline, or -fleet, or drop -benchreps",
 		})
 	}
 
-	if set["basetol"] && !set["baseline"] {
+	if set["basetol"] && !set["baseline"] && !set["fleet"] {
 		diags = append(diags, diag.Diagnostic{
 			Code:     "CLI005",
 			Severity: diag.Error,
-			Message:  "-basetol has no effect without -baseline",
-			Fix:      "add -baseline or drop -basetol",
+			Message:  "-basetol has no effect without -baseline or -fleet",
+			Fix:      "add -baseline or -fleet, or drop -basetol",
 		})
 	}
 

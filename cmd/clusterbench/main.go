@@ -68,6 +68,7 @@ func main() {
 		benchreps  = flag.Int("benchreps", 3, "passes over the suite for -benchjson; ns_per_op reports the fastest pass")
 		warmstart  = flag.String("warmstart", "on", "warm-started II search: on or off (off forces every candidate II to assign from scratch)")
 		serverURL  = flag.String("server", "", "replay the suite against a running clusterd at this base URL (cold pass then cached pass) and emit a JSON summary")
+		fleetURL   = flag.String("fleet", "", "replay the suite through a running clusterlb at this base URL and emit a JSON summary with latency quantiles and hedge counters; diffs against a committed BENCH_fleet.json under -basetol")
 		assignjson = flag.Bool("assignjson", false, "time cluster assignment alone (no scheduling) over the suite on several machines and emit a JSON summary")
 		baseline   = flag.Bool("baseline", false, "re-run the assignment and pipeline suites and diff against the committed BENCH_assign.json / BENCH_pipeline.json; non-zero exit on regression past -basetol")
 		basetol    = flag.Float64("basetol", 0.10, "allowed fractional regression for -baseline (0.10 = 10%)")
@@ -135,6 +136,13 @@ func main() {
 
 	if *serverURL != "" {
 		if err := serverReplay(ctx, *serverURL, loops, strings.ToLower(*scheduler)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *fleetURL != "" {
+		if err := fleetReplay(ctx, *fleetURL, loops, strings.ToLower(*scheduler), *benchreps, *basetol, setFlags["basetol"]); err != nil {
 			fatal(err)
 		}
 		return

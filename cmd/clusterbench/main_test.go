@@ -44,6 +44,11 @@ func TestFlagConflicts(t *testing.T) {
 		{"baseline with its own options", []string{"baseline", "benchreps", "basetol"}, nil},
 		{"baseline with another mode", []string{"baseline", "assignjson"}, []string{"CLI001"}},
 		{"basetol without baseline", []string{"basetol"}, []string{"CLI005"}},
+		{"fleet with basetol", []string{"fleet", "basetol"}, nil},
+		{"fleet with benchreps", []string{"fleet", "benchreps"}, nil},
+		{"fleet keeps scheduler", []string{"fleet", "scheduler"}, nil},
+		{"fleet with cpuprofile", []string{"fleet", "cpuprofile"}, []string{"CLI002"}},
+		{"fleet with another mode", []string{"fleet", "server"}, []string{"CLI001"}},
 		{"stacked", []string{"server", "benchjson", "cpuprofile"}, []string{"CLI001", "CLI002"}},
 	}
 	for _, tc := range cases {

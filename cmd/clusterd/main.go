@@ -43,6 +43,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		trace       = flag.String("trace", "", "stream every pipeline trace event as JSON lines to this file (- for stderr)")
+		node        = flag.String("node", "", "node identity reported on /fleetz (default: the listen address)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "clusterd: ", log.LstdFlags)
@@ -52,6 +53,7 @@ func main() {
 		Timeout:     *timeout,
 		MaxInflight: *maxInflight,
 		Workers:     *workers,
+		NodeID:      *node,
 	}
 	if *trace != "" {
 		w := os.Stderr
@@ -69,6 +71,9 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = ln.Addr().String()
 	}
 	srv := &http.Server{
 		Handler:           server.New(cfg),

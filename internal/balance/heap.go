@@ -1,0 +1,104 @@
+package balance
+
+import (
+	"container/heap"
+	"sync/atomic"
+
+	"clustersched/internal/client"
+)
+
+// worker is the balancer's per-node handle: the stable identity (its
+// base URL doubles as the ring node ID), a typed client for heartbeat
+// probes, and the load signals placement scores against — the
+// balancer's own in-flight count (authoritative, updated on every
+// dispatch edge) and the queue depth the worker last reported on
+// /fleetz (staler, but covers load from other frontends).
+type worker struct {
+	id string
+	c  *client.Client
+
+	inflight   atomic.Int64
+	reported   atomic.Int64
+	placements atomic.Int64
+
+	heapIndex int // maintained by loadHeap, guarded by the balancer mutex
+}
+
+// score is the placement key: local in-flight requests dominate, the
+// reported queue depth breaks ties between equally idle workers.
+func (w *worker) score() int64 {
+	return w.inflight.Load()<<20 | (w.reported.Load() & (1<<20 - 1))
+}
+
+// loadHeap is the idle/queue-depth min-heap behind power-of-k-choices
+// placement: the root is the least-loaded worker, and pick pops the k
+// cheapest candidates before re-scoring them against the live
+// counters. All methods must run under the owning balancer's mutex.
+type loadHeap []*worker
+
+func (h loadHeap) Len() int { return len(h) }
+func (h loadHeap) Less(i, j int) bool {
+	si, sj := h[i].score(), h[j].score()
+	if si != sj {
+		return si < sj
+	}
+	return h[i].id < h[j].id // deterministic tie-break
+}
+func (h loadHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *loadHeap) Push(x any) {
+	w := x.(*worker)
+	w.heapIndex = len(*h)
+	*h = append(*h, w)
+}
+func (h *loadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	w.heapIndex = -1
+	return w
+}
+
+// fix restores heap order after w's score changed.
+func (h *loadHeap) fix(w *worker) {
+	if w.heapIndex >= 0 {
+		heap.Fix(h, w.heapIndex)
+	}
+}
+
+// pickK pops up to k workers satisfying eligible off the heap (the k
+// cheapest by heap order), re-scores them against the live counters,
+// and returns the best; everything popped is pushed back. Returns nil
+// when no worker is eligible.
+func (h *loadHeap) pickK(k int, eligible func(*worker) bool) *worker {
+	if k < 1 {
+		k = 1
+	}
+	var candidates, skipped []*worker
+	for len(candidates) < k && h.Len() > 0 {
+		w := heap.Pop(h).(*worker)
+		if eligible(w) {
+			candidates = append(candidates, w)
+		} else {
+			skipped = append(skipped, w)
+		}
+	}
+	var best *worker
+	for _, w := range candidates {
+		if best == nil || w.score() < best.score() || (w.score() == best.score() && w.id < best.id) {
+			best = w
+		}
+	}
+	for _, w := range candidates {
+		heap.Push(h, w)
+	}
+	for _, w := range skipped {
+		heap.Push(h, w)
+	}
+	return best
+}

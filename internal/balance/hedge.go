@@ -1,0 +1,78 @@
+package balance
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyDigest tracks recent schedule latencies in a fixed ring
+// buffer so the balancer can derive its hedge delay from the observed
+// p99: a duplicate dispatch fired any earlier burns worker time on
+// requests that were about to answer anyway, any later stops helping
+// the tail (the hedged-request rule of thumb from the tail-at-scale
+// literature).
+type latencyDigest struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer
+	next    int
+	filled  int
+}
+
+const digestSize = 512
+
+// minHedgeSamples gates the quantile: below it the digest reports
+// nothing and the balancer falls back to its configured floor.
+const minHedgeSamples = 16
+
+func newLatencyDigest() *latencyDigest {
+	return &latencyDigest{samples: make([]time.Duration, digestSize)}
+}
+
+func (d *latencyDigest) record(v time.Duration) {
+	d.mu.Lock()
+	d.samples[d.next] = v
+	d.next = (d.next + 1) % len(d.samples)
+	if d.filled < len(d.samples) {
+		d.filled++
+	}
+	d.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0 < q < 1) of the recorded window,
+// or false with too few samples.
+func (d *latencyDigest) quantile(q float64) (time.Duration, bool) {
+	d.mu.Lock()
+	if d.filled < minHedgeSamples {
+		d.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, d.filled)
+	copy(buf, d.samples[:d.filled])
+	d.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(len(buf)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(buf) {
+		idx = len(buf) - 1
+	}
+	return buf[idx], true
+}
+
+// hedgeBudget bounds duplicate dispatch to a fraction of real
+// traffic, so a fleet-wide slowdown cannot double its own load: a
+// hedge is admitted only while hedges so far stay under
+// fraction x placements (plus a small burst allowance for startup).
+type hedgeBudget struct {
+	fraction float64
+	burst    int64
+}
+
+func (b hedgeBudget) allow(hedges, placements int64) bool {
+	if b.fraction <= 0 {
+		return false
+	}
+	return float64(hedges) < b.fraction*float64(placements)+float64(b.burst)
+}

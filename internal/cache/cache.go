@@ -127,6 +127,19 @@ func (s Source) String() string {
 	}
 }
 
+// ShardStats is one shard's slice of the counters: the same fields
+// as Stats, scoped to the keys that hash into the shard. The fleet
+// balancer and operators read these off /statsz to see shard skew —
+// a hot shard shows up as an outsized Bytes/Evictions row.
+type ShardStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
 // Stats is a point-in-time snapshot of the cache's counters, summed
 // over every shard.
 type Stats struct {
@@ -145,6 +158,9 @@ type Stats struct {
 	Entries  int   `json:"entries"`
 	Bytes    int64 `json:"bytes"`
 	MaxBytes int64 `json:"max_bytes"`
+	// Shards is the per-shard breakdown, populated by StatsDetail only
+	// (Stats leaves it nil to keep the aggregate snapshot cheap).
+	Shards []ShardStats `json:"shards,omitempty"`
 }
 
 const numShards = 16
@@ -306,6 +322,35 @@ func (c *Cache) Stats() Stats {
 		st.Entries += len(s.items)
 		st.Bytes += s.bytes
 		s.mu.Unlock()
+	}
+	return st
+}
+
+// StatsDetail is Stats with the per-shard breakdown attached, for
+// /statsz consumers watching occupancy and eviction skew. Each shard
+// is snapshotted under its own lock, so rows are individually
+// consistent (the aggregate is their sum, not a global freeze).
+func (c *Cache) StatsDetail() Stats {
+	st := Stats{MaxBytes: c.maxBytes, Shards: make([]ShardStats, numShards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		row := ShardStats{
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Coalesced: s.coalesced,
+			Evictions: s.evictions,
+			Entries:   len(s.items),
+			Bytes:     s.bytes,
+		}
+		s.mu.Unlock()
+		st.Shards[i] = row
+		st.Hits += row.Hits
+		st.Misses += row.Misses
+		st.Coalesced += row.Coalesced
+		st.Evictions += row.Evictions
+		st.Entries += row.Entries
+		st.Bytes += row.Bytes
 	}
 	return st
 }

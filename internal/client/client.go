@@ -126,6 +126,16 @@ func (c *Client) Lint(ctx context.Context, req server.LintRequest) (*server.Lint
 	return resp, nil
 }
 
+// Fleetz fetches the worker's /fleetz heartbeat snapshot (used by
+// the clusterlb balancer's membership poller).
+func (c *Client) Fleetz(ctx context.Context) (*server.FleetzResponse, error) {
+	resp := new(server.FleetzResponse)
+	if _, _, err := c.do(ctx, http.MethodGet, "/fleetz", nil, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // Stats fetches the /statsz snapshot.
 func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	resp := new(server.StatsResponse)

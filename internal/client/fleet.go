@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+
+	"clustersched/internal/server"
+)
+
+// Fleet is a failover transport over several equivalent daemon
+// endpoints — clusterd workers, or clusterlb balancers behind one
+// fleet. A request is tried against one endpoint; on a transport
+// error (connection refused, reset, timeout of the dial — anything
+// where no HTTP response arrived) the next endpoint is tried, until
+// one answers or all have failed. HTTP-level replies, including error
+// statuses, come from exactly one endpoint and are returned as-is:
+// they are authoritative answers, not transport failures.
+//
+// Scheduling requests are pure computations with content-addressed
+// identities, so retrying one on another worker is always safe and
+// yields byte-identical bytes.
+type Fleet struct {
+	clients []*Client
+
+	mu     sync.Mutex
+	cursor int // rotation start, advanced past endpoints that fail
+}
+
+// NewFleet builds a fleet client over the given base URLs (at least
+// one). httpClient may be nil for http.DefaultClient and is shared by
+// every endpoint.
+func NewFleet(urls []string, httpClient *http.Client) (*Fleet, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("fleet client needs at least one endpoint")
+	}
+	f := &Fleet{clients: make([]*Client, len(urls))}
+	for i, u := range urls {
+		f.clients[i] = New(u, httpClient)
+	}
+	return f, nil
+}
+
+// Endpoints returns the per-endpoint clients in configuration order.
+func (f *Fleet) Endpoints() []*Client { return f.clients }
+
+// start returns the endpoint rotation offset for a fresh request.
+func (f *Fleet) start() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.cursor
+	f.cursor = (f.cursor + 1) % len(f.clients)
+	return s
+}
+
+// fail notes a transport failure of endpoint i, so later requests
+// start their rotation elsewhere.
+func (f *Fleet) fail(i int) {
+	f.mu.Lock()
+	if f.cursor == i {
+		f.cursor = (i + 1) % len(f.clients)
+	}
+	f.mu.Unlock()
+}
+
+// transportFailed reports whether err means "no endpoint answered" —
+// retryable — as opposed to an authoritative API error or the
+// caller's own context ending.
+func transportFailed(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	var apiErr *APIError
+	return !errors.As(err, &apiErr)
+}
+
+// try runs one attempt per endpoint until fn succeeds or returns an
+// authoritative error.
+func (f *Fleet) try(ctx context.Context, fn func(c *Client) error) error {
+	start := f.start()
+	var lastErr error
+	for n := 0; n < len(f.clients); n++ {
+		i := (start + n) % len(f.clients)
+		err := fn(f.clients[i])
+		if !transportFailed(ctx, err) {
+			return err
+		}
+		f.fail(i)
+		lastErr = err
+	}
+	return lastErr
+}
+
+// Schedule runs one loop with endpoint failover.
+func (f *Fleet) Schedule(ctx context.Context, req server.ScheduleRequest) (resp *server.ScheduleResponse, cached bool, err error) {
+	err = f.try(ctx, func(c *Client) error {
+		var e error
+		resp, cached, e = c.Schedule(ctx, req)
+		return e
+	})
+	return resp, cached, err
+}
+
+// ScheduleRaw is Schedule returning the undecoded body and X-Cache
+// header, with endpoint failover.
+func (f *Fleet) ScheduleRaw(ctx context.Context, req server.ScheduleRequest) (body []byte, xcache string, err error) {
+	err = f.try(ctx, func(c *Client) error {
+		var e error
+		body, xcache, e = c.ScheduleRaw(ctx, req)
+		return e
+	})
+	return body, xcache, err
+}
+
+// Batch runs a multi-loop payload with endpoint failover.
+func (f *Fleet) Batch(ctx context.Context, req server.BatchRequest) (resp *server.BatchResponse, err error) {
+	err = f.try(ctx, func(c *Client) error {
+		var e error
+		resp, e = c.Batch(ctx, req)
+		return e
+	})
+	return resp, err
+}
+
+// Lint runs the static-analysis passes with endpoint failover.
+func (f *Fleet) Lint(ctx context.Context, req server.LintRequest) (resp *server.LintResponse, err error) {
+	err = f.try(ctx, func(c *Client) error {
+		var e error
+		resp, e = c.Lint(ctx, req)
+		return e
+	})
+	return resp, err
+}
+
+// Health reports success if any endpoint answers its liveness probe.
+func (f *Fleet) Health(ctx context.Context) error {
+	return f.try(ctx, func(c *Client) error { return c.Health(ctx) })
+}

@@ -1,0 +1,119 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func newTestTable() *Table {
+	return NewTable(Config{SuspectAfter: time.Second, DeadAfter: 3 * time.Second})
+}
+
+func TestLifecycleAndEpochs(t *testing.T) {
+	tb := newTestTable()
+	tb.Register("a", at(0))
+	tb.Register("b", at(0))
+	if got := tb.Epoch(); got != 2 {
+		t.Fatalf("epoch after two registrations = %d, want 2", got)
+	}
+	if got := tb.Eligible(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("eligible = %v, want [a b]", got)
+	}
+
+	// Silence past SuspectAfter demotes; the epoch moves once.
+	if !tb.Tick(at(1500 * time.Millisecond)) {
+		t.Fatal("tick past SuspectAfter did not change the eligible set")
+	}
+	if got := tb.Epoch(); got != 4 {
+		t.Fatalf("epoch after both suspect = %d, want 4", got)
+	}
+	if got := tb.Eligible(); len(got) != 0 {
+		t.Fatalf("eligible after suspect = %v, want empty", got)
+	}
+
+	// A heartbeat revives; suspect-to-dead does not move the epoch
+	// (the node was already ineligible).
+	if !tb.Heartbeat("a", 3, at(3*time.Second)) {
+		t.Fatal("reviving heartbeat did not change the eligible set")
+	}
+	if tb.Tick(at(3500 * time.Millisecond)) {
+		t.Fatal("suspect-to-dead moved the epoch")
+	}
+	if st, ok := tb.State("b"); !ok || st != Dead {
+		t.Fatalf("state(b) = %v %v, want Dead true", st, ok)
+	}
+	if st, ok := tb.State("a"); !ok || st != Alive {
+		t.Fatalf("state(a) = %v %v, want Alive true", st, ok)
+	}
+}
+
+func TestReportFailureIsImmediate(t *testing.T) {
+	tb := newTestTable()
+	tb.Register("a", at(0))
+	tb.Register("b", at(0))
+	if !tb.ReportFailure("a", at(100*time.Millisecond)) {
+		t.Fatal("failure on an alive node did not change the eligible set")
+	}
+	if st, _ := tb.State("a"); st != Suspect {
+		t.Fatalf("state after failure = %v, want Suspect", st)
+	}
+	// A second failure on the same (now suspect) node is a no-op for
+	// the eligible set, as is a failure on an unknown node.
+	if tb.ReportFailure("a", at(200*time.Millisecond)) {
+		t.Fatal("repeat failure moved the epoch")
+	}
+	if tb.ReportFailure("nope", at(200*time.Millisecond)) {
+		t.Fatal("failure on unknown node moved the epoch")
+	}
+	snap := tb.Snapshot()
+	if snap.Nodes[0].Failures != 2 {
+		t.Fatalf("failure streak = %d, want 2", snap.Nodes[0].Failures)
+	}
+}
+
+func TestHeartbeatRegistersUnknown(t *testing.T) {
+	tb := newTestTable()
+	if !tb.Heartbeat("c", 7, at(0)) {
+		t.Fatal("heartbeat of unknown node did not change the eligible set")
+	}
+	snap := tb.Snapshot()
+	if len(snap.Nodes) != 1 || snap.Nodes[0].ID != "c" || snap.Nodes[0].QueueDepth != 7 {
+		t.Fatalf("snapshot = %+v", snap.Nodes)
+	}
+}
+
+// TestDeterminism pins the contract behind the epoch design: the same
+// call sequence yields the same states, epochs, and snapshot order.
+func TestDeterminism(t *testing.T) {
+	run := func() Snapshot {
+		tb := newTestTable()
+		tb.Register("w2", at(0))
+		tb.Register("w0", at(0))
+		tb.Register("w1", at(0))
+		tb.Heartbeat("w0", 1, at(500*time.Millisecond))
+		tb.ReportFailure("w1", at(600*time.Millisecond))
+		tb.Tick(at(2 * time.Second))
+		tb.Heartbeat("w1", 0, at(2100*time.Millisecond))
+		tb.Tick(at(4 * time.Second))
+		return tb.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Epoch != b.Epoch || a.Transitions != b.Transitions || len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("snapshots differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i, n := range a.Nodes {
+		if n.ID != want[i] {
+			t.Fatalf("snapshot order = %v, want sorted IDs", a.Nodes)
+		}
+	}
+}

@@ -52,11 +52,15 @@ type Config struct {
 // DefaultConfig returns the project policy: the scheduling pipeline and
 // its key-construction packages are determinism-critical, the daemon
 // cache and server are lock-disciplined, and obs is the timestamp
-// allowlist.
+// allowlist. The fleet control plane splits along the same line:
+// membership and cachering are deterministic state machines (time is
+// threaded in as parameters) and so are fully critical, while balance
+// legitimately owns timers, goroutines, and selects for hedging and
+// heartbeats and is held only to the lock discipline.
 func DefaultConfig() Config {
 	return Config{
-		Critical: []string{"clustersched", "assign", "sched", "mrt", "mii", "order", "ddg", "pipeline", "cache"},
-		Locks:    []string{"cache", "server"},
+		Critical: []string{"clustersched", "assign", "sched", "mrt", "mii", "order", "ddg", "pipeline", "cache", "membership", "cachering"},
+		Locks:    []string{"cache", "server", "balance", "membership", "cachering"},
 		NoFollow: []string{"obs"},
 	}
 }

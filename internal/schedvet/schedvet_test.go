@@ -11,9 +11,12 @@ import (
 var fixtureDirs = []string{
 	"internal/schedvet/testdata/src/allocbad",
 	"internal/schedvet/testdata/src/assign",
+	"internal/schedvet/testdata/src/balance",
 	"internal/schedvet/testdata/src/bitset",
 	"internal/schedvet/testdata/src/cache",
+	"internal/schedvet/testdata/src/cachering",
 	"internal/schedvet/testdata/src/clean",
+	"internal/schedvet/testdata/src/membership",
 	"internal/schedvet/testdata/src/util",
 }
 
@@ -49,21 +52,24 @@ func TestFixtureFindings(t *testing.T) {
 		got = append(got, d.Code+" "+file)
 	}
 	want := []string{
-		"VET010 allocbad.go", // make in Grow
-		"VET011 allocbad.go", // non-self append in Collect
-		"VET012 allocbad.go", // closure in Deferred
-		"VET013 allocbad.go", // boxing in Box
-		"VET014 allocbad.go", // concat in Label
-		"VET010 bitset.go",   // make in Resize
-		"VET011 bitset.go",   // reslice-in-append in SnapshotCompact
-		"VET013 bitset.go",   // boxing return in OwnerOf
-		"VET001 assign.go",   // unordered map range in Sum
-		"VET002 assign.go",   // time.Now in Stamp
-		"VET002 assign.go",   // global rand in Jitter
-		"VET003 assign.go",   // two-way select in Race
-		"VET020 cache.go",    // send under lock in Put
-		"VET021 cache.go",    // io under defer-held lock in Dump
-		"VET002 util.go",     // time.Now reachable from assign.Schedule
+		"VET010 allocbad.go",   // make in Grow
+		"VET011 allocbad.go",   // non-self append in Collect
+		"VET012 allocbad.go",   // closure in Deferred
+		"VET013 allocbad.go",   // boxing in Box
+		"VET014 allocbad.go",   // concat in Label
+		"VET010 bitset.go",     // make in Resize
+		"VET011 bitset.go",     // reslice-in-append in SnapshotCompact
+		"VET013 bitset.go",     // boxing return in OwnerOf
+		"VET001 assign.go",     // unordered map range in Sum
+		"VET002 assign.go",     // time.Now in Stamp
+		"VET002 assign.go",     // global rand in Jitter
+		"VET003 assign.go",     // two-way select in Race
+		"VET020 cache.go",      // send under lock in Put
+		"VET021 cache.go",      // io under defer-held lock in Dump
+		"VET002 util.go",       // time.Now reachable from assign.Schedule
+		"VET020 balance.go",    // dispatch send under placement lock in Place
+		"VET001 cachering.go",  // unordered map range in Points
+		"VET002 membership.go", // time.Now in Touch
 	}
 	sort.Strings(got)
 	sort.Strings(want)

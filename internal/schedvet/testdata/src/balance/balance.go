@@ -1,0 +1,41 @@
+// Package balance is a schedvet fixture: its import path ends in a
+// segment the default config holds to the lock discipline (but not
+// the nondet contract — the real balancer legitimately owns timers
+// and goroutines). One function seeds a channel send under the
+// placement mutex; the others are the sanctioned shapes.
+package balance
+
+import "sync"
+
+// Pool is a miniature of the real balancer's placement state: a mutex
+// guarding worker scores and a dispatch channel.
+type Pool struct {
+	mu       sync.Mutex
+	scores   map[string]int
+	dispatch chan string
+}
+
+// Place holds the placement lock across the dispatch send: the VET020
+// seed (a full dispatch queue would stall every placement).
+func (p *Pool) Place(id string) {
+	p.mu.Lock()
+	p.scores[id]++
+	p.dispatch <- id
+	p.mu.Unlock()
+}
+
+// PlaceOutside picks under the lock and dispatches after releasing
+// it: clean, the real balancer's idiom.
+func (p *Pool) PlaceOutside(id string) {
+	p.mu.Lock()
+	p.scores[id]++
+	p.mu.Unlock()
+	p.dispatch <- id
+}
+
+// Rescore mutates only guarded state under the lock: clean.
+func (p *Pool) Rescore(id string, score int) {
+	p.mu.Lock()
+	p.scores[id] = score
+	p.mu.Unlock()
+}

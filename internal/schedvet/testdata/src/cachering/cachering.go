@@ -1,0 +1,30 @@
+// Package cachering is a schedvet fixture: its import path ends in a
+// segment the default config lists as determinism-critical, proving
+// the consistent-hash ring is held to the mapiter contract. One
+// function seeds the unordered-map-range violation the real ring
+// avoids by working over sorted slices; the rest are the sanctioned
+// shapes.
+package cachering
+
+import "sort"
+
+// Fingerprint folds map entries in iteration order: the VET001 seed
+// (the fold is order-dependent, so map order leaks into the ring
+// identity; note a collect-only append body would be sanctioned).
+func Fingerprint(nodes map[string]int) int {
+	h := 0
+	for _, weight := range nodes {
+		h = h*31 + weight
+	}
+	return h
+}
+
+// SortedNodes collects then sorts: clean, the real ring's idiom.
+func SortedNodes(nodes map[string]int) []string {
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

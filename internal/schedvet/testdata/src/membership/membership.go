@@ -1,0 +1,31 @@
+// Package membership is a schedvet fixture: its import path ends in a
+// segment the default config lists as determinism-critical, proving
+// the fleet liveness table is held to the nondet contract. One
+// function seeds the wall-clock violation the real package avoids by
+// threading time in as a parameter; the rest are the sanctioned
+// shapes.
+package membership
+
+import "time"
+
+// Node is a miniature of the real table entry.
+type Node struct {
+	ID       string
+	LastSeen time.Time
+}
+
+// Touch reads the wall clock inside a critical package: the VET002
+// seed (the real table takes now as a parameter instead).
+func Touch(n *Node) {
+	n.LastSeen = time.Now()
+}
+
+// Observe threads time in as a parameter: clean, the real idiom.
+func Observe(n *Node, now time.Time) {
+	n.LastSeen = now
+}
+
+// Expired is pure given its inputs: clean.
+func Expired(n Node, now time.Time, after time.Duration) bool {
+	return now.Sub(n.LastSeen) > after
+}

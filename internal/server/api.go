@@ -124,6 +124,27 @@ type StatsResponse struct {
 	Sched         obs.Stats   `json:"sched"`
 }
 
+// FleetzResponse is the /fleetz heartbeat snapshot a clusterlb
+// balancer polls: the worker's identity, queue depth (Inflight out of
+// MaxInflight), and the cache picture with the per-shard breakdown.
+type FleetzResponse struct {
+	// ID is the worker's configured node identity (Config.NodeID).
+	ID            string  `json:"id"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Accepting is false only while the worker is draining.
+	Accepting bool `json:"accepting"`
+	// Inflight is the admitted-request depth the balancer's
+	// power-of-k-choices placement scores against.
+	Inflight    int   `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	Requests    int64 `json:"requests"`
+	Scheduled   int64 `json:"scheduled"`
+	Rejected    int64 `json:"rejected"`
+	// Cache includes the per-shard occupancy/eviction rows
+	// (cache.StatsDetail), so shard skew is visible fleet-wide.
+	Cache cache.Stats `json:"cache"`
+}
+
 // ErrorResponse is the body of every non-2xx JSON reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"testing"
+)
+
+const fleetDotDDG = `loop dotproduct
+node 0 load a[i]
+node 1 load b[i]
+node 2 fmul
+node 3 fadd s
+edge 0 2 0
+edge 1 2 0
+edge 2 3 0
+edge 3 3 1
+end
+`
+
+// TestKeyForRequestMatchesHandlerKey pins the contract the fleet's
+// ring routing stands on: the key the balancer computes for a request
+// is the key the worker's handler will look up.
+func TestKeyForRequestMatchesHandlerKey(t *testing.T) {
+	reqs := []ScheduleRequest{
+		{DDG: fleetDotDDG, Machine: "gp:2:2:1"},
+		{DDG: fleetDotDDG, Machine: "gp:2:2:1", Name: "override"},
+		{DDG: fleetDotDDG, Machine: "fs:4:4:2", Variant: "simple", Scheduler: "sms"},
+		{DDG: fleetDotDDG, Machine: "gp:2:2:1", BudgetPerNode: 9, MaxIISlack: 3},
+	}
+	s := New(Config{})
+	for _, req := range reqs {
+		m, opts, optID, err := s.resolveCommon(req.Machine, req.Variant, req.Scheduler, req.BudgetPerNode, req.MaxIISlack)
+		if err != nil {
+			t.Fatalf("resolveCommon(%+v): %v", req, err)
+		}
+		loops, err := parseLoops(req.DDG, req.Source)
+		if err != nil {
+			t.Fatalf("parseLoops: %v", err)
+		}
+		job := s.buildJob(req.Name, req.Machine, loops[0], m, opts, optID)
+		key, err := KeyForRequest(req)
+		if err != nil {
+			t.Fatalf("KeyForRequest(%+v): %v", req, err)
+		}
+		if key != job.key {
+			t.Errorf("KeyForRequest = %s, handler key = %s (req %+v)", key, job.key, req)
+		}
+	}
+}
+
+// TestKeyForRequestRejectsWhatTheHandlerRejects: requests the handler
+// would refuse yield an error, not a bogus routing key.
+func TestKeyForRequestRejects(t *testing.T) {
+	bad := []ScheduleRequest{
+		{DDG: fleetDotDDG},                                            // no machine
+		{Machine: "gp:2:2:1"},                                         // no loop
+		{DDG: fleetDotDDG, Machine: "nonsense"},                       // bad machine
+		{DDG: fleetDotDDG, Machine: "gp:2:2:1", Variant: "wat"},       // bad variant
+		{DDG: fleetDotDDG, Machine: "gp:2:2:1", Scheduler: "wat"},     // bad scheduler
+		{DDG: fleetDotDDG + fleetDotDDG, Machine: "gp:2:2:1"},         // two loops
+		{DDG: fleetDotDDG, Source: "loop x { }", Machine: "gp:2:2:1"}, // both payloads
+	}
+	for _, req := range bad {
+		if key, err := KeyForRequest(req); err == nil {
+			t.Errorf("KeyForRequest(%+v) = %s, want error", req, key)
+		}
+	}
+}

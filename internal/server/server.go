@@ -69,6 +69,9 @@ type Config struct {
 	// run the server executes. It is shared across concurrent runs and
 	// must be safe for concurrent use.
 	Observer obs.Observer
+	// NodeID identifies this worker inside a clusterlb fleet; it is
+	// reported on /fleetz. Empty is fine for a standalone daemon.
+	NodeID string
 }
 
 // Server is the daemon's http.Handler. Create one with New.
@@ -104,6 +107,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc(apiPrefix+"/lint", s.handleLint)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/fleetz", s.handleFleetz)
 	return s
 }
 
@@ -240,13 +244,37 @@ func (s *Server) resolveCommon(machineSpec, variant, scheduler string, budget, s
 	}
 	// The cache identity must cover everything that changes the
 	// response body; the timeout and observer do not.
-	id := []string{
+	return m, opts, optionIdentity(variant, scheduler, budget, slack), nil
+}
+
+// optionIdentity is the option part of the cache identity. It is
+// shared with KeyForRequest so the balancer's ring routing and the
+// handler's cache lookup can never disagree on a key.
+func optionIdentity(variant, scheduler string, budget, slack int) []string {
+	if variant == "" {
+		variant = "heuristic-iterative"
+	}
+	if scheduler == "" {
+		scheduler = "ims"
+	}
+	return []string{
 		strings.ToLower(variant),
 		strings.ToLower(scheduler),
 		fmt.Sprintf("budget=%d", budget),
 		fmt.Sprintf("slack=%d", slack),
 	}
-	return m, opts, id, nil
+}
+
+// nameFor resolves the response (and cache-identity) name of a loop:
+// the request override, then the loop's own name, then "loop".
+func nameFor(reqName, loopName string) string {
+	if reqName != "" {
+		return reqName
+	}
+	if loopName != "" {
+		return loopName
+	}
+	return "loop"
 }
 
 // parseLoops loads the request's loops from exactly one of the ddg
@@ -281,12 +309,7 @@ func parseLoops(ddgText, source string) ([]ddgio.NamedGraph, error) {
 
 // buildJob resolves one loop into a runnable, cacheable job.
 func (s *Server) buildJob(name, machineSpec string, loop ddgio.NamedGraph, m *clustersched.Machine, opts []clustersched.Option, optID []string) scheduleJob {
-	if name == "" {
-		name = loop.Name
-	}
-	if name == "" {
-		name = "loop"
-	}
+	name = nameFor(name, loop.Name)
 	id := append([]string{name}, optID...)
 	return scheduleJob{
 		name:        name,
@@ -566,7 +589,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Scheduled:     s.scheduled.Load(),
 		Rejected:      s.rejected.Load(),
 		Inflight:      len(s.sem),
-		Cache:         s.cache.Stats(),
+		Cache:         s.cache.StatsDetail(),
 		Sched:         s.schedSnapshot(),
 	})
 }

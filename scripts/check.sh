@@ -26,5 +26,10 @@ go test -run xxx -bench 'BenchmarkRunBatch|BenchmarkSessionSchedule' -benchtime 
 # suite. The loose tolerance keeps a time-shared host from flaking the
 # tier-1 gate; the strict 10% gate is  sh scripts/bench.sh -baseline.
 go run ./cmd/clusterbench -baseline -count 60 -benchreps 2 -basetol 5.0
+# Fleet kill-a-worker smoke: the multi-process e2e boots a clusterlb
+# over three real clusterd processes, SIGKILLs one mid-load, and
+# requires every reply to complete byte-identical to a single-node
+# oracle with the survivors' caches still warm.
+go test -run TestFleetKillWorkerEndToEnd -count=1 ./internal/fleettest/
 sh scripts/lint.sh
 echo "check: OK"
