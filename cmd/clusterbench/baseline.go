@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"clustersched/internal/assign"
@@ -26,8 +27,9 @@ import (
 // committedAssign is the subset of BENCH_assign.json the gate reads.
 type committedAssign struct {
 	Rows []struct {
-		Machine string `json:"machine"`
-		NSPerOp int64  `json:"ns_per_op"`
+		Machine     string `json:"machine"`
+		NSPerOp     int64  `json:"ns_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
 	} `json:"rows"`
 }
 
@@ -35,11 +37,12 @@ type committedAssign struct {
 // reads; workers and warm_start pin the fresh run to the committed
 // configuration so the comparison is like for like.
 type committedPipeline struct {
-	Scheduled int   `json:"scheduled"`
-	Workers   int   `json:"workers"`
-	WarmStart bool  `json:"warm_start"`
-	NSPerOp   int64 `json:"ns_per_op"`
-	Stats     struct {
+	Scheduled   int   `json:"scheduled"`
+	Workers     int   `json:"workers"`
+	WarmStart   bool  `json:"warm_start"`
+	NSPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Stats       struct {
 		AssignNS int64 `json:"assign_ns"`
 	} `json:"stats"`
 }
@@ -77,6 +80,11 @@ func baselineRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Sch
 			what, fresh, base, float64(fresh)/float64(base), limit, verdict)
 	}
 
+	committedAllocs := make(map[string]int64, len(ca.Rows))
+	for _, r := range ca.Rows {
+		committedAllocs[r.Machine] = r.AllocsPerOp
+	}
+
 	for _, m := range assignMachines() {
 		base, ok := committed[m.Name]
 		if !ok {
@@ -86,18 +94,27 @@ func baselineRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Sch
 		if err != nil {
 			return err
 		}
-		check("assign "+m.Name+" ns_per_op", fresh, base)
+		check("assign "+m.Name+" ns_per_op", fresh.nsPerOp, base)
+		// Allocation counts are deterministic, so they get the same
+		// multiplicative gate; a committed 0 means the field predates
+		// the measurement and is skipped.
+		if base := committedAllocs[m.Name]; base > 0 {
+			check("assign "+m.Name+" allocs_per_op", fresh.allocsPerOp, base)
+		}
 	}
 
-	nsPerOp, assignNS, scheduled, err := measurePipeline(ctx, loops, scheduler, cp.Workers, cp.WarmStart, reps)
+	fresh, err := measurePipeline(ctx, loops, scheduler, cp.Workers, cp.WarmStart, reps)
 	if err != nil {
 		return err
 	}
-	check("pipeline ns_per_op", nsPerOp, cp.NSPerOp)
+	check("pipeline ns_per_op", fresh.nsPerOp, cp.NSPerOp)
+	if cp.AllocsPerOp > 0 {
+		check("pipeline allocs_per_op", fresh.allocsPerOp, cp.AllocsPerOp)
+	}
 	// assign_ns is a suite total, so scale the committed number to the
 	// fresh run's scheduled-loop count (they differ when -count does).
 	if cp.Scheduled > 0 {
-		check("pipeline assign_ns", assignNS, cp.Stats.AssignNS*int64(scheduled)/int64(cp.Scheduled))
+		check("pipeline assign_ns", fresh.assignNS, cp.Stats.AssignNS*int64(fresh.scheduled)/int64(cp.Scheduled))
 	}
 
 	if failed {
@@ -106,40 +123,76 @@ func baselineRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Sch
 	return nil
 }
 
+// measurement is one suite's fastest-pass numbers: wall-clock and the
+// runtime allocation counters, both per scheduled/assigned loop. The
+// allocation counters come from runtime.ReadMemStats deltas taken
+// outside the timing window (Mallocs and TotalAlloc are monotonic, so
+// GC activity cannot deflate them), and like the timings each is the
+// minimum across passes — the least-interfered estimate.
+type measurement struct {
+	nsPerOp     int64
+	allocsPerOp int64
+	bytesPerOp  int64
+	assignNS    int64
+	scheduled   int
+}
+
+// memCounters snapshots the cumulative allocation counters.
+func memCounters() (mallocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
 // measureAssign times the assignment-only suite on one machine,
-// returning the fastest-pass ns per assigned loop.
-func measureAssign(ctx context.Context, loops []*ddg.Graph, m *machine.Config, reps int) (int64, error) {
+// returning the fastest-pass ns and allocations per assigned loop.
+func measureAssign(ctx context.Context, loops []*ddg.Graph, m *machine.Config, reps int) (measurement, error) {
 	iis := make([]int, len(loops))
 	for i, g := range loops {
 		iis[i] = mii.MII(g, m)
 	}
+	var out measurement
 	var best time.Duration
+	var bestAllocs, bestBytes uint64
 	assigned := 0
 	for r := 0; r < reps; r++ {
 		n := 0
+		m0, b0 := memCounters()
 		start := time.Now()
 		for i, g := range loops {
 			if ctx.Err() != nil {
-				return 0, ctx.Err()
+				return out, ctx.Err()
 			}
 			if _, ok := assign.Run(g, m, iis[i], assign.Options{Variant: assign.HeuristicIterative}); ok {
 				n++
 			}
 		}
-		if d := time.Since(start); r == 0 || d < best {
+		d := time.Since(start)
+		m1, b1 := memCounters()
+		if r == 0 || d < best {
 			best = d
+		}
+		if r == 0 || m1-m0 < bestAllocs {
+			bestAllocs = m1 - m0
+		}
+		if r == 0 || b1-b0 < bestBytes {
+			bestBytes = b1 - b0
 		}
 		assigned = n
 	}
 	if assigned == 0 {
-		return 0, fmt.Errorf("baseline: no loop assigned on %s", m.Name)
+		return out, fmt.Errorf("baseline: no loop assigned on %s", m.Name)
 	}
-	return best.Nanoseconds() / int64(assigned), nil
+	out.nsPerOp = best.Nanoseconds() / int64(assigned)
+	out.allocsPerOp = int64(bestAllocs) / int64(assigned)
+	out.bytesPerOp = int64(bestBytes) / int64(assigned)
+	return out, nil
 }
 
 // measurePipeline times the full-pipeline suite in the committed
-// configuration, returning the fastest-pass ns/op and assign_ns.
-func measurePipeline(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Scheduler, workers int, warm bool, reps int) (nsPerOp, assignNS int64, scheduled int, err error) {
+// configuration, returning the fastest-pass ns/op, allocation
+// counters, and assign_ns.
+func measurePipeline(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Scheduler, workers int, warm bool, reps int) (measurement, error) {
 	popts := pipeline.Options{
 		Assign:           assign.Options{Variant: assign.HeuristicIterative},
 		Scheduler:        scheduler,
@@ -149,14 +202,18 @@ func measurePipeline(ctx context.Context, loops []*ddg.Graph, scheduler pipeline
 	if workers <= 0 {
 		workers = 1
 	}
+	var out measurement
 	var best time.Duration
 	var bestAssign int64
+	var bestAllocs, bestBytes uint64
 	for r := 0; r < reps; r++ {
+		m0, b0 := memCounters()
 		start := time.Now()
 		results := pipeline.RunBatch(ctx, loops, m2c(), popts, workers)
 		d := time.Since(start)
+		m1, b1 := memCounters()
 		if ctx.Err() != nil {
-			return 0, 0, 0, ctx.Err()
+			return out, ctx.Err()
 		}
 		var agg obs.Stats
 		n := 0
@@ -173,12 +230,22 @@ func measurePipeline(ctx context.Context, loops []*ddg.Graph, scheduler pipeline
 		if a := int64(agg.AssignTime); r == 0 || a < bestAssign {
 			bestAssign = a
 		}
-		scheduled = n
+		if r == 0 || m1-m0 < bestAllocs {
+			bestAllocs = m1 - m0
+		}
+		if r == 0 || b1-b0 < bestBytes {
+			bestBytes = b1 - b0
+		}
+		out.scheduled = n
 	}
-	if scheduled == 0 {
-		return 0, 0, 0, fmt.Errorf("baseline: no loop scheduled")
+	if out.scheduled == 0 {
+		return out, fmt.Errorf("baseline: no loop scheduled")
 	}
-	return best.Nanoseconds() / int64(scheduled), bestAssign, scheduled, nil
+	out.nsPerOp = best.Nanoseconds() / int64(out.scheduled)
+	out.allocsPerOp = int64(bestAllocs) / int64(out.scheduled)
+	out.bytesPerOp = int64(bestBytes) / int64(out.scheduled)
+	out.assignNS = bestAssign
+	return out, nil
 }
 
 // assignMachines is the machine set of the assignment suite, shared

@@ -10,7 +10,7 @@ import (
 // modeFlags are the mutually exclusive run modes of clusterbench; the
 // first one the dispatch chain in main recognizes wins, so naming two
 // would silently ignore the rest.
-var modeFlags = []string{"table1", "server", "fleet", "benchjson", "assignjson", "baseline", "markdown", "livermore", "registers"}
+var modeFlags = []string{"table1", "server", "fleet", "benchjson", "assignjson", "baseline", "trend", "markdown", "livermore", "registers"}
 
 // flagConflicts validates the combination of explicitly-set flags,
 // returning coded diagnostics (CLI001..CLI004, catalogued in
@@ -62,12 +62,12 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 		}
 	}
 
-	if set["benchreps"] && !set["benchjson"] && !set["baseline"] && !set["fleet"] {
+	if set["benchreps"] && !set["benchjson"] && !set["baseline"] && !set["fleet"] && !set["trend"] {
 		diags = append(diags, diag.Diagnostic{
 			Code:     "CLI004",
 			Severity: diag.Error,
-			Message:  "-benchreps has no effect without -benchjson, -baseline, or -fleet",
-			Fix:      "add -benchjson, -baseline, or -fleet, or drop -benchreps",
+			Message:  "-benchreps has no effect without -benchjson, -baseline, -fleet, or -trend",
+			Fix:      "add -benchjson, -baseline, -fleet, or -trend, or drop -benchreps",
 		})
 	}
 
@@ -77,6 +77,15 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 			Severity: diag.Error,
 			Message:  "-basetol has no effect without -baseline or -fleet",
 			Fix:      "add -baseline or -fleet, or drop -basetol",
+		})
+	}
+
+	if set["trendsha"] && !set["trend"] {
+		diags = append(diags, diag.Diagnostic{
+			Code:     "CLI006",
+			Severity: diag.Error,
+			Message:  "-trendsha has no effect without -trend",
+			Fix:      "add -trend, or drop -trendsha",
 		})
 	}
 

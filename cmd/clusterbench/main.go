@@ -13,6 +13,7 @@
 //	clusterbench -trace ev.json  # stream every pipeline event as JSON lines
 //	clusterbench -benchjson      # time the pipeline over the suite, emit JSON
 //	clusterbench -assignjson     # time cluster assignment alone, emit JSON
+//	clusterbench -trend -trendsha abc1234   # emit dated trend rows for BENCH_TREND.jsonl
 //	clusterbench -cpuprofile p.out -assignjson   # profile a run with pprof
 //	clusterbench -server http://127.0.0.1:8425   # replay the suite against clusterd
 //
@@ -70,6 +71,8 @@ func main() {
 		serverURL  = flag.String("server", "", "replay the suite against a running clusterd at this base URL (cold pass then cached pass) and emit a JSON summary")
 		fleetURL   = flag.String("fleet", "", "replay the suite through a running clusterlb at this base URL and emit a JSON summary with latency quantiles and hedge counters; diffs against a committed BENCH_fleet.json under -basetol")
 		assignjson = flag.Bool("assignjson", false, "time cluster assignment alone (no scheduling) over the suite on several machines and emit a JSON summary")
+		trend      = flag.Bool("trend", false, "re-measure the assignment and pipeline suites and emit dated JSON lines (one per suite) for appending to BENCH_TREND.jsonl")
+		trendsha   = flag.String("trendsha", "", "git SHA recorded in the -trend rows (bench.sh passes git rev-parse --short HEAD)")
 		baseline   = flag.Bool("baseline", false, "re-run the assignment and pipeline suites and diff against the committed BENCH_assign.json / BENCH_pipeline.json; non-zero exit on regression past -basetol")
 		basetol    = flag.Float64("basetol", 0.10, "allowed fractional regression for -baseline (0.10 = 10%)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -157,6 +160,13 @@ func main() {
 
 	if *assignjson {
 		if err := assignJSON(ctx, loops); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *trend {
+		if err := trendRun(ctx, loops, opts.Scheduler, *workers, warm, *benchreps, *trendsha); err != nil {
 			fatal(err)
 		}
 		return
@@ -301,12 +311,23 @@ func benchJSON(ctx context.Context, loops []*ddg.Graph, opts experiments.Options
 	var (
 		results []pipeline.BatchResult
 		elapsed time.Duration
+		allocs  uint64
+		bytes   uint64
 	)
 	for r := 0; r < reps; r++ {
+		m0, b0 := memCounters()
 		start := time.Now()
 		results = pipeline.RunBatch(ctx, loops, m, popts, workers)
-		if d := time.Since(start); r == 0 || d < elapsed {
+		d := time.Since(start)
+		m1, b1 := memCounters()
+		if r == 0 || d < elapsed {
 			elapsed = d
+		}
+		if r == 0 || m1-m0 < allocs {
+			allocs = m1 - m0
+		}
+		if r == 0 || b1-b0 < bytes {
+			bytes = b1 - b0
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -322,16 +343,18 @@ func benchJSON(ctx context.Context, loops []*ddg.Graph, opts experiments.Options
 		scheduled++
 	}
 	summary := struct {
-		Name      string    `json:"name"`
-		Machine   string    `json:"machine"`
-		Loops     int       `json:"loops"`
-		Scheduled int       `json:"scheduled"`
-		Workers   int       `json:"workers"`
-		WarmStart bool      `json:"warm_start"`
-		Reps      int       `json:"reps"`
-		TotalNS   int64     `json:"total_ns"`
-		NSPerOp   int64     `json:"ns_per_op"`
-		Stats     obs.Stats `json:"stats"`
+		Name        string    `json:"name"`
+		Machine     string    `json:"machine"`
+		Loops       int       `json:"loops"`
+		Scheduled   int       `json:"scheduled"`
+		Workers     int       `json:"workers"`
+		WarmStart   bool      `json:"warm_start"`
+		Reps        int       `json:"reps"`
+		TotalNS     int64     `json:"total_ns"`
+		NSPerOp     int64     `json:"ns_per_op"`
+		AllocsPerOp int64     `json:"allocs_per_op"`
+		BytesPerOp  int64     `json:"bytes_per_op"`
+		Stats       obs.Stats `json:"stats"`
 	}{
 		Name:      "pipeline_suite",
 		Machine:   m.Name,
@@ -345,6 +368,8 @@ func benchJSON(ctx context.Context, loops []*ddg.Graph, opts experiments.Options
 	}
 	if scheduled > 0 {
 		summary.NSPerOp = elapsed.Nanoseconds() / int64(scheduled)
+		summary.AllocsPerOp = int64(allocs) / int64(scheduled)
+		summary.BytesPerOp = int64(bytes) / int64(scheduled)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -456,6 +481,8 @@ func assignJSON(ctx context.Context, loops []*ddg.Graph) error {
 		Assigned    int    `json:"assigned"`
 		TotalNS     int64  `json:"total_ns"`
 		NSPerOp     int64  `json:"ns_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
 		Commits     int    `json:"assign_commits"`
 		Evictions   int    `json:"evictions"`
 		Deltas      int    `json:"assign_deltas"`
@@ -473,6 +500,7 @@ func assignJSON(ctx context.Context, loops []*ddg.Graph) error {
 		}
 		tr := obs.New(ctx, nil, true)
 		assigned := 0
+		m0, b0 := memCounters()
 		start := time.Now()
 		for i, g := range loops {
 			if ctx.Err() != nil {
@@ -485,6 +513,7 @@ func assignJSON(ctx context.Context, loops []*ddg.Graph) error {
 			}
 		}
 		elapsed := time.Since(start)
+		m1, b1 := memCounters()
 		r := row{
 			Machine:     m.Name,
 			Loops:       len(loops),
@@ -497,6 +526,8 @@ func assignJSON(ctx context.Context, loops []*ddg.Graph) error {
 		}
 		if assigned > 0 {
 			r.NSPerOp = elapsed.Nanoseconds() / int64(assigned)
+			r.AllocsPerOp = int64(m1-m0) / int64(assigned)
+			r.BytesPerOp = int64(b1-b0) / int64(assigned)
 		}
 		summary.Rows = append(summary.Rows, r)
 	}

@@ -49,6 +49,9 @@ func TestFlagConflicts(t *testing.T) {
 		{"fleet keeps scheduler", []string{"fleet", "scheduler"}, nil},
 		{"fleet with cpuprofile", []string{"fleet", "cpuprofile"}, []string{"CLI002"}},
 		{"fleet with another mode", []string{"fleet", "server"}, []string{"CLI001"}},
+		{"trend with its own options", []string{"trend", "trendsha", "benchreps"}, nil},
+		{"trend with another mode", []string{"trend", "baseline"}, []string{"CLI001"}},
+		{"trendsha without trend", []string{"trendsha"}, []string{"CLI006"}},
 		{"stacked", []string{"server", "benchjson", "cpuprofile"}, []string{"CLI001", "CLI002"}},
 	}
 	for _, tc := range cases {

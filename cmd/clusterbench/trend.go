@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"time"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/pipeline"
+)
+
+// Trend mode (scripts/bench.sh -trend): re-measure the assignment and
+// pipeline suites exactly like -baseline, but instead of diffing
+// against the committed JSONs, emit one compact JSON line per suite —
+// date, git SHA, suite name, ns/op — for appending to
+// BENCH_TREND.jsonl. The committed baseline files answer "did this
+// change regress?"; the trend log answers "where did the time go over
+// the project's history", one dated row per bench run per suite.
+
+// trendRow is one BENCH_TREND.jsonl line.
+type trendRow struct {
+	Date    string `json:"date"`
+	SHA     string `json:"sha"`
+	Suite   string `json:"suite"`
+	NSPerOp int64  `json:"ns_per_op"`
+}
+
+// trendRun measures every suite of the baseline gate and writes the
+// dated JSONL rows to stdout. sha is recorded verbatim (bench.sh
+// passes git rev-parse --short HEAD); the date is UTC so rows sort
+// the same no matter which host appended them.
+func trendRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Scheduler, workers int, warm bool, reps int, sha string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	date := time.Now().UTC().Format("2006-01-02")
+	enc := json.NewEncoder(os.Stdout)
+
+	for _, m := range assignMachines() {
+		fresh, err := measureAssign(ctx, loops, m, reps)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(trendRow{
+			Date: date, SHA: sha, Suite: "assign/" + m.Name, NSPerOp: fresh.nsPerOp,
+		}); err != nil {
+			return err
+		}
+	}
+
+	fresh, err := measurePipeline(ctx, loops, scheduler, workers, warm, reps)
+	if err != nil {
+		return err
+	}
+	return enc.Encode(trendRow{
+		Date: date, SHA: sha, Suite: "pipeline", NSPerOp: fresh.nsPerOp,
+	})
+}

@@ -51,9 +51,10 @@ type engine struct {
 	// needed is "back to the start of this apply".
 	capSave *mrt.Capacity
 
-	copies int
-	recs   [][]eRecord
-	tgts   [][]int // backing store for record targets, per producer
+	copies  int
+	recs    [][]eRecord
+	tgts    [][]int   // backing store for record targets, per producer
+	recBack []eRecord // pre-sized backing recs[p] sub-slices are carved from
 
 	usc     []int
 	contrib []int
@@ -80,29 +81,71 @@ type eRecord struct {
 	n    int
 }
 
-// newEngine builds an engine for a's (initially empty) assignment.
+// newEngine allocates the machine-sized half of an engine — the
+// capacity table and its rollback snapshot, both II-retargetable in
+// place. The per-graph arrays are carved from the assigner's slab by
+// bindSlab, and the caller (assigner.bind) runs the initial rebuild.
 func newEngine(a *assigner) *engine {
-	v := a.g.NumNodes()
-	c := a.m.NumClusters()
-	e := &engine{
+	return &engine{
 		a:       a,
 		cap:     mrt.NewCapacity(a.m, a.ii),
-		recs:    make([][]eRecord, v),
-		tgts:    make([][]int, v),
-		usc:     make([]int, v),
-		contrib: make([]int, v),
-		pcrSum:  make([]int, c),
-		inRef:   make([]int, c*v),
-		picCnt:  make([]int, c),
-		tgtMark: make([]int, c),
-		avMark:  make([]int, c),
-		tBuf:    make([]int, 0, c),
+		capSave: mrt.NewCapacity(a.m, a.ii),
 	}
-	e.capSave = mrt.NewCapacity(a.m, a.ii)
-	if !e.rebuild() {
-		panic("assign: engine rebuild failed on empty assignment")
+}
+
+// bindSlab re-carves the engine's per-graph arrays for a graph of v
+// nodes on a machine of c clusters, taking slices from the assigner's
+// slab. Mark buffers are zeroed and their epochs reset (the
+// slab may hold stale stamps a fresh counter would collide with);
+// everything else is (re)initialized by the rebuild that follows.
+//
+// The record stores are pre-sized to their worst case so the record
+// walk never allocates, even cold: a producer reserves at most c-1
+// copy records (point-to-point routing adds one per newly reached
+// cluster) holding at most c-1 target entries in total (a broadcast
+// machine makes one record carrying every target). Each producer gets
+// a fixed-capacity three-index sub-slice of one backing store, so an
+// append can never bleed into a neighbour's region — if the bound were
+// ever exceeded, append would fall back to a fresh backing array,
+// trading the no-alloc property for unchanged correctness.
+func (e *engine) bindSlab(v, c int) {
+	a := e.a
+	e.usc = a.carve(v)
+	e.contrib = a.carve(v)
+	e.pcrSum = a.carve(c)
+	e.inRef = a.carve(c * v)
+	e.picCnt = a.carve(c)
+	e.tgtMark = a.carve(c)
+	e.avMark = a.carve(c)
+	for i := 0; i < c; i++ {
+		e.tgtMark[i] = 0
+		e.avMark[i] = 0
 	}
-	return e
+	e.tEpoch = 0
+	e.avEpoch = 0
+	e.tBuf = a.carve(c)[:0]
+
+	cm1 := c - 1
+	tback := a.carve(v * cm1)
+	if cap(e.recs) < v || oversized(cap(e.recs), v) {
+		e.recs = make([][]eRecord, v)
+		e.tgts = make([][]int, v)
+	}
+	e.recs = e.recs[:v]
+	e.tgts = e.tgts[:v]
+	e.recBack = ensureRecs(e.recBack, v*cm1)
+	for p := 0; p < v; p++ {
+		e.tgts[p] = tback[p*cm1 : p*cm1 : (p+1)*cm1]
+		e.recs[p] = e.recBack[p*cm1 : p*cm1 : (p+1)*cm1]
+	}
+}
+
+// ensureRecs is the eRecord analogue of ensureInts.
+func ensureRecs(buf []eRecord, n int) []eRecord {
+	if cap(buf) < n || oversized(cap(buf), n) {
+		return make([]eRecord, n)
+	}
+	return buf[:n]
 }
 
 // reset returns the engine to its freshly built state at a new II: the
@@ -110,6 +153,8 @@ func newEngine(a *assigner) *engine {
 // recomputed for the (empty) cluster vector, which the caller must
 // have cleared first. Counted as a full derive, exactly like the
 // rebuild newEngine performs.
+//
+//schedvet:alloc-free callees
 func (e *engine) reset(ii int) {
 	e.cap.ResetII(ii)
 	if !e.rebuild() {

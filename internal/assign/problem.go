@@ -33,6 +33,24 @@ func NewProblem(g *ddg.Graph, m *machine.Config, opts Options) *Problem {
 	return &Problem{a: newAssigner(g, m, 1, opts)}
 }
 
+// Bind re-targets the problem at a new graph on the same machine and
+// options, reusing every slab, capacity table, and scratch the
+// previous graph grew. It is the cross-loop analogue of the per-II
+// reset: a session scheduling many loops rebinds one Problem per loop
+// instead of constructing one, and construction itself is a Bind from
+// the empty state, so a rebound Problem behaves exactly like a fresh
+// one. Any Partial slice handed out for the previous graph is
+// invalidated.
+//
+// The rebound problem is re-targeted at the same placeholder II a
+// NewProblem starts from, so the first RunAt performs (and traces)
+// the identical reset a freshly constructed problem would — pooling a
+// problem changes allocation counts, never stats or outcomes.
+func (p *Problem) Bind(g *ddg.Graph) {
+	p.a.bind(g, 1)
+	p.ranOnce = false
+}
+
 // problemAt builds a problem already targeted at ii, so a single
 // one-shot run (Run) performs exactly one engine build.
 func problemAt(g *ddg.Graph, m *machine.Config, ii int, opts Options) *Problem {

@@ -1,9 +1,12 @@
 package assign
 
 import (
+	"fmt"
+
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 	"clustersched/internal/mrt"
+	"clustersched/internal/obs"
 	"clustersched/internal/order"
 )
 
@@ -85,98 +88,220 @@ type assigner struct {
 	// most one derived at a time (deriveScratch). Sites that compare
 	// two deriveds or let records escape allocate fresh via derive().
 	scratchD *derived
+
+	// scratchRC is the slab-carved backing of scratchD.rc; bind re-points
+	// the derived at it so the scratch survives re-targeting the
+	// assigner at a new graph.
+	scratchRC []int
+
+	// slabInts backs every per-graph []int above (including the
+	// engine's); bind re-carves it for each graph, so re-targeting a
+	// session-owned Problem at a new loop costs at most one slab
+	// reallocation instead of one per field. carveOff is the carve
+	// cursor, meaningful only during bind.
+	slabInts []int
+	carveOff int
+
+	// ord holds the swing-ordering scratch; prio aliases its buffers
+	// between binds.
+	ord order.Scratch
+
+	// ctorTrace is the trace the assigner was constructed with. bind
+	// restores it so a rebound problem traces its construction rebuild
+	// exactly like a fresh one would, instead of into whatever per-run
+	// trace the previous RunAt installed.
+	ctorTrace *obs.Trace
 }
 
-// newAssigner builds the run state: cluster vector, SCC index, CSR
-// adjacency, SCC member lists, machine topology tables, and — unless
-// the run is in reference mode — the incremental engine.
+// newAssigner builds the run state: the machine-sized buffers and
+// topology tables once, then bind carves the per-graph state — cluster
+// vector, SCC index, CSR adjacency, SCC member lists, and — unless the
+// run is in reference mode — the incremental engine.
 func newAssigner(g *ddg.Graph, m *machine.Config, ii int, opts Options) *assigner {
-	a := &assigner{
-		g:      g,
-		m:      m,
-		ii:     ii,
-		opts:   opts,
-		budget: opts.budget(g.NumNodes()),
-	}
-	comps := g.NonTrivialSCCs()
-	a.sccOf = ddg.SCCIndex(g.NumNodes(), comps)
-	a.sccMembers = make([][]int, len(comps))
-	for i, c := range comps {
-		a.sccMembers[i] = c.Nodes
-	}
-
-	// Every []int working array is carved out of one slab, so building
-	// an assigner costs a handful of allocations rather than one per
-	// field.
-	v := g.NumNodes()
+	a := &assigner{m: m, opts: opts, ctorTrace: opts.Trace}
 	c := m.NumClusters()
-	adjTotal := 0
-	for n := 0; n < v; n++ {
-		adjTotal += len(g.Successors(n)) + len(g.Predecessors(n))
-	}
-	slab := make([]int, 5*v+2+adjTotal+c+2*v)
-	carve := func(n int) []int {
-		s := slab[:n:n]
-		slab = slab[n:]
-		return s
-	}
-	a.cluster = carve(v)
-	a.assignSeq = carve(v)
-	a.prevMask = make([]uint64, v)
-	for i := range a.cluster {
-		a.cluster[i] = -1
-	}
-
-	a.succOff = carve(v + 1)
-	a.predOff = carve(v + 1)
-	a.succAdj = slab[:0]
-	for n := 0; n < v; n++ {
-		a.succAdj = append(a.succAdj, g.Successors(n)...)
-		a.succOff[n+1] = len(a.succAdj)
-	}
-	slab = slab[len(a.succAdj):]
-	a.predAdj = slab[:0]
-	for n := 0; n < v; n++ {
-		a.predAdj = append(a.predAdj, g.Predecessors(n)...)
-		a.predOff[n+1] = len(a.predAdj)
-	}
-	slab = slab[len(a.predAdj):]
-
 	a.topo = machine.TopologyOf(m)
-
 	a.cands = make([]candidate, c)
 	a.listBuf = make([]int, 0, c)
 	a.fpBuf = make([]int, 0, c)
 	a.fuOwners = make([][]int, c*int(machine.NumFUClasses))
-	a.chMark = carve(c)
-	a.victimMark = carve(v)
-	a.victimBuf = slab[0:0:v]
-	slab = slab[v:]
-	a.consBuf = slab[0:0:v]
-	slab = slab[v:]
+	a.bind(g, ii)
+	return a
+}
 
-	if m.Clustered() {
-		if opts.NaiveOrdering {
-			a.prio = make([]int, v)
-			for i := range a.prio {
-				a.prio[i] = i
-			}
-		} else {
-			a.prio = order.Compute(g, m.Latency)
+// bind re-targets the assigner at a new graph, re-carving every
+// per-graph working array — its own and the engine's — out of the one
+// reusable int slab. Construction is bind from an empty assigner, and
+// a session-owned Problem rebinds instead of reconstructing, so across
+// many loops the whole per-graph state costs at most one slab regrowth
+// (or a shrink when the previous loop was much larger). Epoch-stamped
+// mark buffers are zeroed and their epochs reset here: the slab may
+// hold stale stamps from the previous graph that a fresh epoch counter
+// would otherwise collide with.
+func (a *assigner) bind(g *ddg.Graph, ii int) {
+	a.g = g
+	a.ii = ii
+	a.opts.Trace = a.ctorTrace
+	a.seq = 0
+	a.budget = a.opts.budget(g.NumNodes())
+	a.hasPartial = false
+	a.chEpoch = 0
+	a.vEpoch = 0
+
+	comps := g.NonTrivialSCCs()
+	a.sccMembers = a.sccMembers[:0]
+	for _, c := range comps {
+		a.sccMembers = append(a.sccMembers, c.Nodes)
+	}
+
+	v := g.NumNodes()
+	c := a.m.NumClusters()
+	adjTotal := 0
+	for n := 0; n < v; n++ {
+		adjTotal += len(g.Successors(n)) + len(g.Predecessors(n))
+	}
+	naive := a.m.Clustered() && a.opts.NaiveOrdering
+	useEngine := !a.opts.scratchEval && a.m.Clustered()
+
+	total := 10*v + 2 + adjTotal + c
+	if naive {
+		total += v
+	}
+	if useEngine {
+		total += 2*v + c*v + 5*c + v*(c-1)
+	}
+	a.slabInts = ensureInts(a.slabInts, total)
+	a.carveOff = 0
+
+	a.cluster = a.carve(v)
+	a.assignSeq = a.carve(v)
+	for i := range a.cluster {
+		a.cluster[i] = -1
+		a.assignSeq[i] = 0
+	}
+	a.prevMask = ensureU64(a.prevMask, v)
+	for i := range a.prevMask {
+		a.prevMask[i] = 0
+	}
+
+	a.sccOf = a.carve(v)
+	for i := range a.sccOf {
+		a.sccOf[i] = -1
+	}
+	for ci, comp := range comps {
+		for _, n := range comp.Nodes {
+			a.sccOf[n] = ci
 		}
 	}
 
-	if !opts.scratchEval && m.Clustered() {
-		a.eng = newEngine(a)
+	a.succOff = a.carve(v + 1)
+	a.predOff = a.carve(v + 1)
+	a.succOff[0], a.predOff[0] = 0, 0
+	adj := a.carve(adjTotal)
+	idx := 0
+	for n := 0; n < v; n++ {
+		idx += copy(adj[idx:], g.Successors(n))
+		a.succOff[n+1] = idx
 	}
-	return a
+	a.succAdj = adj[:idx:idx]
+	pbase := idx
+	for n := 0; n < v; n++ {
+		idx += copy(adj[idx:], g.Predecessors(n))
+		a.predOff[n+1] = idx - pbase
+	}
+	a.predAdj = adj[pbase:idx]
+
+	a.chMark = a.carve(c)
+	a.victimMark = a.carve(v)
+	for i := range a.chMark {
+		a.chMark[i] = 0
+	}
+	for i := range a.victimMark {
+		a.victimMark[i] = 0
+	}
+	a.victimBuf = a.carve(v)[:0]
+	a.consBuf = a.carve(v)[:0]
+	a.partial = a.carve(v)
+	a.scratchRC = a.carve(v)
+	for i := range a.scratchRC {
+		a.scratchRC[i] = 0
+	}
+	if a.scratchD != nil {
+		a.scratchD.rc = a.scratchRC
+	}
+
+	switch {
+	case naive:
+		a.prio = a.carve(v)
+		for i := range a.prio {
+			a.prio[i] = i
+		}
+	case a.m.Clustered():
+		a.prio = a.ord.Compute(g, a.m.Latency)
+	default:
+		a.prio = nil
+	}
+
+	if useEngine {
+		if a.eng == nil {
+			a.eng = newEngine(a)
+		}
+		a.eng.bindSlab(v, c)
+		a.eng.cap.ResetII(ii)
+		if !a.eng.rebuild() {
+			panic("assign: engine rebuild failed on empty assignment")
+		}
+	}
+	if a.carveOff != total {
+		panic(fmt.Sprintf("assign: slab carve mismatch: used %d of %d", a.carveOff, total))
+	}
+}
+
+// carve takes the next n ints off the bind slab as a fixed-capacity
+// sub-slice, so appends on the result can never bleed into the
+// neighbouring carve.
+//
+//schedvet:alloc-free
+func (a *assigner) carve(n int) []int {
+	s := a.slabInts[a.carveOff : a.carveOff+n : a.carveOff+n]
+	a.carveOff += n
+	return s
+}
+
+// ensureInts returns a slab of length n, reusing buf when its capacity
+// fits without being grossly oversized: a backing array beyond a floor
+// and more than 4x the need is dropped for a right-sized one, so one
+// big loop does not pin memory for the rest of a session.
+func ensureInts(buf []int, n int) []int {
+	if cap(buf) < n || oversized(cap(buf), n) {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// ensureU64 is ensureInts for uint64 slabs.
+func ensureU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n || oversized(cap(buf), n) {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// oversized reports whether a retained backing array of capacity c is
+// wasteful for a need of n elements. The floor keeps small buffers
+// stable: shrinking only ever saves meaningful memory on big ones.
+//
+//schedvet:alloc-free
+func oversized(c, n int) bool {
+	const shrinkFloor = 4096
+	return c > shrinkFloor && c > 4*n
 }
 
 // reset returns the assigner to its freshly constructed state at a new
 // candidate II, reusing every precomputed table and buffer — this is
 // what makes an escalation step pay only the II-dependent work.
 //
-//schedvet:alloc-free
+//schedvet:alloc-free callees
 func (a *assigner) reset(ii int) {
 	a.ii = ii
 	for i := range a.cluster {
@@ -241,10 +366,9 @@ func (a *assigner) seedFrom(seed []int) {
 // placement made the vector inconsistent and is excluded; the
 // remainder is a subset of the last consistent assignment and — since
 // removing nodes only ever releases resources — consistent itself.
+//
+//schedvet:alloc-free
 func (a *assigner) capturePartial(skip int) {
-	if a.partial == nil {
-		a.partial = make([]int, len(a.cluster))
-	}
 	copy(a.partial, a.cluster)
 	if skip >= 0 {
 		a.partial[skip] = -1
@@ -390,7 +514,7 @@ func (a *assigner) deriveScratch() *derived {
 	if d == nil {
 		d = &derived{
 			cap: mrt.NewCapacity(a.m, a.ii),
-			rc:  make([]int, a.g.NumNodes()),
+			rc:  a.scratchRC,
 		}
 		a.scratchD = d
 	} else {

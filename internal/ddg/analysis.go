@@ -4,6 +4,24 @@ package ddg
 // is a machine property; package machine supplies the Table 2 values.
 type LatencyFunc func(OpKind) int
 
+// StartScratch holds the reusable buffers of EarliestStartInto and
+// LatestStartInto so a per-candidate-II caller (the schedulers, the
+// swing ordering) stops paying three slice allocations per call. The
+// returned vectors alias the scratch and stay valid until the next
+// call on it; the zero value is ready to use. A StartScratch is
+// single-threaded.
+type StartScratch struct {
+	est, lst, w []int
+}
+
+// growInts returns buf resized to n, reallocating only on growth.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
 // EarliestStart computes, for a candidate initiation interval II, the
 // earliest modulo-schedule slot of every node: the longest-path distance
 // from any source using edge weight latency(from) - II*distance, clamped
@@ -13,9 +31,20 @@ type LatencyFunc func(OpKind) int
 // The relaxation converges only when the graph has no positive cycle at
 // this II (i.e. II >= RecMII); ok reports whether it converged.
 func (g *Graph) EarliestStart(lat LatencyFunc, ii int) (estart []int, ok bool) {
+	var sc StartScratch
+	return g.EarliestStartInto(&sc, lat, ii)
+}
+
+// EarliestStartInto is EarliestStart into sc's reusable buffers. The
+// returned vector aliases sc and is overwritten by the next call.
+func (g *Graph) EarliestStartInto(sc *StartScratch, lat LatencyFunc, ii int) (estart []int, ok bool) {
 	n := len(g.Nodes)
-	estart = make([]int, n)
-	w := g.edgeWeights(lat, ii)
+	sc.est = growInts(sc.est, n)
+	estart = sc.est
+	for i := range estart {
+		estart[i] = 0
+	}
+	w := g.edgeWeightsInto(sc, lat, ii)
 	// Bellman-Ford over all edges. At most n rounds are needed when no
 	// positive cycle exists; one extra round detects non-convergence.
 	for round := 0; round <= n; round++ {
@@ -33,15 +62,17 @@ func (g *Graph) EarliestStart(lat LatencyFunc, ii int) (estart []int, ok bool) {
 	return estart, false
 }
 
-// edgeWeights materializes the per-edge relaxation weight
-// latency(from) - II*distance, hoisting the latency lookups out of the
-// Bellman-Ford rounds.
-func (g *Graph) edgeWeights(lat LatencyFunc, ii int) []int {
-	w := make([]int, len(g.Edges))
+// edgeWeightsInto materializes the per-edge relaxation weight
+// latency(from) - II*distance into sc's reusable buffer, hoisting the
+// latency lookups out of the Bellman-Ford rounds.
+//
+//schedvet:alloc-free
+func (g *Graph) edgeWeightsInto(sc *StartScratch, lat LatencyFunc, ii int) []int {
+	sc.w = growInts(sc.w, len(g.Edges))
 	for i, e := range g.Edges {
-		w[i] = lat(g.Nodes[e.From].Kind) - ii*e.Distance
+		sc.w[i] = lat(g.Nodes[e.From].Kind) - ii*e.Distance
 	}
-	return w
+	return sc.w
 }
 
 // LatestStart computes the latest start times against the schedule-length
@@ -49,7 +80,15 @@ func (g *Graph) edgeWeights(lat LatencyFunc, ii int) []int {
 // path from v to any sink, mirrored from EarliestStart. ok is false when
 // the relaxation fails to converge (positive cycle at this II).
 func (g *Graph) LatestStart(lat LatencyFunc, ii int) (lstart []int, ok bool) {
-	estart, ok := g.EarliestStart(lat, ii)
+	var sc StartScratch
+	return g.LatestStartInto(&sc, lat, ii)
+}
+
+// LatestStartInto is LatestStart into sc's reusable buffers. It also
+// overwrites sc's earliest-start vector (the horizon derives from it);
+// the returned vector aliases sc and is overwritten by the next call.
+func (g *Graph) LatestStartInto(sc *StartScratch, lat LatencyFunc, ii int) (lstart []int, ok bool) {
+	estart, ok := g.EarliestStartInto(sc, lat, ii)
 	if !ok {
 		return nil, false
 	}
@@ -60,11 +99,12 @@ func (g *Graph) LatestStart(lat LatencyFunc, ii int) (lstart []int, ok bool) {
 		}
 	}
 	n := len(g.Nodes)
-	lstart = make([]int, n)
+	sc.lst = growInts(sc.lst, n)
+	lstart = sc.lst
 	for i := range lstart {
 		lstart[i] = horizon - lat(g.Nodes[i].Kind)
 	}
-	w := g.edgeWeights(lat, ii)
+	w := sc.w // filled by EarliestStartInto for the same (lat, ii)
 	for round := 0; round <= n; round++ {
 		changed := false
 		for i, e := range g.Edges {

@@ -35,8 +35,18 @@ func unitTotalsOf(m *machine.Config) []int {
 }
 
 func resMII(g *ddg.Graph, m *machine.Config, unitTotals []int) int {
+	return resMIIWith(g, m, unitTotals, make([]int, machine.NumFUClasses))
+}
+
+// resMIIWith is resMII with a caller-supplied per-class charge buffer
+// (length machine.NumFUClasses), which it zeroes and overwrites.
+//
+//schedvet:alloc-free
+func resMIIWith(g *ddg.Graph, m *machine.Config, unitTotals, charged []int) int {
 	counts := g.KindCounts()
-	charged := make([]int, machine.NumFUClasses)
+	for i := range charged {
+		charged[i] = 0
+	}
 	res := 1
 	for k := 0; k < ddg.NumOpKinds; k++ {
 		kind := ddg.OpKind(k)
@@ -97,13 +107,40 @@ func RecMII(g *ddg.Graph, lat ddg.LatencyFunc) int {
 // SCCRecMIIs returns SCCRecMII for every component, sharing the
 // Bellman-Ford scratch buffers across them.
 func SCCRecMIIs(g *ddg.Graph, comps []*ddg.SCC, lat ddg.LatencyFunc) []int {
-	out := make([]int, len(comps))
-	var sc recScratch
-	sc.est = make([]int, g.NumNodes())
+	var rs RecScratch
+	return rs.SCCRecMIIs(g, comps, lat)
+}
+
+// RecScratch holds the reusable buffers of the recurrence-bound
+// computations — the per-component RecMII vector, the Bellman-Ford
+// estart and flattened-edge arrays, and ResMII's per-class charge
+// counters — so a session computing bounds for many loops stops
+// allocating per loop. The zero value is ready to use; results
+// returned from its methods alias the scratch and stay valid until the
+// next call. A RecScratch is single-threaded.
+type RecScratch struct {
+	out     []int
+	sc      recScratch
+	charged []int
+}
+
+// SCCRecMIIs is the package-level SCCRecMIIs into the scratch's
+// buffers. The returned slice is overwritten by the next call.
+func (rs *RecScratch) SCCRecMIIs(g *ddg.Graph, comps []*ddg.SCC, lat ddg.LatencyFunc) []int {
+	rs.out = growInts(rs.out, len(comps))
+	rs.sc.est = growInts(rs.sc.est, g.NumNodes())
 	for i, comp := range comps {
-		out[i] = sccRecMII(g, comp, lat, 1, &sc)
+		rs.out[i] = sccRecMII(g, comp, lat, 1, &rs.sc)
 	}
-	return out
+	return rs.out
+}
+
+// growInts returns buf resized to n, reallocating only on growth.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
 }
 
 // recScratch holds the working buffers of sccRecMII: the estart vector
@@ -197,8 +234,24 @@ func (mc *Machine) ResMII(g *ddg.Graph) int { return resMII(g, mc.m, mc.unitTota
 
 // MII returns max(ResMII, RecMII) for g on the cached machine.
 func (mc *Machine) MII(g *ddg.Graph) int {
-	res := mc.ResMII(g)
-	rec := RecMII(g, mc.m.Latency)
+	var rs RecScratch
+	return mc.MIIWith(g, &rs)
+}
+
+// MIIWith is MII with caller-supplied scratch buffers, for a session
+// computing the bound for many loops on one machine. The Machine stays
+// immutable and concurrency-safe; the scratch carries all mutable
+// state and is single-threaded.
+func (mc *Machine) MIIWith(g *ddg.Graph, rs *RecScratch) int {
+	rs.charged = growInts(rs.charged, int(machine.NumFUClasses))
+	res := resMIIWith(g, mc.m, mc.unitTotals, rs.charged)
+	rec := 1
+	if comps := g.NonTrivialSCCs(); len(comps) > 0 {
+		rs.sc.est = growInts(rs.sc.est, g.NumNodes())
+		for _, comp := range comps {
+			rec = sccRecMII(g, comp, mc.m.Latency, rec, &rs.sc)
+		}
+	}
 	if rec > res {
 		return rec
 	}

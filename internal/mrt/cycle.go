@@ -164,9 +164,12 @@ func (c *Cycle) ResetII(ii int) {
 }
 
 // growU64 resizes s to n entries, zeroed, reusing its backing array
-// when it is large enough.
+// when it is large enough — unless it is grossly oversized for this
+// request, in which case it is dropped for a right-sized one so a
+// table retargeted from a huge II (or a huge machine's row count)
+// does not pin that memory for the rest of a session.
 func growU64(s []uint64, n int) []uint64 {
-	if cap(s) < n {
+	if cap(s) < n || tableOversized(cap(s), n) {
 		return make([]uint64, n)
 	}
 	s = s[:n]
@@ -176,14 +179,25 @@ func growU64(s []uint64, n int) []uint64 {
 	return s
 }
 
-// growI32 resizes s to n entries, reusing its backing array when large
-// enough. Contents are not cleared: owner entries are only read under
-// set busy bits, which ResetII has just cleared.
+// growI32 resizes s to n entries, reusing its backing array under the
+// same retention policy as growU64. Contents are not cleared: owner
+// entries are only read under set busy bits, which ResetII has just
+// cleared.
 func growI32(s []int32, n int) []int32 {
-	if cap(s) < n {
+	if cap(s) < n || tableOversized(cap(s), n) {
 		return make([]int32, n)
 	}
 	return s[:n]
+}
+
+// tableOversized reports whether a retained backing array of capacity
+// c is wasteful for a need of n entries; the floor keeps small tables
+// stable across II churn.
+//
+//schedvet:alloc-free
+func tableOversized(c, n int) bool {
+	const shrinkFloor = 4096
+	return c > shrinkFloor && c > 4*n
 }
 
 // slot maps an absolute cycle to its modulo slot.

@@ -328,3 +328,28 @@ func TestCycleJournalRollbackCopies(t *testing.T) {
 		t.Error("rolled-back commits should be unplaced")
 	}
 }
+
+// TestCycleResetIIShrinks checks the slab retention policy: a table
+// retargeted from a huge II to a small one drops its oversized backing
+// arrays instead of pinning them, while small-II churn (the normal
+// escalation pattern) keeps the backing stable.
+func TestCycleResetIIShrinks(t *testing.T) {
+	m := machine.NewBusedGP(2, 2, 1)
+	c := NewCycle(m, 6000)
+	grown := cap(c.owner)
+	c.ResetII(2)
+	if shrunk := cap(c.owner); shrunk >= grown {
+		t.Fatalf("owner slab not shrunk: cap %d at II 6000, %d at II 2", grown, shrunk)
+	}
+	if !c.CommitOp(OpAt(0, 0, ddg.OpALU), 0) {
+		t.Fatalf("commit failed after shrink")
+	}
+
+	c2 := NewCycle(m, 8)
+	stable := cap(c2.fuBusy)
+	c2.ResetII(4)
+	c2.ResetII(8)
+	if got := cap(c2.fuBusy); got != stable {
+		t.Fatalf("small table churned: cap %d -> %d across II 8->4->8", stable, got)
+	}
+}

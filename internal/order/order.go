@@ -8,8 +8,6 @@
 package order
 
 import (
-	"sort"
-
 	"clustersched/internal/ddg"
 	"clustersched/internal/mii"
 )
@@ -19,114 +17,230 @@ import (
 // larger size then smaller minimum node ID), followed by one final set
 // with every node outside any recurrence.
 func Sets(g *ddg.Graph, lat ddg.LatencyFunc) [][]int {
+	var s Scratch
 	comps := g.NonTrivialSCCs()
-	return rankedSets(g, comps, mii.SCCRecMIIs(g, comps, lat))
+	return s.rankedSets(g, comps, s.rec.SCCRecMIIs(g, comps, lat))
+}
+
+// Scratch holds every working buffer of Compute so repeated calls — one
+// per candidate II in the swing scheduler, one per loop in problem
+// construction — allocate nothing once the buffers have grown to the
+// largest graph seen. The zero value is ready to use. The slice Compute
+// returns aliases the scratch and is overwritten by the next call on
+// it; callers that keep the order across calls must copy it or own the
+// scratch. A Scratch is single-threaded.
+//
+// Set-membership stamps survive across calls by way of a monotonic
+// epoch (the same idiom as the assignment engine's mark buffers), so
+// the per-node stamp vector is never cleared; the boolean frontier
+// flags are cleared per call, which costs a memclr but no allocation.
+type Scratch struct {
+	start  ddg.StartScratch
+	rec    mii.RecScratch
+	depth  []int
+	height []int
+
+	ordered []int
+	placed  []bool
+	inSet   []int
+	epoch   int
+	inR     []bool
+	rbuf    []int
+	fr      frontiers
+
+	// rankedSets buffers: the criticality-ranked components, the
+	// SCC-membership flags, and the set list with its trailing
+	// "everything else" set.
+	rcomps []rankedComp
+	inSCC  []bool
+	sets   [][]int
+	rest   []int
+}
+
+// rankedComp pairs one SCC's member list with its recurrence bound for
+// the criticality sort.
+type rankedComp struct {
+	nodes []int
+	rec   int
 }
 
 // rankedSets is Sets with the SCCs and their RecMIIs already computed,
 // so Compute shares one SCCRecMIIs pass between the recurrence bound
-// and the set ranking.
-func rankedSets(g *ddg.Graph, comps []*ddg.SCC, recs []int) [][]int {
-	type ranked struct {
-		nodes []int
-		rec   int
+// and the set ranking. The returned sets alias the scratch (and the
+// graph's SCC cache) and are overwritten by the next call.
+func (s *Scratch) rankedSets(g *ddg.Graph, comps []*ddg.SCC, recs []int) [][]int {
+	if cap(s.rcomps) < len(comps) {
+		s.rcomps = make([]rankedComp, len(comps))
 	}
-	rankedComps := make([]ranked, len(comps))
+	s.rcomps = s.rcomps[:len(comps)]
 	for i, c := range comps {
-		rankedComps[i] = ranked{nodes: c.Nodes, rec: recs[i]}
+		s.rcomps[i] = rankedComp{nodes: c.Nodes, rec: recs[i]}
 	}
-	sort.SliceStable(rankedComps, func(i, j int) bool {
-		a, b := rankedComps[i], rankedComps[j]
-		if a.rec != b.rec {
-			return a.rec > b.rec
-		}
-		if len(a.nodes) != len(b.nodes) {
-			return len(a.nodes) > len(b.nodes)
-		}
-		return a.nodes[0] < b.nodes[0]
-	})
-	inSCC := make([]bool, g.NumNodes())
-	var sets [][]int
-	for _, rc := range rankedComps {
-		sets = append(sets, rc.nodes)
-		for _, n := range rc.nodes {
-			inSCC[n] = true
+	// Stable insertion sort: components are few, and a hand-rolled sort
+	// keeps the warm path free of the closure sort.SliceStable allocates.
+	rc := s.rcomps
+	for i := 1; i < len(rc); i++ {
+		for j := i; j > 0 && moreCriticalSet(rc[j], rc[j-1]); j-- {
+			rc[j], rc[j-1] = rc[j-1], rc[j]
 		}
 	}
-	var rest []int
+
+	s.inSCC = growBools(s.inSCC, g.NumNodes())
+	s.sets = s.sets[:0]
+	for _, c := range rc {
+		s.sets = append(s.sets, c.nodes)
+		for _, n := range c.nodes {
+			s.inSCC[n] = true
+		}
+	}
+	s.rest = growCap(s.rest, g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
-		if !inSCC[i] {
-			rest = append(rest, i)
+		if !s.inSCC[i] {
+			s.rest = append(s.rest, i)
 		}
 	}
-	if len(rest) > 0 {
-		sets = append(sets, rest)
+	if len(s.rest) > 0 {
+		s.sets = append(s.sets, s.rest)
 	}
-	return sets
+	return s.sets
+}
+
+// moreCriticalSet is the strict criticality order of the priority sets:
+// larger RecMII first, ties by larger size then smaller minimum node
+// ID. Strictness (false on equal keys) is what keeps the insertion
+// sort stable.
+//
+//schedvet:alloc-free
+func moreCriticalSet(a, b rankedComp) bool {
+	if a.rec != b.rec {
+		return a.rec > b.rec
+	}
+	if len(a.nodes) != len(b.nodes) {
+		return len(a.nodes) > len(b.nodes)
+	}
+	return a.nodes[0] < b.nodes[0]
 }
 
 // Compute returns all node IDs in assignment priority order.
 func Compute(g *ddg.Graph, lat ddg.LatencyFunc) []int {
+	var s Scratch
+	return s.Compute(g, lat)
+}
+
+// Compute is the package-level Compute into the scratch's buffers,
+// element-identical to a fresh-allocation run. The returned slice is
+// overwritten by the next call on the same scratch.
+func (s *Scratch) Compute(g *ddg.Graph, lat ddg.LatencyFunc) []int {
 	if g.NumNodes() == 0 {
 		return nil
 	}
+	n := g.NumNodes()
 	// One SCCRecMIIs pass serves both the recurrence bound (RecMII is
 	// its maximum) and the criticality ranking of the priority sets.
 	comps := g.NonTrivialSCCs()
-	recs := mii.SCCRecMIIs(g, comps, lat)
+	recs := s.rec.SCCRecMIIs(g, comps, lat)
 	ii := 1
 	for _, r := range recs {
 		if r > ii {
 			ii = r
 		}
 	}
-	estart, ok := g.EarliestStart(lat, ii)
-	if !ok {
-		// RecMII guarantees convergence; fall back defensively.
-		estart = make([]int, g.NumNodes())
+	// depth is copied out of the start scratch before LatestStartInto
+	// overwrites the earliest-start vector; RecMII guarantees both
+	// relaxations converge, with an all-zero defensive fallback.
+	estart, ok := g.EarliestStartInto(&s.start, lat, ii)
+	s.depth = growInts(s.depth, n)
+	if ok {
+		copy(s.depth, estart)
+	} else {
+		zeroInts(s.depth)
 	}
-	lstart, ok := g.LatestStart(lat, ii)
-	if !ok {
-		lstart = make([]int, g.NumNodes())
-	}
-	maxL := 0
-	for _, t := range lstart {
-		if t > maxL {
-			maxL = t
+	depth := s.depth
+	lstart, ok := g.LatestStartInto(&s.start, lat, ii)
+	s.height = growInts(s.height, n)
+	height := s.height
+	if ok {
+		maxL := 0
+		for _, t := range lstart {
+			if t > maxL {
+				maxL = t
+			}
 		}
-	}
-	depth := estart
-	height := make([]int, len(lstart))
-	for i, t := range lstart {
-		height[i] = maxL - t
+		for i, t := range lstart {
+			height[i] = maxL - t
+		}
+	} else {
+		zeroInts(height)
 	}
 
-	ordered := make([]int, 0, g.NumNodes())
-	placed := make([]bool, g.NumNodes())
+	s.ordered = growCap(s.ordered, n)
+	s.placed = growBools(s.placed, n)
 
 	// Set membership by stamp and the candidate frontier as a flagged
-	// slice: the sweep is allocation-free after these buffers.
-	inSet := make([]int, g.NumNodes())
-	inR := make([]bool, g.NumNodes())
-	rbuf := make([]int, 0, g.NumNodes())
+	// slice: the sweep is allocation-free after these buffers. inSet
+	// stamps are compared against this call's epoch-offset set IDs, so
+	// stale stamps from earlier graphs never collide.
+	s.inSet = growInts(s.inSet, n)
+	s.inR = growBools(s.inR, n)
+	s.rbuf = growCap(s.rbuf, n)
 
 	// fr accumulates, across all sets, the direction-wise neighbours of
 	// every ordered node, so a swing refill scans one deduplicated list
 	// instead of re-walking the adjacency of everything ordered so far
 	// (which made the sweep quadratic on long dependence chains).
-	var fr frontiers
-	fr.succ = make([]int, 0, g.NumNodes())
-	fr.pred = make([]int, 0, g.NumNodes())
-	fr.inSucc = make([]bool, g.NumNodes())
-	fr.inPred = make([]bool, g.NumNodes())
+	s.fr.succ = growCap(s.fr.succ, n)
+	s.fr.pred = growCap(s.fr.pred, n)
+	s.fr.inSucc = growBools(s.fr.inSucc, n)
+	s.fr.inPred = growBools(s.fr.inPred, n)
 
-	for si, set := range rankedSets(g, comps, recs) {
+	sets := s.rankedSets(g, comps, recs)
+	base := s.epoch
+	s.epoch += len(sets)
+	for si, set := range sets {
 		for _, n := range set {
-			inSet[n] = si + 1
+			s.inSet[n] = base + si + 1
 		}
-		orderSet(g, set, inSet, si+1, depth, height, &ordered, placed, &rbuf, inR, &fr)
+		orderSet(g, set, s.inSet, base+si+1, depth, height, &s.ordered, s.placed, &s.rbuf, s.inR, &s.fr)
 	}
-	return ordered
+	return s.ordered
+}
+
+// growCap returns buf emptied with capacity at least n, reallocating
+// only on growth.
+func growCap(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, 0, n)
+	}
+	return buf[:0]
+}
+
+// growInts returns buf resized to n (contents unspecified),
+// reallocating only on growth.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growBools returns buf resized to n with every flag false,
+// reallocating only on growth.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+//schedvet:alloc-free
+func zeroInts(buf []int) {
+	for i := range buf {
+		buf[i] = 0
+	}
 }
 
 // frontiers is the incremental candidate pool of the swing sweep: for

@@ -45,6 +45,16 @@ type Session struct {
 	// scratches is the free list of scheduler buffer sets, shared
 	// across loops and probe workers of this session.
 	scratches chan *sched.Scratch
+
+	// probs is the free list of assignment problems. Problems are
+	// graph-specific but rebindable: a pooled problem taken for a new
+	// loop is re-targeted with Bind, reusing its slabs, capacity
+	// tables, and ordering scratch across every loop of the session.
+	probs chan *assign.Problem
+
+	// recSc backs the session's MII computations (mii.Machine itself
+	// stays immutable and shareable).
+	recSc mii.RecScratch
 }
 
 // NewSession builds a session for machine m. The machine is linted
@@ -73,6 +83,7 @@ func NewSession(m *machine.Config, opts Options) *Session {
 		s.workers = 1
 	}
 	s.scratches = make(chan *sched.Scratch, s.workers)
+	s.probs = make(chan *assign.Problem, s.workers)
 	return s
 }
 
@@ -114,7 +125,7 @@ func (s *Session) Schedule(ctx context.Context, g *ddg.Graph) (*Outcome, error) 
 
 	tr := obs.New(ctx, s.opts.Observer, s.opts.CollectStats)
 	tm := tr.BeginPhase(obs.PhaseMII, 0)
-	out := &Outcome{MII: s.mc.MII(g)}
+	out := &Outcome{MII: s.mc.MIIWith(g, &s.recSc)}
 	tr.EndPhase(obs.PhaseMII, out.MII, tm, true)
 
 	sr := &search{
@@ -122,7 +133,6 @@ func (s *Session) Schedule(ctx context.Context, g *ddg.Graph) (*Outcome, error) 
 		g:       g,
 		ctx:     ctx,
 		collect: tr != nil,
-		probs:   make(chan *assign.Problem, s.workers),
 	}
 
 	finish := func(po probeOut) (*Outcome, error) {
@@ -221,19 +231,23 @@ func (s *Session) Schedule(ctx context.Context, g *ddg.Graph) (*Outcome, error) 
 		s.m.Name, maxII, out.MII)
 }
 
-// search is the per-loop state of one Schedule call: the assignment
-// problem free list (problems are graph-specific, scratches are not).
+// search is the per-loop state of one Schedule call.
 type search struct {
 	s       *Session
 	g       *ddg.Graph
 	ctx     context.Context
 	collect bool
-	probs   chan *assign.Problem
 }
 
+// takeProb draws an assignment problem from the session pool,
+// rebinding it at this search's graph, or builds a fresh one when the
+// pool is empty. A rebound problem is behaviorally identical to a
+// fresh one (assign.Problem.Bind's contract), so pooling changes only
+// allocation counts, never outcomes.
 func (sr *search) takeProb() *assign.Problem {
 	select {
-	case p := <-sr.probs:
+	case p := <-sr.s.probs:
+		p.Bind(sr.g)
 		return p
 	default:
 		return assign.NewProblem(sr.g, sr.s.m, sr.s.opts.Assign)
@@ -243,7 +257,7 @@ func (sr *search) takeProb() *assign.Problem {
 //schedvet:alloc-free
 func (sr *search) putProb(p *assign.Problem) {
 	select {
-	case sr.probs <- p:
+	case sr.s.probs <- p:
 	default:
 	}
 }

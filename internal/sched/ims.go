@@ -22,9 +22,13 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 		return &Schedule{II: in.II, CycleOf: nil}, true
 	}
 
+	s := in.Scratch
+	if s == nil {
+		s = new(Scratch)
+	}
 	// If the dependence constraints are unsatisfiable at this II (a
 	// recurrence cycle exceeds II), fail immediately.
-	lstart, ok := g.LatestStart(lat, in.II)
+	lstart, ok := g.LatestStartInto(&s.start, lat, in.II)
 	if !ok {
 		return nil, false
 	}
@@ -34,17 +38,12 @@ func IMS(in Input, budgetRatio int) (*Schedule, bool) {
 	}
 	budget := budgetRatio * n
 
-	s := in.Scratch
-	if s == nil {
-		s = new(Scratch)
-	}
 	table := s.tableFor(&in)
 	cycleOf, scheduled, everTried, lastCycle := s.prep(n)
 
 	// Priority: most critical first — smallest latest-start time, ties
 	// by node ID for determinism.
-	pq := &nodeHeap{items: s.heapItems[:0], prio: lstart}
-	defer func() { s.heapItems = pq.items[:0] }()
+	pq := s.heapFor(lstart)
 	for i := 0; i < n; i++ {
 		pq.push(i)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation allocates and would fail the
+// zero-allocation regression test for reasons unrelated to the code.
+const raceEnabled = false

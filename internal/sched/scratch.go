@@ -1,11 +1,16 @@
 package sched
 
-import "clustersched/internal/mrt"
+import (
+	"clustersched/internal/ddg"
+	"clustersched/internal/mrt"
+	"clustersched/internal/order"
+)
 
 // Scratch holds the per-run working buffers of both schedulers so an
 // II-escalation loop or a batch runner can reuse them across calls
 // instead of reallocating per candidate II. The zero value is ready to
-// use; buffers grow to the largest graph seen and are re-zeroed per
+// use; buffers grow to the largest graph seen (and shrink when that
+// graph was much larger than the current one) and are re-zeroed per
 // run. A Scratch is single-threaded — parallel probes each need their
 // own — and a successful Schedule copies its cycle vector out, so
 // results never alias the scratch.
@@ -14,10 +19,29 @@ type Scratch struct {
 	scheduled []bool
 	everTried []bool
 	lastCycle []int
-	heapItems []int
 	rank      []int
 	conflicts []int
 	table     *mrt.Cycle
+
+	// start backs the per-II earliest/latest-start vectors and order
+	// backs SMS's swing ordering, so the per-candidate-II reset path
+	// stops allocating entirely after the first run.
+	start ddg.StartScratch
+	order order.Scratch
+
+	// pq is the work-list heap, reset per run; its priority slice
+	// aliases whichever rank/lstart vector the scheduler hands it.
+	pq nodeHeap
+}
+
+// heapFor returns the scratch-held work-list heap, emptied and keyed
+// by prio.
+//
+//schedvet:alloc-free
+func (s *Scratch) heapFor(prio []int) *nodeHeap {
+	s.pq.items = s.pq.items[:0]
+	s.pq.prio = prio
+	return &s.pq
 }
 
 // tableFor returns an empty cycle-exact reservation table sized for the
@@ -32,9 +56,12 @@ func (s *Scratch) tableFor(in *Input) *mrt.Cycle {
 	return s.table
 }
 
-// prep returns the zeroed run buffers sized for n nodes.
+// prep returns the zeroed run buffers sized for n nodes, reallocating
+// on growth and when the retained buffers are grossly oversized for
+// this graph (so one big loop does not pin memory for the rest of a
+// session).
 func (s *Scratch) prep(n int) (cycleOf []int, scheduled, everTried []bool, lastCycle []int) {
-	if cap(s.cycleOf) < n {
+	if cap(s.cycleOf) < n || oversized(cap(s.cycleOf), n) {
 		s.cycleOf = make([]int, n)
 		s.scheduled = make([]bool, n)
 		s.everTried = make([]bool, n)
@@ -67,4 +94,14 @@ func copyOut(cycleOf []int) []int {
 	out := make([]int, len(cycleOf))
 	copy(out, cycleOf)
 	return out
+}
+
+// oversized reports whether a retained backing array of capacity c is
+// wasteful for a need of n elements. The floor keeps small buffers
+// stable: shrinking only ever saves meaningful memory on big ones.
+//
+//schedvet:alloc-free
+func oversized(c, n int) bool {
+	const shrinkFloor = 4096
+	return c > shrinkFloor && c > 4*n
 }

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"clustersched/internal/obs"
-	"clustersched/internal/order"
 )
 
 // DefaultSMSBudgetRatio is the displacement budget per node for the
@@ -25,7 +24,11 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 	if n == 0 {
 		return &Schedule{II: in.II, CycleOf: nil}, true
 	}
-	estart0, ok := g.EarliestStart(lat, in.II)
+	s := in.Scratch
+	if s == nil {
+		s = new(Scratch)
+	}
+	estart0, ok := g.EarliestStartInto(&s.start, lat, in.II)
 	if !ok {
 		return nil, false // recurrence exceeds II; unschedulable
 	}
@@ -34,11 +37,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 	}
 	budget := budgetRatio * n
 
-	s := in.Scratch
-	if s == nil {
-		s = new(Scratch)
-	}
-	prio := order.Compute(g, lat)
+	prio := s.order.Compute(g, lat)
 	rank := s.rankBuf(n)
 	for i, v := range prio {
 		rank[v] = i
@@ -48,8 +47,7 @@ func SMS(in Input, budgetRatio int) (*Schedule, bool) {
 	cycleOf, scheduled, everTried, lastCycle := s.prep(n)
 
 	// Work list ordered by swing rank; displaced nodes re-enter it.
-	pq := &nodeHeap{items: s.heapItems[:0], prio: rank}
-	defer func() { s.heapItems = pq.items[:0] }()
+	pq := s.heapFor(rank)
 	for _, v := range prio {
 		pq.push(v)
 	}

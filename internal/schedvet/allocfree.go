@@ -20,20 +20,106 @@ import (
 //	VET012  func literal (closures capture variables on the heap)
 //	VET013  concrete-to-interface conversion (boxing)
 //	VET014  non-constant string concatenation
+//	VET015  a direct callee of an //schedvet:alloc-free callees
+//	        function contains make or new (one-level reachability)
 //
 // Escape hatches: expressions inside a panic(...) argument are exempt
-// (the failure path may allocate), and the check is intentionally not
-// transitive — calling another function is fine; annotate the callee
-// too if it is also on the hot path.
+// (the failure path may allocate), and the body check is intentionally
+// not transitive — calling another function is fine; annotate the
+// callee too if it is also on the hot path. Reset paths whose contract
+// genuinely spans helpers opt into the one-level callee check with the
+// //schedvet:alloc-free callees variant.
 func (c *checker) allocfree() {
+	var decls map[*types.Func]funcDecl
 	for _, pkg := range c.pkgs {
 		for _, fd := range funcsOf(pkg) {
 			if fd.decl.Body == nil || !isAllocFree(fd.decl) {
 				continue
 			}
 			c.checkAllocFree(fd)
+			if isAllocFreeCallees(fd.decl) {
+				if decls == nil {
+					decls = declIndex(c.pkgs)
+				}
+				c.checkCallees(fd, decls)
+			}
 		}
 	}
+}
+
+// declIndex maps every declared function and method of the loaded
+// packages to its declaration, for resolving callees across packages.
+func declIndex(pkgs []*Package) map[*types.Func]funcDecl {
+	idx := make(map[*types.Func]funcDecl)
+	for _, pkg := range pkgs {
+		for _, fd := range funcsOf(pkg) {
+			if fd.obj != nil {
+				idx[fd.obj] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// checkCallees enforces the callees variant: every function the body
+// directly calls must itself be free of make/new, unless it carries
+// its own alloc-free annotation (in which case the full body check
+// already covers it). One level only — a callee's callees are out of
+// scope, mirroring how far a reset path's contract actually reaches.
+func (c *checker) checkCallees(fd funcDecl, decls map[*types.Func]funcDecl) {
+	info := fd.pkg.Info
+	subject := funcDisplayName(fd)
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(info, call, "panic") {
+			return false // the failure path may allocate
+		}
+		callee := calleeOf(info, call)
+		if callee == nil {
+			return true
+		}
+		cd, ok := decls[callee]
+		if !ok || cd.decl.Body == nil || isAllocFree(cd.decl) {
+			return true
+		}
+		if builtin, found := bodyMakesOrNews(cd); found {
+			c.report("allocfree", call.Pos(), diag.Diagnostic{
+				Code:     "VET015",
+				Severity: diag.Error,
+				Message:  "callee " + funcDisplayName(cd) + " contains " + builtin + ", reachable from an alloc-free (callees) function",
+				Subject:  subject,
+				Fix:      "annotate the callee //schedvet:alloc-free and hoist its allocation, or narrow this function to //schedvet:alloc-free",
+			})
+		}
+		return true
+	})
+}
+
+// bodyMakesOrNews reports the first make or new call in the function
+// body, with the same panic-argument exemption as the body check.
+func bodyMakesOrNews(fd funcDecl) (builtin string, found bool) {
+	info := fd.pkg.Info
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(info, call, "panic") {
+			return false
+		}
+		if isBuiltin(info, call, "make") || isBuiltin(info, call, "new") {
+			builtin, found = ast.Unparen(call.Fun).(*ast.Ident).Name, true
+			return false
+		}
+		return true
+	})
+	return builtin, found
 }
 
 func (c *checker) checkAllocFree(fd funcDecl) {

@@ -11,24 +11,42 @@ import (
 //	    On a function's doc comment: the function body must be free of
 //	    heap allocation (the allocfree pass enforces it).
 //
+//	//schedvet:alloc-free callees
+//	    As above, and additionally every function the body directly
+//	    calls must not contain make or new (one level; VET015). For
+//	    reset paths whose zero-allocation contract spans helpers.
+//
 //	//schedvet:allow <pass> [reason]
 //	    On or immediately above a flagged line: suppress findings of
 //	    the named pass (mapiter, nondet, allocfree, lockdiscipline) at
 //	    that line. A reason is strongly encouraged.
 
 const (
-	allocFreeMarker = "//schedvet:alloc-free"
-	allowMarker     = "//schedvet:allow"
+	allocFreeMarker        = "//schedvet:alloc-free"
+	allocFreeCalleesMarker = "//schedvet:alloc-free callees"
+	allowMarker            = "//schedvet:allow"
 )
 
 // isAllocFree reports whether the function declaration carries the
-// //schedvet:alloc-free annotation in its doc comment.
+// //schedvet:alloc-free annotation (either variant) in its doc
+// comment.
 func isAllocFree(decl *ast.FuncDecl) bool {
+	return hasMarker(decl, allocFreeMarker) || hasMarker(decl, allocFreeCalleesMarker)
+}
+
+// isAllocFreeCallees reports whether the declaration carries the
+// callees variant, extending the alloc-free contract one call level
+// down.
+func isAllocFreeCallees(decl *ast.FuncDecl) bool {
+	return hasMarker(decl, allocFreeCalleesMarker)
+}
+
+func hasMarker(decl *ast.FuncDecl, marker string) bool {
 	if decl.Doc == nil {
 		return false
 	}
 	for _, c := range decl.Doc.List {
-		if strings.TrimSpace(c.Text) == allocFreeMarker {
+		if strings.TrimSpace(c.Text) == marker {
 			return true
 		}
 	}

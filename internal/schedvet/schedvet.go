@@ -13,7 +13,8 @@
 //	                constructs — multi-way selects, go statements — in
 //	                critical packages (VET003)
 //	allocfree       functions annotated //schedvet:alloc-free must not
-//	                allocate (VET010-VET014)
+//	                allocate (VET010-VET014); the callees variant also
+//	                rejects make/new in direct callees (VET015)
 //	lockdiscipline  mutexes in internal/cache and internal/server must
 //	                not be held across channel operations (VET020) or
 //	                handler I/O (VET021)

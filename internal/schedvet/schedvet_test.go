@@ -57,6 +57,7 @@ func TestFixtureFindings(t *testing.T) {
 		"VET012 allocbad.go",   // closure in Deferred
 		"VET013 allocbad.go",   // boxing in Box
 		"VET014 allocbad.go",   // concat in Label
+		"VET015 allocbad.go",   // allocating callee of ResetAll
 		"VET010 bitset.go",     // make in Resize
 		"VET011 bitset.go",     // reslice-in-append in SnapshotCompact
 		"VET013 bitset.go",     // boxing return in OwnerOf

@@ -50,3 +50,21 @@ func Checked(n int) int {
 func Unannotated(n int) []int {
 	return make([]int, n)
 }
+
+// checkedHelper's only make sits inside a panic argument, which the
+// one-level callee check exempts just like the body check does.
+func checkedHelper(n int) int {
+	if n < 0 {
+		panic(string(make([]byte, 8)))
+	}
+	return n + 1
+}
+
+//schedvet:alloc-free callees
+func ResetAll(xs []int, n int) []int {
+	buf := Unannotated(n)             // VET015: un-annotated callee contains make
+	xs = append(xs, buf[0])           // clean: self-append
+	xs = SelfAppend(xs, n)            // clean: callee carries its own annotation
+	xs[0] = Checked(checkedHelper(n)) // clean: panic-only make in the helper
+	return xs
+}

@@ -19,6 +19,12 @@
 # BENCH_pipeline.json, exiting non-zero on a >10% regression of the
 # assignment ns_per_op rows or the pipeline ns_per_op / assign_ns.
 #
+# Trend mode:  sh scripts/bench.sh -trend [count]
+# Re-measures the assignment and pipeline suites and appends one dated
+# JSON line per suite — {date, sha, suite, ns_per_op} — to
+# BENCH_TREND.jsonl, the long-run performance log the point-in-time
+# baseline gate cannot provide.
+#
 # Fleet mode:  sh scripts/bench.sh -fleet [count]
 # Boots three local clusterd workers plus a clusterlb in front of
 # them, replays the suite through the balancer (cold pass, cached
@@ -32,6 +38,20 @@ if [ "${1:-}" = "-baseline" ]; then
     shift
     COUNT="${1:-400}"
     exec go run ./cmd/clusterbench -baseline -count "$COUNT" -benchreps 10
+fi
+
+if [ "${1:-}" = "-trend" ]; then
+    shift
+    COUNT="${1:-400}"
+    TREND_OUT="BENCH_TREND.jsonl"
+    SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    # Write to a temp file first so a failed run never truncates or
+    # half-appends to the committed log.
+    go run ./cmd/clusterbench -trend -trendsha "$SHA" -count "$COUNT" -benchreps 10 > "$TREND_OUT.tmp"
+    cat "$TREND_OUT.tmp" >> "$TREND_OUT"
+    rm -f "$TREND_OUT.tmp"
+    echo "bench: appended $(wc -l < "$TREND_OUT" | tr -d ' ') total rows to $TREND_OUT"
+    exit 0
 fi
 
 if [ "${1:-}" = "-fleet" ]; then
