@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"clustersched/internal/assign"
+	"clustersched/internal/compile"
 	"clustersched/internal/ddg"
 	"clustersched/internal/machine"
 	"clustersched/internal/mii"
@@ -45,6 +46,18 @@ type committedPipeline struct {
 	Stats       struct {
 		AssignNS int64 `json:"assign_ns"`
 	} `json:"stats"`
+}
+
+// committedCompile is the subset of BENCH_compile.json the gate reads.
+type committedCompile struct {
+	PerLoopNSOp int64 `json:"per_loop_ns_per_op"`
+	W1          struct {
+		NSPerOp     int64 `json:"ns_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+	} `json:"w1"`
+	W4 struct {
+		NSPerOp int64 `json:"ns_per_op"`
+	} `json:"w4"`
 }
 
 // baselineRun compares fresh suite timings against the committed
@@ -116,6 +129,33 @@ func baselineRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Sch
 	if cp.Scheduled > 0 {
 		check("pipeline assign_ns", fresh.assignNS, cp.Stats.AssignNS*int64(fresh.scheduled)/int64(cp.Scheduled))
 	}
+
+	var cc committedCompile
+	if err := readJSON("BENCH_compile.json", &cc); err != nil {
+		return err
+	}
+	corpus, err := compile.Corpus()
+	if err != nil {
+		return err
+	}
+	perLoop, err := measureCompilePerLoop(ctx, corpus, reps)
+	if err != nil {
+		return err
+	}
+	check("compile per_loop ns_per_op", perLoop, cc.PerLoopNSOp)
+	w1, err := measureCompileStream(ctx, corpus, 1, reps)
+	if err != nil {
+		return err
+	}
+	check("compile w1 ns_per_op", w1.NSPerOp, cc.W1.NSPerOp)
+	if cc.W1.AllocsPerOp > 0 {
+		check("compile w1 allocs_per_op", w1.AllocsPerOp, cc.W1.AllocsPerOp)
+	}
+	w4, err := measureCompileStream(ctx, corpus, 4, reps)
+	if err != nil {
+		return err
+	}
+	check("compile w4 ns_per_op", w4.NSPerOp, cc.W4.NSPerOp)
 
 	if failed {
 		return fmt.Errorf("baseline: regression beyond %.0f%% tolerance", tol*100)

@@ -10,12 +10,13 @@ import (
 // modeFlags are the mutually exclusive run modes of clusterbench; the
 // first one the dispatch chain in main recognizes wins, so naming two
 // would silently ignore the rest.
-var modeFlags = []string{"table1", "server", "fleet", "benchjson", "assignjson", "baseline", "trend", "markdown", "livermore", "registers"}
+var modeFlags = []string{"table1", "server", "fleet", "benchjson", "assignjson", "compilejson", "baseline", "trend", "markdown", "livermore", "registers"}
 
 // flagConflicts validates the combination of explicitly-set flags,
-// returning coded diagnostics (CLI001..CLI004, catalogued in
+// returning coded diagnostics (CLI001..CLI008, catalogued in
 // docs/DIAGNOSTICS.md) for combinations that would silently ignore a
-// flag. set holds the names the user passed on the command line.
+// flag or produce an unattributable measurement. set holds the names
+// the user passed on the command line.
 func flagConflicts(set map[string]bool) []diag.Diagnostic {
 	var diags []diag.Diagnostic
 	var modes []string
@@ -62,12 +63,12 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 		}
 	}
 
-	if set["benchreps"] && !set["benchjson"] && !set["baseline"] && !set["fleet"] && !set["trend"] {
+	if set["benchreps"] && !set["benchjson"] && !set["compilejson"] && !set["baseline"] && !set["fleet"] && !set["trend"] {
 		diags = append(diags, diag.Diagnostic{
 			Code:     "CLI004",
 			Severity: diag.Error,
-			Message:  "-benchreps has no effect without -benchjson, -baseline, -fleet, or -trend",
-			Fix:      "add -benchjson, -baseline, -fleet, or -trend, or drop -benchreps",
+			Message:  "-benchreps has no effect without -benchjson, -compilejson, -baseline, -fleet, or -trend",
+			Fix:      "add -benchjson, -compilejson, -baseline, -fleet, or -trend, or drop -benchreps",
 		})
 	}
 
@@ -86,6 +87,24 @@ func flagConflicts(set map[string]bool) []diag.Diagnostic {
 			Severity: diag.Error,
 			Message:  "-trendsha has no effect without -trend",
 			Fix:      "add -trend, or drop -trendsha",
+		})
+	}
+
+	if set["trend"] && !set["trendsha"] {
+		diags = append(diags, diag.Diagnostic{
+			Code:     "CLI007",
+			Severity: diag.Error,
+			Message:  "-trend requires -trendsha: a trend row without its git SHA cannot be attributed to a commit",
+			Fix:      "pass -trendsha $(git rev-parse --short HEAD)",
+		})
+	}
+
+	if set["spec"] && !set["benchjson"] {
+		diags = append(diags, diag.Diagnostic{
+			Code:     "CLI008",
+			Severity: diag.Error,
+			Message:  "-spec has no effect without -benchjson: speculative probing is measured by the pipeline suite",
+			Fix:      "add -benchjson, or drop -spec",
 		})
 	}
 

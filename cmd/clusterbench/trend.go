@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"time"
 
+	"clustersched/internal/compile"
 	"clustersched/internal/ddg"
 	"clustersched/internal/pipeline"
 )
@@ -53,7 +55,26 @@ func trendRun(ctx context.Context, loops []*ddg.Graph, scheduler pipeline.Schedu
 	if err != nil {
 		return err
 	}
-	return enc.Encode(trendRow{
+	if err := enc.Encode(trendRow{
 		Date: date, SHA: sha, Suite: "pipeline", NSPerOp: fresh.nsPerOp,
-	})
+	}); err != nil {
+		return err
+	}
+
+	corpus, err := compile.Corpus()
+	if err != nil {
+		return err
+	}
+	for _, w := range []int{1, 4} {
+		sec, err := measureCompileStream(ctx, corpus, w, reps)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(trendRow{
+			Date: date, SHA: sha, Suite: fmt.Sprintf("compile/w%d", w), NSPerOp: sec.NSPerOp,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

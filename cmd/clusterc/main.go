@@ -7,7 +7,15 @@
 //	clusterc kernels.loop
 //	clusterc -machine fs:4:4:2 -pipeline kernels.loop
 //	clusterc -trace - -timeout 500ms kernels.loop
+//	clusterc -O -workers 4 kernels.loop
 //	echo 'loop dot { s = s + a[i]*b[i] }' | clusterc -
+//
+// -O selects the whole-translation-unit compile path
+// (internal/compile): the loops stream through lint → schedule →
+// stagesched → regalloc → emit as a stage-parallel pipeline with
+// -workers scheduling workers, and the kernels print in input order —
+// stdout is byte-identical for every worker count. -v adds the
+// per-stage time breakdown and aggregate search stats on stderr.
 //
 // The language: one index variable i, array accesses a[i+k] (loads and
 // stores), scalars carrying values across statements (and across
@@ -23,11 +31,16 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"clustersched"
+	"clustersched/internal/assign"
 	"clustersched/internal/cli"
+	"clustersched/internal/compile"
 	"clustersched/internal/diag"
 	"clustersched/internal/lint"
+	"clustersched/internal/obs"
+	"clustersched/internal/pipeline"
 )
 
 func main() {
@@ -39,6 +52,8 @@ func main() {
 		nolint      = flag.Bool("nolint", false, "skip the pre-compilation source lint (diagnostics still apply inside the pipeline)")
 		trace       = flag.String("trace", "", "write a JSON-lines event stream of the schedule search to this file (- for stderr)")
 		timeout     = flag.Duration("timeout", 0, "per-loop scheduling deadline (0 = none), e.g. 500ms")
+		wholeTU     = flag.Bool("O", false, "whole-translation-unit mode: stream all loops through the stage-parallel compile pipeline")
+		workers     = flag.Int("workers", 0, "scheduling workers for -O (0 = GOMAXPROCS); output is identical for every value")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,13 +91,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *wholeTU {
+		compileTU(ctx, string(src), m, tuConfig{
+			workers: *workers, nolint: *nolint, stages: *stages,
+			pipelined: *pipelined, verbose: *verbose,
+			trace: *trace, timeout: *timeout,
+		})
+		return
+	}
+
 	loops, err := clustersched.CompileSource(string(src))
 	if err != nil {
 		fatal(err)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	var schedOpts []clustersched.Option
 	if *timeout > 0 {
@@ -134,6 +158,85 @@ func main() {
 			fmt.Println(res.Kernel())
 		}
 		fmt.Println()
+	}
+}
+
+// tuConfig carries the flags the whole-TU path consumes.
+type tuConfig struct {
+	workers   int
+	nolint    bool
+	stages    bool
+	pipelined bool
+	verbose   bool
+	trace     string
+	timeout   time.Duration
+}
+
+// compileTU is the -O path: the whole translation unit streams
+// through internal/compile's stage-parallel pipeline. Kernels print
+// to stdout in input order as they retire — byte-identical for every
+// worker count — and the per-stage breakdown goes to stderr under -v.
+func compileTU(ctx context.Context, src string, m *clustersched.Machine, cfg tuConfig) {
+	opts := compile.Options{
+		Pipeline: pipeline.Options{
+			Assign:       assign.Options{Variant: assign.HeuristicIterative},
+			CollectStats: true,
+			Timeout:      cfg.timeout,
+		},
+		Workers:    cfg.workers,
+		NoLint:     cfg.nolint,
+		StageSched: cfg.stages,
+		Pipelined:  cfg.pipelined,
+	}
+	if cfg.trace != "" {
+		w := os.Stderr
+		if cfg.trace != "-" {
+			f, err := os.Create(cfg.trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		opts.Pipeline.Observer = obs.NewJSON(w)
+		// A shared event stream from concurrent schedulers would
+		// interleave; tracing serializes the schedule stage.
+		if opts.Workers != 1 {
+			fmt.Fprintln(os.Stderr, "clusterc: -trace forces -workers 1 (serialized event stream)")
+			opts.Workers = 1
+		}
+	}
+	opts.Emit = func(l *compile.LoopResult) {
+		fmt.Printf("=== %s (%d ops) on %s ===\n", l.Name, l.Graph.NumNodes(), m)
+		if l.Err != nil {
+			fmt.Printf("  no schedule: %v\n\n", l.Err)
+			return
+		}
+		fmt.Printf("II=%d (MII=%d), %d copies, %d stages\n",
+			l.Outcome.II, l.Outcome.MII, l.Outcome.Assignment.Copies, l.Outcome.Schedule.StageCount())
+		if cfg.verbose {
+			fmt.Printf("registers per cluster %v (MVE factor %d)\n", l.Alloc.RegsPerCluster, l.Alloc.Factor)
+		}
+		fmt.Println(l.Text)
+	}
+
+	res, err := compile.Source(ctx, src, m, opts)
+	if err != nil {
+		if res == nil {
+			fatal(err)
+		}
+		fatal(fmt.Errorf("interrupted: %w", err))
+	}
+	if cfg.verbose {
+		fmt.Fprintf(os.Stderr, "frontend: %d loops in %s\n", len(res.Loops), time.Duration(res.FrontendNS))
+		for _, st := range res.Stages {
+			fmt.Fprintf(os.Stderr, "stage %-10s %3d loops  %s\n", st.Stage, st.Loops, time.Duration(st.NS))
+		}
+		fmt.Fprintf(os.Stderr, "scheduled %d, failed %d\n", res.Scheduled, res.Failed)
+		fmt.Fprintf(os.Stderr, "search: %s\n", res.Stats)
+	}
+	if res.Failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -11,8 +11,8 @@
 //	clusterd -max-inflight 64             # admit at most 64 requests
 //	clusterd -trace events.jsonl          # stream pipeline trace events
 //
-// The API (POST /v1/schedule, /v1/batch, /v1/lint; GET /healthz,
-// /statsz) is documented in docs/SERVICE.md. On SIGINT or SIGTERM the
+// The API (POST /v1/schedule, /v1/batch, /v1/compile, /v1/lint; GET
+// /healthz, /statsz) is documented in docs/SERVICE.md. On SIGINT or SIGTERM the
 // daemon stops accepting connections, drains in-flight requests for up
 // to -drain, then exits.
 package main

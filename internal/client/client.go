@@ -117,6 +117,17 @@ func (c *Client) Batch(ctx context.Context, req server.BatchRequest) (*server.Ba
 	return resp, nil
 }
 
+// Compile runs a whole translation unit through /v1/compile: every
+// loop comes back as an emitted kernel (or a per-loop error), with
+// per-loop cache accounting.
+func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*server.CompileResponse, error) {
+	resp := new(server.CompileResponse)
+	if _, _, err := c.do(ctx, http.MethodPost, "/v1/compile", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // Lint runs the static-analysis passes through /v1/lint.
 func (c *Client) Lint(ctx context.Context, req server.LintRequest) (*server.LintResponse, error) {
 	resp := new(server.LintResponse)

@@ -6,10 +6,13 @@ import (
 	"clustersched/internal/ddg"
 )
 
-// Loop pairs a compiled loop with its source name.
+// Loop pairs a compiled loop with its source name and the line its
+// `loop` keyword appears on, so multi-loop drivers (clusterc -O, the
+// clusterd compile endpoint) can point diagnostics back at the source.
 type Loop struct {
 	Name  string
 	Graph *ddg.Graph
+	Line  int
 }
 
 // Compile parses and compiles every loop in the source, producing a
@@ -40,7 +43,7 @@ func Compile(src string) ([]Loop, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Loop{Name: ast.name, Graph: g})
+		out = append(out, Loop{Name: ast.name, Graph: g, Line: ast.line})
 	}
 	return out, nil
 }

@@ -1,0 +1,161 @@
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"clustersched/internal/frontend"
+	"clustersched/internal/lint"
+)
+
+// SourceCorpus generates a deterministic corpus of count loop-language
+// programs by fuzz-mining: candidate loops are drawn from one seeded
+// RNG stream over the full surface of the language grammar — array
+// streams, stencils, reductions, scalar temporaries, loop-carried
+// array recurrences, sqrt and select intrinsics, negation and
+// parenthesized subtrees — and a candidate survives only when it
+// clears the same bar a user program faces: it compiles
+// (frontend.Compile accepts it and the graph validates), it is
+// completely lint-clean (zero findings from lint.Source, warnings
+// included), and its graph lands in a useful size band. Rejected
+// candidates are discarded and the stream advances, so a given
+// (seed, count) always yields the same corpus text.
+//
+// internal/compile checks its checked-in corpus against this function
+// byte for byte, so edits here (or to the frontend or the lint rules)
+// deliberately fail that test until the corpus is regenerated.
+func SourceCorpus(seed int64, count int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for accepted := 0; accepted < count; {
+		src := sourceLoop(rng, fmt.Sprintf("gen%03d", accepted))
+		if !sourceLoopOK(src) {
+			continue
+		}
+		b.WriteString(src)
+		accepted++
+	}
+	return b.String()
+}
+
+// sourceLoopOK is the mining filter.
+func sourceLoopOK(src string) bool {
+	loops, err := frontend.Compile(src)
+	if err != nil || len(loops) != 1 {
+		return false
+	}
+	if n := loops[0].Graph.NumNodes(); n < 5 || n > 48 {
+		return false
+	}
+	return len(lint.Source("corpus", src)) == 0
+}
+
+// srcGen generates one candidate loop body.
+type srcGen struct {
+	rng *rand.Rand
+	// ins and outs are the arrays this loop reads and writes; keeping
+	// the palettes disjoint except through explicit recurrence
+	// statements keeps most candidates well-formed.
+	ins  []string
+	outs []string
+	// scalars defined so far, available as operands; pending is a
+	// temporary the next statement must consume (so mined programs
+	// rarely die to dead-scalar lint).
+	scalars []string
+	pending string
+}
+
+func sourceLoop(rng *rand.Rand, name string) string {
+	g := &srcGen{
+		rng:  rng,
+		ins:  []string{"a", "b", "c", "d"},
+		outs: []string{"u", "v", "w"},
+	}
+	nstmt := 1 + rng.Intn(4)
+	var lines []string
+	for k := 0; k < nstmt; k++ {
+		lines = append(lines, g.statement(k, k == nstmt-1))
+	}
+	return "loop " + name + " {\n\t" + strings.Join(lines, "\n\t") + "\n}\n"
+}
+
+// statement draws one statement. The last statement never defines a
+// fresh temporary (nothing could consume it).
+func (g *srcGen) statement(k int, last bool) string {
+	switch r := g.rng.Intn(10); {
+	case r < 4 || last && r < 6:
+		// Array store: u[i] = expr.
+		return g.arrayRef(g.outs, 0) + " = " + g.expr(2)
+	case r < 6:
+		// Scalar temporary consumed by the next statement.
+		t := fmt.Sprintf("t%d", k)
+		s := t + " = " + g.expr(2)
+		g.pending = t
+		g.scalars = append(g.scalars, t)
+		return s
+	case r < 8:
+		// Reduction: s = s + expr, a scalar recurrence.
+		s := fmt.Sprintf("s%d", k)
+		g.scalars = append(g.scalars, s)
+		return s + " = " + s + " " + g.reduceOp() + " " + g.expr(1)
+	default:
+		// Loop-carried array recurrence: a[i] = f(a[i-k], ...).
+		arr := g.ins[g.rng.Intn(len(g.ins))]
+		dist := 1 + g.rng.Intn(2)
+		return fmt.Sprintf("%s[i] = %s[i-%d] %s %s", arr, arr, dist, g.binOp(), g.expr(1))
+	}
+}
+
+func (g *srcGen) reduceOp() string { return []string{"+", "+", "*"}[g.rng.Intn(3)] }
+func (g *srcGen) binOp() string    { return []string{"+", "-", "*", "*", "/"}[g.rng.Intn(5)] }
+
+// expr draws an expression of bounded depth; a pending temporary is
+// folded into the first expression drawn after its definition.
+func (g *srcGen) expr(depth int) string {
+	if g.pending != "" {
+		t := g.pending
+		g.pending = ""
+		return "(" + t + " " + g.binOp() + " " + g.expr(depth) + ")"
+	}
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return "sqrt(" + g.expr(depth-1) + ")"
+	case 1:
+		return fmt.Sprintf("select(%s, %s, %s)", g.leaf(), g.expr(depth-1), g.leaf())
+	case 2:
+		return "-" + g.leaf()
+	case 3:
+		return g.leaf()
+	default:
+		return g.expr(depth-1) + " " + g.binOp() + " " + g.leaf()
+	}
+}
+
+// leaf draws an operand: an input-array read (possibly a stencil
+// neighbor), a defined scalar, or a constant.
+func (g *srcGen) leaf() string {
+	switch r := g.rng.Intn(10); {
+	case r < 6:
+		return g.arrayRef(g.ins, g.rng.Intn(5)-2)
+	case r < 8 && len(g.scalars) > 0:
+		return g.scalars[g.rng.Intn(len(g.scalars))]
+	default:
+		return []string{"2", "0.5", "3", "1.5"}[g.rng.Intn(4)]
+	}
+}
+
+func (g *srcGen) arrayRef(pool []string, offset int) string {
+	arr := pool[g.rng.Intn(len(pool))]
+	switch {
+	case offset > 0:
+		return fmt.Sprintf("%s[i+%d]", arr, offset)
+	case offset < 0:
+		return fmt.Sprintf("%s[i%d]", arr, offset)
+	default:
+		return arr + "[i]"
+	}
+}

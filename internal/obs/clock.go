@@ -1,0 +1,17 @@
+package obs
+
+import "time"
+
+// Now is the repository's sanctioned wall clock for measurement code
+// living in schedvet-critical packages. The nondet pass (VET002) bans
+// lexical time.Now in those packages so that scheduling outcomes stay
+// pure functions of their inputs; timing that is genuinely wanted —
+// phase attribution here in obs, per-stage breakdowns in
+// internal/compile — goes through this one audited entry point
+// instead. obs is on the analyzer's NoFollow list: reading the clock
+// is this package's job, exactly like BeginPhase/EndPhase above.
+//
+// Callers must use the returned time only for durations (t2.Sub(t1))
+// reported alongside results, never to influence a scheduling
+// decision; that contract is what keeps the carve-out sound.
+func Now() time.Time { return time.Now() }

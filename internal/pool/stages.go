@@ -1,0 +1,86 @@
+package pool
+
+import "sync"
+
+// Stage is one stage of a RunStages pipeline: a name for reporting, a
+// worker bound, and the function applied to every item index.
+type Stage struct {
+	// Name labels the stage in progress and stats reporting; RunStages
+	// itself does not interpret it.
+	Name string
+	// Workers bounds the goroutines running Fn concurrently (min 1).
+	Workers int
+	// Fn processes item i. It must be safe to call concurrently from
+	// Workers goroutines for distinct i; RunStages never calls it twice
+	// for the same i.
+	Fn func(i int)
+}
+
+// RunStages streams items 0..n-1 through the stages in order: item i
+// passes stage k's Fn before stage k+1's, and the channels between
+// stages hold at most buf in-flight items each, so a slow stage
+// backpressures the ones before it instead of letting work pile up.
+// Distinct items overlap freely — item 3 can be in the last stage
+// while item 7 is still in the first — which is what makes this a
+// streaming pipeline rather than a sequence of barriers.
+//
+// sink(i) is called on the caller's goroutine as each item leaves the
+// last stage, in completion order, not input order; callers needing
+// input-order delivery keep a reorder buffer in the sink (see
+// internal/compile). RunStages returns when every item has passed
+// every stage and the sink.
+//
+// There is no context parameter by design: cancellation is the stage
+// functions' business. The contract the callers follow is
+// drain-through — on cancellation every stage Fn degrades to a cheap
+// no-op (checking a per-item error or the caller's context first), so
+// items flush through the pipeline quickly and RunStages still
+// returns normally with every sink call made. That keeps this helper
+// free of multi-channel selects and makes "canceled" just another
+// per-item outcome.
+func RunStages(n, buf int, stages []Stage, sink func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	feed := make(chan int, buf)
+	go func() {
+		for i := 0; i < n; i++ {
+			feed <- i
+		}
+		close(feed)
+	}()
+	in := feed
+	for _, st := range stages {
+		src, dst := in, make(chan int, buf)
+		workers := st.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		fn := st.Fn
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range src {
+					fn(i)
+					dst <- i
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(dst)
+		}()
+		in = dst
+	}
+	for i := range in {
+		sink(i)
+	}
+}

@@ -1,0 +1,84 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunStagesEveryItemEveryStage checks the basic contract: each
+// item passes every stage exactly once, in stage order, and reaches
+// the sink exactly once.
+func TestRunStagesEveryItemEveryStage(t *testing.T) {
+	const n, nstages = 100, 4
+	var mu sync.Mutex
+	trace := make([][]int, n) // per item: sequence of stage indices
+	stages := make([]Stage, nstages)
+	for s := 0; s < nstages; s++ {
+		s := s
+		stages[s] = Stage{Name: "s", Workers: 3, Fn: func(i int) {
+			mu.Lock()
+			trace[i] = append(trace[i], s)
+			mu.Unlock()
+		}}
+	}
+	sunk := make([]int, n)
+	RunStages(n, 2, stages, func(i int) { sunk[i]++ })
+	for i := 0; i < n; i++ {
+		if sunk[i] != 1 {
+			t.Fatalf("item %d reached the sink %d times, want 1", i, sunk[i])
+		}
+		if len(trace[i]) != nstages {
+			t.Fatalf("item %d passed %d stages, want %d", i, len(trace[i]), nstages)
+		}
+		for s, got := range trace[i] {
+			if got != s {
+				t.Fatalf("item %d stage order %v, want 0..%d in order", i, trace[i], nstages-1)
+			}
+		}
+	}
+}
+
+// TestRunStagesWorkerBound checks that a stage never runs more than
+// its configured number of Fn calls concurrently.
+func TestRunStagesWorkerBound(t *testing.T) {
+	const n, workers = 64, 2
+	var cur, peak atomic.Int64
+	stages := []Stage{{Name: "only", Workers: workers, Fn: func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	}}}
+	RunStages(n, 4, stages, func(int) {})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent Fn calls, want <= %d", p, workers)
+	}
+}
+
+// TestRunStagesZeroItems must not call anything or hang.
+func TestRunStagesZeroItems(t *testing.T) {
+	called := false
+	RunStages(0, 1, []Stage{{Fn: func(int) { called = true }}}, func(int) { called = true })
+	if called {
+		t.Fatal("RunStages(0, ...) invoked a stage or the sink")
+	}
+}
+
+// TestRunStagesSinkSingleGoroutine relies on the race detector: the
+// sink mutates unsynchronized state, which is legal because sink runs
+// only on the caller's goroutine.
+func TestRunStagesSinkSingleGoroutine(t *testing.T) {
+	sum := 0
+	RunStages(50, 3, []Stage{
+		{Name: "a", Workers: 4, Fn: func(int) {}},
+		{Name: "b", Workers: 4, Fn: func(int) {}},
+	}, func(i int) { sum += i })
+	if want := 50 * 49 / 2; sum != want {
+		t.Fatalf("sink sum = %d, want %d", sum, want)
+	}
+}

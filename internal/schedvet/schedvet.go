@@ -57,11 +57,14 @@ type Config struct {
 // membership and cachering are deterministic state machines (time is
 // threaded in as parameters) and so are fully critical, while balance
 // legitimately owns timers, goroutines, and selects for hedging and
-// heartbeats and is held only to the lock discipline.
+// heartbeats and is held only to the lock discipline. The streaming
+// compile executor is under both: its output must be byte-identical
+// across worker counts (critical — goroutines live in internal/pool,
+// timing goes through obs), and it must stay mutex-free (locks).
 func DefaultConfig() Config {
 	return Config{
-		Critical: []string{"clustersched", "assign", "sched", "mrt", "mii", "order", "ddg", "pipeline", "cache", "membership", "cachering"},
-		Locks:    []string{"cache", "server", "balance", "membership", "cachering"},
+		Critical: []string{"clustersched", "assign", "sched", "mrt", "mii", "order", "ddg", "pipeline", "cache", "membership", "cachering", "compile"},
+		Locks:    []string{"cache", "server", "balance", "membership", "cachering", "compile"},
 		NoFollow: []string{"obs"},
 	}
 }

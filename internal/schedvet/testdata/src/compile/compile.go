@@ -1,0 +1,46 @@
+// Package compile is a schedvet fixture: its import path ends in a
+// segment the default config lists as determinism-critical, proving
+// the streaming compile executor is held to the nondet contract. One
+// function seeds the wall-clock violation the real package avoids by
+// timing through obs.Now; the rest are the sanctioned shapes — atomic
+// stage counters and single-communication channel operations.
+package compile
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage is a miniature of the real per-stage accumulator.
+type Stage struct {
+	NS    atomic.Int64
+	Loops atomic.Int64
+}
+
+// Record stamps the stage with the wall clock read lexically inside a
+// critical package: the VET002 seed (the real executor goes through
+// the obs clock, which the config does not follow).
+func Record(s *Stage) {
+	s.NS.Store(time.Now().UnixNano())
+	s.Loops.Add(1)
+}
+
+// Account threads the elapsed duration in as a parameter: clean, the
+// real idiom for callers that already hold a measurement.
+func Account(s *Stage, elapsed time.Duration) {
+	s.NS.Add(elapsed.Nanoseconds())
+	s.Loops.Add(1)
+}
+
+// Acquire takes a pooled session index off the free list with a
+// single-communication receive: clean (no multi-way select, so
+// goroutine wakeup order cannot reorder results).
+func Acquire(free chan int) int {
+	return <-free
+}
+
+// Release returns a session index with a single-communication send:
+// clean for the same reason.
+func Release(free chan int, idx int) {
+	free <- idx
+}

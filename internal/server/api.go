@@ -93,6 +93,72 @@ type BatchResponse struct {
 	CacheHits int `json:"cache_hits"`
 }
 
+// CompileRequest compiles a whole translation unit through the
+// streaming compile pipeline (internal/compile): every loop goes all
+// the way to an emitted kernel — schedule, optional stage scheduling,
+// register allocation, emission, optional sim cross-validation —
+// with results cached per loop, so two translation units sharing
+// loops share the work. Scheduling options mean the same as in
+// ScheduleRequest.
+type CompileRequest struct {
+	DDG           string `json:"ddg,omitempty"`
+	Source        string `json:"source,omitempty"`
+	Machine       string `json:"machine"`
+	Variant       string `json:"variant,omitempty"`
+	Scheduler     string `json:"scheduler,omitempty"`
+	BudgetPerNode int    `json:"budget_per_node,omitempty"`
+	MaxIISlack    int    `json:"max_ii_slack,omitempty"`
+	// StageSched runs stage scheduling on every kernel before register
+	// allocation.
+	StageSched bool `json:"stagesched,omitempty"`
+	// Pipelined emits prologue, kernel, and epilogue instead of the
+	// steady-state kernel only.
+	Pipelined bool `json:"pipelined,omitempty"`
+	// Validate cross-checks every emitted kernel with the sim
+	// functional executor before replying.
+	Validate bool `json:"validate,omitempty"`
+}
+
+// CompileResult is one loop fully compiled; it is what a
+// CompileItem's raw Result decodes to.
+type CompileResult struct {
+	Name    string `json:"name"`
+	Machine string `json:"machine"`
+	II      int    `json:"ii"`
+	MII     int    `json:"mii"`
+	Copies  int    `json:"copies"`
+	Stages  int    `json:"stages"`
+	// Moved counts operations stage scheduling relocated (zero unless
+	// the request set stagesched).
+	Moved int `json:"moved"`
+	// Factor and RegsPerCluster describe the MVE register allocation.
+	Factor         int   `json:"factor"`
+	RegsPerCluster []int `json:"regs_per_cluster"`
+	// Kernel is the emitted kernel (or full pipelined listing).
+	Kernel string `json:"kernel"`
+	// Stats are the search-effort counters of the producing run.
+	Stats obs.Stats `json:"stats"`
+}
+
+// CompileItem is one loop's outcome inside a compile: either Result
+// (a raw CompileResult) or Error. Cached items are passed through
+// byte-identical to the run that produced them.
+type CompileItem struct {
+	Name   string          `json:"name"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// CompileResponse reports every loop of a translation unit in input
+// order.
+type CompileResponse struct {
+	Items     []CompileItem `json:"items"`
+	Scheduled int           `json:"scheduled"`
+	Failed    int           `json:"failed"`
+	CacheHits int           `json:"cache_hits"`
+}
+
 // LintRequest runs the static-analysis passes without scheduling:
 // loop source, DDG dumps (read laxly, like clusterlint), and machine
 // specs (comma-separated) may each be given.

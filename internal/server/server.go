@@ -8,6 +8,7 @@
 //
 //	POST /v1/schedule   schedule one loop (ddg text or loop source)
 //	POST /v1/batch      schedule every loop of a multi-loop payload
+//	POST /v1/compile    fully compile a translation unit to kernels
 //	POST /v1/lint       static analysis without scheduling
 //	GET  /healthz       liveness probe
 //	GET  /statsz        cache, request, and search-effort counters
@@ -32,13 +33,16 @@ import (
 	"time"
 
 	"clustersched"
+	"clustersched/internal/assign"
 	"clustersched/internal/cache"
 	"clustersched/internal/cli"
+	"clustersched/internal/compile"
 	"clustersched/internal/ddgio"
 	"clustersched/internal/diag"
 	"clustersched/internal/frontend"
 	"clustersched/internal/lint"
 	"clustersched/internal/obs"
+	"clustersched/internal/pipeline"
 	"clustersched/internal/pool"
 )
 
@@ -104,6 +108,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc(apiPrefix+"/schedule", s.handleSchedule)
 	s.mux.HandleFunc(apiPrefix+"/batch", s.handleBatch)
+	s.mux.HandleFunc(apiPrefix+"/compile", s.handleCompile)
 	s.mux.HandleFunc(apiPrefix+"/lint", s.handleLint)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
@@ -497,6 +502,119 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items, CacheHits: int(hits.Load())})
+}
+
+// handleCompile is the whole-translation-unit endpoint: every loop is
+// fully compiled — schedule, optional stage scheduling, register
+// allocation, emission, optional sim validation — through one
+// compile.Executor whose session pool is shared across the request's
+// loops. The result cache works at per-loop granularity: a loop
+// compiled under the same machine, options, and compile flags is
+// served byte-identical from the store no matter which translation
+// unit asked first.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	s.requests.Add(1)
+	release, ok := s.acquire()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, errors.New("server at max in-flight requests"))
+		return
+	}
+	defer release()
+
+	var req CompileRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	m, opts, optID, err := s.resolveCommon(req.Machine, req.Variant, req.Scheduler, req.BudgetPerNode, req.MaxIISlack)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	loops, err := parseLoops(req.DDG, req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	// The facade options are pipeline.Options mutators; apply them over
+	// the facade's own defaults so the compile path schedules exactly
+	// like /v1/schedule under the same request fields.
+	popts := pipeline.Options{
+		Assign:       assign.Options{Variant: assign.HeuristicIterative},
+		CollectStats: true,
+	}
+	for _, o := range opts {
+		o(&popts)
+	}
+	ex := compile.NewExecutor(m, compile.Options{
+		Pipeline:   popts,
+		Workers:    s.cfg.Workers,
+		StageSched: req.StageSched,
+		Pipelined:  req.Pipelined,
+		Validate:   req.Validate,
+	})
+	// The compile flags change the body, so they join the cache
+	// identity alongside the scheduling options.
+	compileID := append([]string{"compile",
+		fmt.Sprintf("stagesched=%v", req.StageSched),
+		fmt.Sprintf("pipelined=%v", req.Pipelined),
+		fmt.Sprintf("validate=%v", req.Validate)}, optID...)
+
+	items := make([]CompileItem, len(loops))
+	var hits, failed atomic.Int64
+	ctx := r.Context()
+	perr := pool.ForEach(ctx, len(loops), s.cfg.Workers, func(i int) {
+		name := nameFor("", loops[i].Name)
+		items[i].Name = name
+		key := cache.Key(loops[i].Graph, m, append([]string{name}, compileID...)...)
+		body, src, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
+			lr := ex.One(ctx, frontend.Loop{Name: name, Graph: loops[i].Graph})
+			if lr.Err != nil {
+				return nil, lr.Err
+			}
+			s.scheduled.Add(1)
+			s.addSchedStats(lr.Outcome.Stats)
+			return json.Marshal(CompileResult{
+				Name:           name,
+				Machine:        req.Machine,
+				II:             lr.Outcome.II,
+				MII:            lr.Outcome.MII,
+				Copies:         lr.Outcome.Assignment.Copies,
+				Stages:         lr.Outcome.Schedule.StageCount(),
+				Moved:          lr.Moved,
+				Factor:         lr.Alloc.Factor,
+				RegsPerCluster: lr.Alloc.RegsPerCluster,
+				Kernel:         lr.Text,
+				Stats:          lr.Outcome.Stats,
+			})
+		})
+		if err != nil {
+			items[i].Error = err.Error()
+			failed.Add(1)
+			return
+		}
+		items[i].Result = json.RawMessage(body)
+		if src != cache.Miss {
+			items[i].Cached = true
+			hits.Add(1)
+		}
+	})
+	if perr != nil {
+		writeError(w, scheduleErrorStatus(perr), perr)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Items:     items,
+		Scheduled: len(items) - int(failed.Load()),
+		Failed:    int(failed.Load()),
+		CacheHits: int(hits.Load()),
+	})
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {

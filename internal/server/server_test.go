@@ -237,6 +237,89 @@ func TestBatchFanOutAndCache(t *testing.T) {
 	}
 }
 
+// TestCompileEndpoint drives the whole-translation-unit endpoint:
+// full kernels in input order, per-loop cache entries shared across
+// overlapping translation units, and byte-identical cached replies.
+func TestCompileEndpoint(t *testing.T) {
+	c, _ := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	tu := "loop dot { s = s + a[i]*b[i] }\nloop ax { y[i] = 2*x[i] + y[i] }\n"
+	req := server.CompileRequest{Source: tu, Machine: "gp:2:2:1", StageSched: true, Validate: true}
+	cold, err := c.Compile(ctx, req)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(cold.Items) != 2 || cold.Scheduled != 2 || cold.Failed != 0 {
+		t.Fatalf("cold compile: %d items, scheduled %d, failed %d", len(cold.Items), cold.Scheduled, cold.Failed)
+	}
+	names := []string{"dot", "ax"}
+	for i, item := range cold.Items {
+		if item.Name != names[i] {
+			t.Errorf("item %d name %q, want %q (input order)", i, item.Name, names[i])
+		}
+		var r server.CompileResult
+		if err := json.Unmarshal(item.Result, &r); err != nil {
+			t.Fatalf("item %d result: %v", i, err)
+		}
+		if r.II < r.MII || r.MII < 1 || r.Kernel == "" || r.Factor < 1 || len(r.RegsPerCluster) != 2 {
+			t.Errorf("item %d incomplete: %+v", i, r)
+		}
+	}
+
+	// The same unit again: every loop from the cache, byte-identical.
+	warm, err := c.Compile(ctx, req)
+	if err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+	if warm.CacheHits != 2 {
+		t.Errorf("warm cache hits = %d, want 2", warm.CacheHits)
+	}
+	for i := range warm.Items {
+		if !warm.Items[i].Cached {
+			t.Errorf("warm item %d not cached", i)
+		}
+		if !bytes.Equal(warm.Items[i].Result, cold.Items[i].Result) {
+			t.Errorf("warm item %d differs from cold result", i)
+		}
+	}
+
+	// An overlapping unit reuses the shared loop's entry and compiles
+	// only the new loop.
+	overlap := server.CompileRequest{
+		Source:     "loop dot { s = s + a[i]*b[i] }\nloop sum { t = t + a[i] }\n",
+		Machine:    "gp:2:2:1",
+		StageSched: true,
+		Validate:   true,
+	}
+	mixed, err := c.Compile(ctx, overlap)
+	if err != nil {
+		t.Fatalf("overlapping compile: %v", err)
+	}
+	if mixed.CacheHits != 1 || !mixed.Items[0].Cached || mixed.Items[1].Cached {
+		t.Errorf("overlap caching: hits=%d cached=%v/%v, want exactly the shared loop",
+			mixed.CacheHits, mixed.Items[0].Cached, mixed.Items[1].Cached)
+	}
+	if !bytes.Equal(mixed.Items[0].Result, cold.Items[0].Result) {
+		t.Error("shared loop's cached body differs across translation units")
+	}
+
+	// Different compile flags are different cache identities.
+	plain, err := c.Compile(ctx, server.CompileRequest{Source: tu, Machine: "gp:2:2:1"})
+	if err != nil {
+		t.Fatalf("plain compile: %v", err)
+	}
+	if plain.CacheHits != 0 {
+		t.Errorf("different compile flags hit the cache %d times", plain.CacheHits)
+	}
+
+	// Malformed source fails the unit up front, like any compiler.
+	var apiErr *client.APIError
+	if _, err := c.Compile(ctx, server.CompileRequest{Source: "loop bad {", Machine: "gp:2:2:1"}); !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Errorf("malformed source returned %v, want 422", err)
+	}
+}
+
 func TestLintEndpoint(t *testing.T) {
 	c, _ := newTestServer(t, server.Config{})
 	ctx := context.Background()

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"clustersched/internal/ddg"
+	"clustersched/internal/loopgen"
+	"clustersched/internal/machine"
+	"clustersched/internal/regalloc"
+)
+
+// TestValuesDotProduct pins the value executors on the canonical
+// fixture: pipelined values must equal the naive execution for every
+// producing node and iteration.
+func TestValuesDotProduct(t *testing.T) {
+	g := ddg.NewGraph(4, 4)
+	a := g.AddNode(ddg.OpLoad, "a")
+	b := g.AddNode(ddg.OpLoad, "b")
+	mul := g.AddNode(ddg.OpFMul, "")
+	acc := g.AddNode(ddg.OpFAdd, "s")
+	g.AddEdge(a, mul, 0)
+	g.AddEdge(b, mul, 0)
+	g.AddEdge(mul, acc, 0)
+	g.AddEdge(acc, acc, 1)
+	m := machine.NewBusedGP(2, 2, 1)
+	in, s := schedule(t, g, m)
+	alloc := regalloc.AllocateMVE(in, s)
+	const iters = 12
+	pipe, err := PipelinedValues(in, s, iters, MVEBinding(alloc))
+	if err != nil {
+		t.Fatalf("pipelined execution: %v", err)
+	}
+	naive := NaiveValues(in.Graph, iters)
+	for it := 0; it < iters; it++ {
+		for n := 0; n < in.Graph.NumNodes(); n++ {
+			if naive[it][n] != pipe[it][n] {
+				t.Fatalf("node %d iter %d: naive %x, pipelined %x", n, it, naive[it][n], pipe[it][n])
+			}
+		}
+	}
+}
+
+// TestValuesSuiteLoops runs the value differential over suite loops on
+// three machine families, also checking that copies are transparent:
+// the annotated graph's naive values agree with the original graph's
+// on the original nodes.
+func TestValuesSuiteLoops(t *testing.T) {
+	machines := []*machine.Config{
+		machine.NewBusedGP(2, 2, 1),
+		machine.NewBusedFS(4, 4, 2),
+		machine.NewGrid4(2),
+	}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 60; i++ {
+		g := loopgen.Loop(rng)
+		m := machines[i%len(machines)]
+		in, s := schedule(t, g, m)
+		alloc := regalloc.AllocateMVE(in, s)
+		iters := 3*alloc.Factor + 4
+		naiveOrig := NaiveValues(g, iters)
+		naiveAnn := NaiveValues(in.Graph, iters)
+		pipe, err := PipelinedValues(in, s, iters, MVEBinding(alloc))
+		if err != nil {
+			t.Fatalf("loop %d on %s: pipelined execution: %v", i, m.Name, err)
+		}
+		for it := 0; it < iters; it++ {
+			for n := 0; n < g.NumNodes(); n++ {
+				if naiveOrig[it][n] != naiveAnn[it][n] {
+					t.Fatalf("loop %d on %s: copy insertion changed node %d's value at iter %d", i, m.Name, n, it)
+				}
+			}
+			for n := 0; n < in.Graph.NumNodes(); n++ {
+				if naiveAnn[it][n] != pipe[it][n] {
+					t.Fatalf("loop %d on %s: node %d iter %d: naive %x, pipelined %x",
+						i, m.Name, n, it, naiveAnn[it][n], pipe[it][n])
+				}
+			}
+		}
+	}
+}
+
+// TestValuesDetectClobber forces two live values onto one register and
+// requires the value differential to notice — the sensitivity check
+// that proves the oracle can actually fail.
+func TestValuesDetectClobber(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	m := machine.NewBusedGP(2, 2, 1)
+	detected, trials := 0, 0
+	for i := 0; i < 40 && trials < 12; i++ {
+		g := loopgen.Loop(rng)
+		in, s := schedule(t, g, m)
+		alloc := regalloc.AllocateMVE(in, s)
+		idx := -1
+		for j := range alloc.Bindings {
+			for k := j + 1; k < len(alloc.Bindings); k++ {
+				a, b := alloc.Bindings[j], alloc.Bindings[k]
+				if a.Cluster == b.Cluster && a.Register != b.Register && a.Len > 1 && b.Len > 1 {
+					alloc.Bindings[k].Register = a.Register
+					idx = k
+					break
+				}
+			}
+			if idx >= 0 {
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		trials++
+		iters := 3*alloc.Factor + 4
+		pipe, err := PipelinedValues(in, s, iters, MVEBinding(alloc))
+		if err != nil {
+			detected++
+			continue
+		}
+		naive := NaiveValues(in.Graph, iters)
+		for it := 0; it < iters && idx >= 0; it++ {
+			for n := 0; n < in.Graph.NumNodes(); n++ {
+				if naive[it][n] != pipe[it][n] {
+					detected++
+					idx = -1
+					break
+				}
+			}
+		}
+	}
+	if trials == 0 {
+		t.Skip("no corruptible fixtures")
+	}
+	if detected < trials/2 {
+		t.Errorf("value differential detected only %d/%d forced clobbers", detected, trials)
+	}
+}

@@ -50,14 +50,21 @@ func Run(in sched.Input, s *sched.Schedule, alloc *regalloc.Allocation, iters in
 	if iters <= 0 {
 		iters = 3*alloc.Factor + 4
 	}
+	return RunWithBinding(in, s, iters, MVEBinding(alloc))
+}
+
+// MVEBinding adapts an MVE register allocation to the Binding the
+// executors consume: value v's instance of absolute iteration i lives
+// in the register bound to instance i mod Factor.
+func MVEBinding(alloc *regalloc.Allocation) Binding {
 	binding := map[bindKey]int{}
 	for _, b := range alloc.Bindings {
 		binding[bindKey{value: b.Value, cluster: b.Cluster, instance: b.Instance}] = b.Register
 	}
-	return RunWithBinding(in, s, iters, func(value, cluster, iter int) (int, bool) {
+	return func(value, cluster, iter int) (int, bool) {
 		r, ok := binding[bindKey{value: value, cluster: cluster, instance: iter % alloc.Factor}]
 		return r, ok
-	})
+	}
 }
 
 // RunRotating executes the schedule under a rotating-register-file

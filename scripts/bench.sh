@@ -25,6 +25,15 @@
 # BENCH_TREND.jsonl, the long-run performance log the point-in-time
 # baseline gate cannot provide.
 #
+# Compile mode:  sh scripts/bench.sh -compile
+# Times the whole-TU streaming compile path (clusterc -O) over the
+# checked-in regression corpus — Livermore kernels plus the fuzz-mined
+# loopgen set — and writes BENCH_compile.json: per-loop cold-start
+# ns/op, streaming ns/op at 1 and 4 workers with per-stage breakdowns,
+# and the two speedup ratios. The corpus is sim cross-validated before
+# any timing, and the cpus field records the core count the w4/w1
+# ratio was measured on (on a single-core host it is honestly ~1).
+#
 # Fleet mode:  sh scripts/bench.sh -fleet [count]
 # Boots three local clusterd workers plus a clusterlb in front of
 # them, replays the suite through the balancer (cold pass, cached
@@ -51,6 +60,17 @@ if [ "${1:-}" = "-trend" ]; then
     cat "$TREND_OUT.tmp" >> "$TREND_OUT"
     rm -f "$TREND_OUT.tmp"
     echo "bench: appended $(wc -l < "$TREND_OUT" | tr -d ' ') total rows to $TREND_OUT"
+    exit 0
+fi
+
+if [ "${1:-}" = "-compile" ]; then
+    COMPILE_OUT="BENCH_compile.json"
+    # Write to a temp file first: a failed pass (a corpus loop losing
+    # its schedule or sim validation) must not truncate the committed
+    # numbers the -baseline gate diffs against.
+    go run ./cmd/clusterbench -compilejson -benchreps 10 > "$COMPILE_OUT.tmp"
+    mv "$COMPILE_OUT.tmp" "$COMPILE_OUT"
+    echo "bench: wrote $COMPILE_OUT"
     exit 0
 fi
 
@@ -94,7 +114,11 @@ fi
 COUNT="${1:-400}"
 OUT="BENCH_pipeline.json"
 
-go run ./cmd/clusterbench -benchjson -benchreps 10 -count "$COUNT" > "$OUT"
+# -spec 4 adds the speculative section: the same suite re-run with a
+# 4-way speculative II probe, with the ii_speculative_wins / _wasted
+# counters recorded under measurement and the outcome asserted
+# identical to the sequential search.
+go run ./cmd/clusterbench -benchjson -spec 4 -benchreps 10 -count "$COUNT" > "$OUT"
 echo "bench: wrote $OUT"
 
 # Assignment-only benchmark: the incremental-engine suite (ns/op per

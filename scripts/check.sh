@@ -15,7 +15,12 @@ go run ./cmd/schedvet ./...
 # shared observers, the daemon and its cache, the speculative II
 # search and batch sharding) plus the public API that feeds them, and
 # the assignment engine's differential/fuzz-seed tests.
-go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ ./internal/assign/ ./internal/pipeline/ .
+go test -race ./internal/pool/ ./internal/obs/ ./internal/experiments/ ./internal/explore/ ./internal/cache/ ./internal/server/ ./internal/assign/ ./internal/pipeline/ ./internal/compile/ .
+# Compile-corpus oracle: every kernel the streaming executor emits for
+# the regression corpus must execute functionally identical to the
+# naive non-pipelined loop (sim cross-validation plus the Livermore
+# value-differential, across two machine configs).
+go test -run 'TestCorpusSchedulesAndSimValidates|TestLivermoreValueDifferential' -count=1 ./internal/compile/
 # Short benchmark smoke pass: the assignment benchmarks and the
 # session/batch benchmarks must still run (allocation regressions fail
 # in the test pass above; this catches benchmarks broken by API drift).
